@@ -1,0 +1,32 @@
+"""Shared benchmark fixtures.
+
+Every figure benchmark prints the series the paper plots through the
+``emit`` fixture (bypassing pytest capture) so that
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` records the
+reproduced curves alongside the timing table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print *text* even under pytest output capture."""
+
+    def _emit(text: str) -> None:
+        with capsys.disabled():
+            print("\n" + text, flush=True)
+
+    return _emit
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run *fn* exactly once under pytest-benchmark timing.
+
+    Experiment benches are deterministic end-to-end pipelines, not
+    microbenchmarks; a single timed round keeps the suite's wall-clock
+    sane while still recording the runtime.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

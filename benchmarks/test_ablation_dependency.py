@@ -1,0 +1,98 @@
+"""Ablation: the dependency cost term ``C_d · D(e) · χ`` (Eq. 1).
+
+The dependency term is what makes migration *application-aware*: moving a
+VM away from its communication partners is penalized by the physical
+distance its traffic will now travel.  We plan the same candidate set
+with ``C_d = 0`` (dependency-blind) and with a strong ``C_d``, and
+measure the resulting total dependency traffic distance
+
+    ``Σ_{(a,b) ∈ G_d} D(rack(a), rack(b))``
+
+after applying each plan.  Dependency-aware planning must end with its
+communicating pairs closer together.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analysis import format_table
+from repro.cluster import build_cluster
+from repro.costs.model import CostModel, CostParams
+from repro.sim import centralized_migration_round, inject_fraction_alerts
+from repro.topology import build_fattree
+
+SEED = 2015
+
+
+def dependency_distance(cluster, rack_dist):
+    pl = cluster.placement
+    racks = pl.host_rack[pl.vm_host]
+    total = 0.0
+    pairs = 0
+    deps = cluster.dependencies
+    for a in range(deps.num_vms):
+        for b in deps.neighbors(a):
+            if b > a:
+                total += float(rack_dist[int(racks[a]), int(racks[b])])
+                pairs += 1
+    return total, pairs
+
+
+def run_policy(dependency_unit: float):
+    cluster = build_cluster(
+        build_fattree(8),
+        hosts_per_rack=2,
+        fill_fraction=0.5,
+        skew=0.6,
+        seed=SEED,
+        dependency_degree=2.5,
+        delay_sensitive_fraction=0.0,
+    )
+    cm = CostModel(cluster, CostParams(dependency_unit=dependency_unit))
+    rack_dist = cm.rack_distances
+    before, pairs = dependency_distance(cluster, rack_dist)
+    total_moves = 0
+    for r in range(4):
+        _, vma = inject_fraction_alerts(cluster, 0.05, time=r, seed=SEED + r)
+        plan = centralized_migration_round(cluster, cm, sorted(vma), apply=True)
+        total_moves += plan.migrations
+    after, _ = dependency_distance(cluster, rack_dist)
+    return before, after, pairs, total_moves
+
+
+def run_experiment():
+    blind = run_policy(0.0)
+    aware = run_policy(8.0)
+    return blind, aware
+
+
+def test_ablation_dependency_cost(benchmark, emit):
+    (b0, b1, pairs, bm), (a0, a1, _, am) = run_once(benchmark, run_experiment)
+    rows = [
+        {
+            "policy": "blind (C_d=0)",
+            "dep_dist_before": b0,
+            "dep_dist_after": b1,
+            "moves": bm,
+        },
+        {
+            "policy": "aware (C_d=8)",
+            "dep_dist_before": a0,
+            "dep_dist_after": a1,
+            "moves": am,
+        },
+    ]
+    emit(
+        format_table(
+            f"Ablation — dependency cost term over {pairs} dependent pairs "
+            "(4 centralized rounds)",
+            rows,
+        )
+    )
+    # identical starting state by construction
+    assert b0 == a0
+    # the aware planner ends with dependents closer together than the
+    # blind one — the Eq. (1) f-term earning its keep
+    assert a1 < b1
+    # and it actively improves on the initial layout
+    assert a1 < a0

@@ -1,0 +1,54 @@
+"""Ablation: Local Search swap size p — quality vs time.
+
+The ``3 + 2/p`` bound improves with p, but each sweep enumerates
+``C(k, p) * C(n-k, p)`` candidate swaps.  This bench quantifies the actual
+trade on matched instances: p=2 may only marginally beat p=1 while paying
+a clear time premium — exactly why the paper treats p as a tunable.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analysis import format_table
+from repro.kmedian import KMedianInstance, greedy_kmedian, local_search
+
+SEED = 2015
+TRIALS = 8
+
+
+def run_experiment():
+    rng = np.random.default_rng(SEED)
+    rows = []
+    for p in (1, 2):
+        costs, times = [], []
+        greedy_costs = []
+        for trial in range(TRIALS):
+            pts = rng.random((40, 2))
+            inst = KMedianInstance.from_points(pts, 6)
+            t0 = time.perf_counter()
+            res = local_search(inst, p=p, seed=trial)
+            times.append(time.perf_counter() - t0)
+            costs.append(res.cost)
+            greedy_costs.append(greedy_kmedian(inst)[1])
+        rows.append(
+            {
+                "p": p,
+                "mean_cost": float(np.mean(costs)),
+                "mean_time_ms": float(np.mean(times) * 1e3),
+                "greedy_cost": float(np.mean(greedy_costs)),
+            }
+        )
+    return rows
+
+
+def test_ablation_swap_size(benchmark, emit):
+    rows = run_once(benchmark, run_experiment)
+    emit(format_table("Ablation — Local Search swap size p (n=40, k=6)", rows))
+    p1, p2 = rows
+    # quality: p=2 never worse on average; both beat greedy
+    assert p2["mean_cost"] <= p1["mean_cost"] + 1e-9
+    assert p1["mean_cost"] <= p1["greedy_cost"] + 1e-9
+    # cost: the richer neighborhood takes longer
+    assert p2["mean_time_ms"] > p1["mean_time_ms"]

@@ -1,0 +1,76 @@
+"""Ablation: dynamic model selection vs fixed ARIMA vs fixed NARNET.
+
+DESIGN.md calls out the selector as a core design choice.  We evaluate the
+three policies on all three trace regimes (linear-seasonal, chaotic,
+mixed): each fixed model should win its home regime, and the selector
+should be the only policy that is never far from the per-regime winner.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analysis import format_table
+from repro.forecast import ARIMA, NARNET, DynamicModelSelector, mse
+from repro.forecast.selection import rolling_one_step
+from repro.traces import mixed_trace, nonlinear_trace, weekly_traffic_trace
+
+SEED = 2015
+
+
+def make_pool():
+    return {
+        "arima": lambda: ARIMA(1, 1, 1),
+        "narnet": lambda: NARNET(ni=10, nh=16, restarts=1, seed=4, maxiter=180),
+    }
+
+
+def run_experiment():
+    traces = {
+        "linear": weekly_traffic_trace(seed=SEED)[:700],
+        "chaotic": nonlinear_trace(700, seed=SEED),
+        "mixed": mixed_trace(seed=SEED)[:700],
+    }
+    out = {}
+    for name, y in traces.items():
+        train = int(0.6 * y.shape[0])
+        actual = y[train:]
+        arima = rolling_one_step(lambda: ARIMA(1, 1, 1), y, train, refit_every=120)
+        narnet = rolling_one_step(
+            lambda: NARNET(ni=10, nh=16, restarts=1, seed=4, maxiter=180),
+            y,
+            train,
+            refit_every=120,
+        )
+        sel = DynamicModelSelector(make_pool(), period=20, refit_every=120)
+        combined = sel.run(y, train).predictions
+        out[name] = {
+            "arima_mse": mse(actual, arima),
+            "narnet_mse": mse(actual, narnet),
+            "selector_mse": mse(actual, combined),
+        }
+    return out
+
+
+def test_ablation_dynamic_selection(benchmark, emit):
+    out = run_once(benchmark, run_experiment)
+    rows = [{"regime": i, **v} for i, v in enumerate(out.values())]
+    emit(
+        format_table(
+            "Ablation — model policy MSE by trace regime "
+            "(rows 0=linear, 1=chaotic, 2=mixed)",
+            rows,
+        )
+    )
+    # each fixed model wins its home turf...
+    assert out["chaotic"]["narnet_mse"] < out["chaotic"]["arima_mse"]
+    # ...and the selector is never catastrophically wrong anywhere
+    for regime, v in out.items():
+        best = min(v["arima_mse"], v["narnet_mse"])
+        worst = max(v["arima_mse"], v["narnet_mse"])
+        assert v["selector_mse"] <= max(1.3 * best, worst), regime
+    # regret of the selector (max over regimes of mse/best) must be far
+    # below the regret of committing to either fixed model
+    def regret(key):
+        return max(v[key] / min(v["arima_mse"], v["narnet_mse"]) for v in out.values())
+
+    assert regret("selector_mse") <= min(regret("arima_mse"), regret("narnet_mse")) + 0.3

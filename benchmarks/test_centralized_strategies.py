@@ -1,0 +1,88 @@
+"""Extension bench: three planners over the same alerting candidates.
+
+Compares, on one Fat-Tree sweep, the three management strategies the
+library implements:
+
+* **regional** — per-shim Alg. 3 within one-hop neighborhoods (Sheriff);
+* **matching** — the global minimal-weighted-matching optimal manager;
+* **k-median** — the paper's Sec. V-A centralized reduction: open ``k``
+  destination ToRs with Local Search, pack each source's VMs there.
+
+The k-median planner *consolidates* (fewer destination racks — simpler
+operations) at a moderate cost premium over free matching; its decision
+space is ToR-level, far below VM×host.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analysis import format_table
+from repro.cluster import build_cluster
+from repro.costs.model import CostModel
+from repro.sim import (
+    centralized_migration_round,
+    inject_fraction_alerts,
+    kmedian_migration_round,
+    regional_migration_round,
+)
+from repro.topology import build_fattree
+
+PODS = [8, 16, 24]
+SEED = 2015
+
+
+def run_experiment():
+    rows = []
+    for k in PODS:
+        cluster = build_cluster(
+            build_fattree(k),
+            hosts_per_rack=2,
+            fill_fraction=0.5,
+            skew=0.5,
+            seed=SEED,
+            delay_sensitive_fraction=0.0,
+        )
+        cm = CostModel(cluster)
+        _, vma = inject_fraction_alerts(cluster, 0.05, seed=SEED)
+        cands = sorted(vma)
+        reg = regional_migration_round(cluster, cm, cands)
+        mat = centralized_migration_round(cluster, cm, cands)
+        km = kmedian_migration_round(cluster, cm, cands)
+        pl = cluster.placement
+
+        def n_dst_racks(plan):
+            return len({int(pl.host_rack[h]) for _, h, _ in plan.moves})
+
+        rows.append(
+            {
+                "pods": k,
+                "regional_per_vm": reg.total_cost / max(len(reg.moves), 1),
+                "matching_per_vm": mat.total_cost / max(len(mat.moves), 1),
+                "kmedian_per_vm": km.total_cost / max(len(km.moves), 1),
+                "regional_racks": n_dst_racks(reg),
+                "matching_racks": n_dst_racks(mat),
+                "kmedian_racks": n_dst_racks(km),
+                "kmedian_space": km.search_space,
+                "matching_space": mat.search_space,
+            }
+        )
+    return rows
+
+
+def test_three_planners(benchmark, emit):
+    rows = run_once(benchmark, run_experiment)
+    emit(
+        format_table(
+            "Extension — regional vs matching vs k-median planners (Fat-Tree)",
+            rows,
+        )
+    )
+    for r in rows:
+        # every planner pays at least C_r per move; matching is cheapest/VM
+        assert r["matching_per_vm"] >= 100.0
+        assert r["kmedian_per_vm"] >= r["matching_per_vm"] - 1e-9
+        assert r["kmedian_per_vm"] <= 3.0 * r["matching_per_vm"]
+        # consolidation: k-median uses far fewer destination racks
+        assert r["kmedian_racks"] <= r["matching_racks"]
+        # and its decision space (ToR x ToR) is far below VM x host
+        assert r["kmedian_space"] < r["matching_space"]

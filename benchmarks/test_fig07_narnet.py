@@ -1,0 +1,55 @@
+"""Fig. 7: NARNET (20 hidden units) on the nonlinear trace.
+
+Paper protocol: 70 % train / 30 % test on data where "classical ARIMA
+mainly works for linear data"; NARNET's prediction error is "very small
+and we can hardly recognize the difference".  We verify both the absolute
+quality and the NARNET-beats-ARIMA ordering on this regime.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analysis import format_table
+from repro.forecast import ARIMA, NARNET, mse, rmse
+from repro.forecast.selection import rolling_one_step
+from repro.traces import nonlinear_trace
+
+SEED = 2015
+
+
+def run_experiment():
+    y = nonlinear_trace(1000, seed=SEED)
+    train_len = int(0.7 * y.shape[0])  # paper: 70/30 split
+    nar = rolling_one_step(
+        lambda: NARNET(ni=12, nh=20, restarts=2, seed=7, maxiter=250),
+        y,
+        train_len,
+        refit_every=150,
+    )
+    ar = rolling_one_step(lambda: ARIMA(2, 0, 1), y, train_len, refit_every=150)
+    return y, train_len, nar, ar
+
+
+def test_fig07_narnet_nonlinear(benchmark, emit):
+    y, train_len, nar, ar = run_once(benchmark, run_experiment)
+    actual = y[train_len:]
+    rows = [
+        {
+            "narnet_mse": mse(actual, nar),
+            "narnet_rmse": rmse(actual, nar),
+            "arima_mse": mse(actual, ar),
+            "nar_vs_arima": mse(actual, ar) / mse(actual, nar),
+            "signal_var": float(actual.var()),
+        }
+    ]
+    emit(
+        format_table(
+            "Fig. 7 — NARNET(12, 20) vs ARIMA on the chaotic trace "
+            f"(train {train_len} / test {len(actual)})",
+            rows,
+        )
+    )
+    # "the prediction error is also very small"
+    assert mse(actual, nar) < 0.1 * actual.var()
+    # NARNET outperforms ARIMA on nonlinear data (the figure's message)
+    assert mse(actual, nar) < mse(actual, ar)

@@ -1,0 +1,105 @@
+"""Figs. 11 & 12: Sheriff vs global optimal manager on Fat-Tree.
+
+Paper protocol (Sec. VI-B): Fat-Tree with pods swept from 8 to 48, C_r =
+100, δ = η = 1, core-agg bandwidth 10, agg-ToR bandwidth 1, C_d = 1, VM
+capacity up to 20, five percent of VMs alerting.
+
+* Fig. 11 — total migration cost: regional Sheriff "performs quite well
+  even compared to a centralized optimal manager" (both curves grow
+  together, Sheriff slightly above);
+* Fig. 12 — search space: Sheriff's candidate space is far below the
+  centralized manager's, and the gap widens with the fabric.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analysis import Series, format_series
+from repro.cluster import build_cluster
+from repro.costs.model import CostModel, CostParams
+from repro.sim import (
+    centralized_migration_round,
+    inject_fraction_alerts,
+    regional_migration_round,
+)
+from repro.topology import build_fattree
+
+PODS = [8, 16, 24, 32, 40, 48]
+SEED = 2015
+
+
+def run_experiment():
+    rows = []
+    for k in PODS:
+        cluster = build_cluster(
+            build_fattree(k),
+            hosts_per_rack=2,
+            host_capacity=100,
+            vm_capacity_max=20,  # paper: "VM capacity is set up to value 20"
+            fill_fraction=0.5,
+            skew=0.5,
+            seed=SEED,
+            delay_sensitive_fraction=0.0,
+        )
+        cm = CostModel(cluster, CostParams())  # C_r=100, delta=eta=1, C_d=1
+        _, vma = inject_fraction_alerts(cluster, 0.05, seed=SEED)
+        cands = sorted(vma)
+        reg = regional_migration_round(cluster, cm, cands)
+        cen = centralized_migration_round(cluster, cm, cands)
+        rows.append(
+            {
+                "pods": k,
+                "sheriff_cost": reg.total_cost,
+                "optimal_cost": cen.total_cost,
+                "sheriff_per_vm": reg.total_cost / max(len(reg.moves), 1),
+                "optimal_per_vm": cen.total_cost / max(len(cen.moves), 1),
+                "sheriff_space": reg.search_space,
+                "central_space": cen.search_space,
+                "sheriff_placed": len(reg.moves),
+                "central_placed": len(cen.moves),
+            }
+        )
+    return rows
+
+
+def test_fig11_fig12_fattree_cost_and_space(benchmark, emit):
+    rows = run_once(benchmark, run_experiment)
+    x = [r["pods"] for r in rows]
+    emit(
+        format_series(
+            "Fig. 11 — VM migration cost: Sheriff (APP) vs global optimal (OPT), Fat-Tree",
+            [
+                Series("sheriff_cost", x, [r["sheriff_cost"] for r in rows]),
+                Series("optimal_cost", x, [r["optimal_cost"] for r in rows]),
+                Series("sheriff_per_vm", x, [r["sheriff_per_vm"] for r in rows]),
+                Series("optimal_per_vm", x, [r["optimal_per_vm"] for r in rows]),
+            ],
+            x_label="pods",
+        )
+        + "\n\n"
+        + format_series(
+            "Fig. 12 — search space: Sheriff vs centralized manager, Fat-Tree",
+            [
+                Series("sheriff_space", x, [r["sheriff_space"] for r in rows]),
+                Series("central_space", x, [r["central_space"] for r in rows]),
+            ],
+            x_label="pods",
+        )
+    )
+    sheriff = np.asarray([r["sheriff_cost"] for r in rows])
+    optimal = np.asarray([r["optimal_cost"] for r in rows])
+    s_space = np.asarray([r["sheriff_space"] for r in rows], dtype=float)
+    c_space = np.asarray([r["central_space"] for r in rows], dtype=float)
+
+    # Fig. 11 shape: both curves grow with pods; per-placed-VM cost close
+    assert (np.diff(sheriff) > 0).all()
+    assert (np.diff(optimal) > 0).all()
+    per_reg = np.asarray([r["sheriff_per_vm"] for r in rows])
+    per_cen = np.asarray([r["optimal_per_vm"] for r in rows])
+    assert (per_reg <= 2.0 * per_cen).all()
+    assert (per_reg >= 0.8 * per_cen).all()  # and genuinely comparable
+
+    # Fig. 12 shape: regional space orders of magnitude smaller, gap widens
+    assert (s_space * 5 < c_space).all()
+    ratio = c_space / s_space
+    assert ratio[-1] > ratio[0]

@@ -1,0 +1,94 @@
+"""Figs. 13 & 14: Sheriff vs global optimal manager on BCube.
+
+Paper protocol: BCube with the number of switches per level swept (the
+figure axis runs 2..20), all other settings as in the Fat-Tree run.  A
+two-level BCube(n) has n racks of n servers, so the host count grows
+quadratically along the sweep.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analysis import Series, format_series
+from repro.cluster import build_cluster
+from repro.costs.model import CostModel, CostParams
+from repro.sim import (
+    centralized_migration_round,
+    inject_fraction_alerts,
+    regional_migration_round,
+)
+from repro.topology import build_bcube
+
+SWITCHES = [4, 8, 12, 16, 20]
+SEED = 2015
+
+
+def run_experiment():
+    rows = []
+    for n in SWITCHES:
+        cluster = build_cluster(
+            build_bcube(n),
+            hosts_per_rack=n,  # BCube(n, 1): n servers per level-0 switch
+            host_capacity=100,
+            vm_capacity_max=20,
+            fill_fraction=0.5,
+            skew=0.5,
+            seed=SEED,
+            delay_sensitive_fraction=0.0,
+        )
+        cm = CostModel(cluster, CostParams())
+        _, vma = inject_fraction_alerts(cluster, 0.05, seed=SEED)
+        cands = sorted(vma)
+        reg = regional_migration_round(cluster, cm, cands)
+        cen = centralized_migration_round(cluster, cm, cands)
+        rows.append(
+            {
+                "k": n,
+                "sheriff_cost": reg.total_cost,
+                "optimal_cost": cen.total_cost,
+                "sheriff_per_vm": reg.total_cost / max(len(reg.moves), 1),
+                "optimal_per_vm": cen.total_cost / max(len(cen.moves), 1),
+                "sheriff_space": reg.search_space,
+                "central_space": cen.search_space,
+            }
+        )
+    return rows
+
+
+def test_fig13_fig14_bcube_cost_and_space(benchmark, emit):
+    rows = run_once(benchmark, run_experiment)
+    x = [r["k"] for r in rows]
+    emit(
+        format_series(
+            "Fig. 13 — VM migration cost: Sheriff (APP) vs global optimal (OPT), BCube",
+            [
+                Series("sheriff_cost", x, [r["sheriff_cost"] for r in rows]),
+                Series("optimal_cost", x, [r["optimal_cost"] for r in rows]),
+                Series("sheriff_per_vm", x, [r["sheriff_per_vm"] for r in rows]),
+                Series("optimal_per_vm", x, [r["optimal_per_vm"] for r in rows]),
+            ],
+            x_label="k_switches",
+        )
+        + "\n\n"
+        + format_series(
+            "Fig. 14 — search space: Sheriff vs centralized manager, BCube",
+            [
+                Series("sheriff_space", x, [r["sheriff_space"] for r in rows]),
+                Series("central_space", x, [r["central_space"] for r in rows]),
+            ],
+            x_label="k_switches",
+        )
+    )
+    sheriff = np.asarray([r["sheriff_cost"] for r in rows])
+    optimal = np.asarray([r["optimal_cost"] for r in rows])
+    s_space = np.asarray([r["sheriff_space"] for r in rows], dtype=float)
+    c_space = np.asarray([r["central_space"] for r in rows], dtype=float)
+
+    assert (np.diff(sheriff) > 0).all()
+    assert (np.diff(optimal) > 0).all()
+    per_reg = np.asarray([r["sheriff_per_vm"] for r in rows])
+    per_cen = np.asarray([r["optimal_per_vm"] for r in rows])
+    assert (per_reg <= 2.0 * per_cen).all()
+    # in a two-level BCube every rack is a one-hop neighbor, so the
+    # regional space approaches (but must not exceed) the centralized one
+    assert (s_space <= c_space).all()

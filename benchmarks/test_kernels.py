@@ -1,0 +1,105 @@
+"""Kernel microbenchmarks.
+
+Unlike the figure benches (one-shot experiment pipelines), these time the
+library's hot computational kernels properly (multiple rounds) so
+performance regressions show up in ``--benchmark-compare`` runs:
+
+* vectorized Floyd–Warshall;
+* the Dijkstra + pointer-doubling transmission-cost precomputation;
+* the from-scratch Hungarian matching (vs scipy's C implementation);
+* ARIMA CSS fitting and NARNET training;
+* the PRIORITY knapsack DP.
+"""
+
+import numpy as np
+import pytest
+from scipy.optimize import linear_sum_assignment
+
+from repro.costs.transmission import TransmissionCostTable
+from repro.forecast.arima import ARIMA
+from repro.forecast.narnet import NARNET
+from repro.migration.matching import hungarian
+from repro.migration.priority import CandidateVM, PriorityFactor, priority_select
+from repro.topology import build_fattree, floyd_warshall
+from repro.traces import weekly_traffic_trace
+
+
+@pytest.fixture(scope="module")
+def dense_graph():
+    rng = np.random.default_rng(0)
+    n = 150
+    w = np.full((n, n), np.inf)
+    np.fill_diagonal(w, 0.0)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < 0.1:
+                w[i, j] = w[j, i] = rng.uniform(0.5, 5.0)
+    return w
+
+
+def test_kernel_floyd_warshall(benchmark, dense_graph):
+    d = benchmark(floyd_warshall, dense_graph)
+    assert np.isfinite(d).any()
+
+
+def test_kernel_transmission_table(benchmark):
+    topo = build_fattree(16)  # 640 nodes
+
+    def build():
+        return TransmissionCostTable(topo)
+
+    tab = benchmark(build)
+    r = topo.num_racks
+    assert np.isfinite(tab.path_weight[:, :r]).all()
+
+
+def test_kernel_hungarian(benchmark):
+    rng = np.random.default_rng(1)
+    c = rng.random((60, 90)) * 10
+
+    a, tot = benchmark(hungarian, c)
+    rr, cc = linear_sum_assignment(c)
+    assert tot == pytest.approx(c[rr, cc].sum())
+
+
+def test_kernel_scipy_assignment_reference(benchmark):
+    rng = np.random.default_rng(1)
+    c = rng.random((60, 90)) * 10
+    rr, cc = benchmark(linear_sum_assignment, c)
+    assert len(rr) == 60
+
+
+def test_kernel_arima_fit(benchmark):
+    y = weekly_traffic_trace(seed=0)[:500]
+
+    def fit():
+        return ARIMA(1, 1, 1).fit(y)
+
+    m = benchmark(fit)
+    assert np.isfinite(m.sigma2_)
+
+
+def test_kernel_narnet_fit(benchmark):
+    y = weekly_traffic_trace(seed=0)[:400]
+
+    def fit():
+        return NARNET(ni=8, nh=16, restarts=1, seed=0, maxiter=100).fit(y)
+
+    m = benchmark(fit)
+    assert np.isfinite(m.train_loss_)
+
+
+def test_kernel_priority_knapsack(benchmark):
+    rng = np.random.default_rng(2)
+    cands = [
+        CandidateVM(
+            vm_id=i,
+            capacity=int(rng.integers(1, 20)),
+            value=float(rng.uniform(0.5, 10)),
+            alert=0.95,
+        )
+        for i in range(120)
+    ]
+
+    out = benchmark(priority_select, cands, PriorityFactor.BETA, budget=400)
+    assert sum(c.capacity for c in out) <= 400

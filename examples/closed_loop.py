@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""The whole scheme in one closed loop.
+
+Demand drives traffic, traffic drives switch load, predicted host
+overload and observed switch congestion raise their alerts in the same
+round, shims respond with FLOWREROUTE and VMMIGRATION, and migrated VMs
+drag their flows to the new rack.  This is Alg. 1 with all three alert
+cases live at once — the configuration the paper's Fig. 1 draws.
+
+Run:  python examples/closed_loop.py
+"""
+
+from repro.cluster import build_cluster
+from repro.sim import FullStackSimulation, flash_crowd
+from repro.topology import build_fattree
+
+SEED = 8
+WARM, SURGE_AT, END = 40, 55, 95
+
+
+def main() -> None:
+    # fatter ToR uplinks (5 units) so the three congestion scales —
+    # host capacity, ToR uplink, aggregation fabric — are all reachable
+    cluster = build_cluster(
+        build_fattree(4, tor_agg_capacity=5.0),
+        hosts_per_rack=2,
+        fill_fraction=0.55,
+        seed=3,
+        dependency_degree=2.0,
+        delay_sensitive_fraction=0.0,
+    )
+    # rack 1 goes viral at round 55: every VM there saturates CPU and TRF
+    workload = flash_crowd(cluster, END + 10, rack=1, start=SURGE_AT, peak=0.9, seed=SEED)
+    loop = FullStackSimulation(
+        cluster,
+        workload,
+        host_threshold=0.45,
+        switch_threshold=0.38,
+        tor_queue_threshold=0.35,
+        base_rate=0.8,
+    )
+    print(f"fabric: {cluster.topology};  {cluster.num_vms} VMs, "
+          f"{len(cluster.dependencies.rack_edges(cluster.placement))} rack-level dependencies")
+    print(f"flash crowd on rack 1 at round {SURGE_AT}\n")
+    header = (
+        f"{'round':>5} {'srv-alerts':>10} {'sw-alerts':>9} {'tor-alerts':>10} "
+        f"{'migr':>5} {'reroutes':>8} {'over':>5} {'peak-util':>9} {'p99-lat':>8}"
+    )
+    print(header)
+    for row in loop.run(WARM, END):
+        t = WARM + row.round_index
+        if row.server_alerts or row.switch_alerts or row.tor_alerts or t % 10 == 0:
+            p99 = f"{row.p99_latency:8.1f}" if row.p99_latency else "      --"
+            print(
+                f"{t:>5} {row.server_alerts:>10} {row.switch_alerts:>9} "
+                f"{row.tor_alerts:>10} {row.migrations:>5} {row.rerouted_flows:>8} "
+                f"{row.overloaded_hosts:>5} {row.peak_switch_util:>9.2f} {p99}"
+            )
+    cluster.placement.check_invariants()
+    total_migr = sum(r.migrations for r in loop.history)
+    total_rr = sum(r.rerouted_flows for r in loop.history)
+    print(f"\ntotals: {total_migr} migrations, {total_rr} flow reroutes; "
+          "placement invariants hold")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Pre-alert management vs contingency management, side by side.
+
+The paper's motivating claim (Sec. I): predicting overload and acting
+*before* it lands protects the system, while contingency schemes only
+react after damage is visible.  This example builds two identical
+clusters whose hosts suffer scheduled demand surges, manages one with the
+forecast-driven :class:`PredictiveManager` and the other with the
+threshold :class:`ReactiveManager`, and compares overload exposure.
+
+Run:  python examples/prealert_vs_reactive.py
+"""
+
+import numpy as np
+
+from repro.cluster import build_cluster
+from repro.cluster.resources import ResourceKind
+from repro.sim import SheriffSimulation, run_managed_simulation
+from repro.sim.reactive import (
+    DemandDrivenWorkload,
+    PredictiveManager,
+    ReactiveManager,
+)
+from repro.topology import build_fattree
+from repro.traces.workload import WorkloadStream
+
+THRESHOLD = 0.5
+WARM = 60
+HORIZON = 140
+SEED = 7
+
+
+def build_env():
+    """Cluster + per-VM demand with correlated host-level surges."""
+    cluster = build_cluster(
+        build_fattree(4),
+        hosts_per_rack=2,
+        fill_fraction=0.55,
+        seed=SEED,
+        dependency_degree=0.0,
+        delay_sensitive_fraction=0.0,
+    )
+    rng = np.random.default_rng(SEED + 1)
+    pl = cluster.placement
+    surging = rng.choice(pl.num_hosts, size=max(1, pl.num_hosts // 4), replace=False)
+    starts = {int(h): int(rng.integers(WARM + 10, HORIZON - 40)) for h in surging}
+    streams = {}
+    for vm in range(cluster.num_vms):
+        host = int(pl.vm_host[vm])
+        ramps = (
+            [(int(ResourceKind.CPU), starts[host], 10, 0.95)] if host in starts else []
+        )
+        streams[vm] = WorkloadStream.generate(
+            HORIZON,
+            base_level=0.45,
+            diurnal_amplitude=0.08,
+            burst_rate=0.0,
+            wander_sigma=0.005,
+            ramps=ramps,
+            seed=int(rng.integers(0, 2**31)),
+        )
+    return cluster, DemandDrivenWorkload(cluster, streams), sorted(starts.items())
+
+
+def run(policy: str):
+    cluster, workload, surges = build_env()
+    sim = SheriffSimulation(cluster)
+    if policy == "pre-alert":
+        manager = PredictiveManager(workload, threshold=THRESHOLD, horizon=3)
+    else:
+        manager = ReactiveManager(workload, threshold=THRESHOLD)
+    report = run_managed_simulation(
+        sim, workload, manager,
+        warm=WARM, horizon=HORIZON, overload_threshold=THRESHOLD,
+    )
+    return report.overload_rounds, report.migrations, report.first_alert_round, surges
+
+
+def main() -> None:
+    for policy in ("pre-alert", "reactive"):
+        overload, migrations, first_alert, surges = run(policy)
+        print(f"policy: {policy}")
+        print(f"  surges scheduled at rounds: {[t for _, t in surges]}")
+        print(f"  first alert fired at round: {first_alert}")
+        print(f"  host-overload rounds      : {overload}")
+        print(f"  migrations performed      : {migrations}\n")
+    print(
+        "The pre-alert manager fires before the surge crests and keeps\n"
+        "hosts below the overload line; the reactive one pays the full\n"
+        "detection delay in overloaded rounds."
+    )
+
+
+if __name__ == "__main__":
+    main()

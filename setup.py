@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+Modern editable installs (PEP 660) require the ``wheel`` package; this
+shim lets ``pip install -e .`` fall back to ``setup.py develop`` on
+offline machines where wheel cannot be fetched.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

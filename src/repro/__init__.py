@@ -1,0 +1,38 @@
+"""Sheriff: a regional pre-alert management scheme for data center networks.
+
+Full reproduction of Gao, Xu, Wu, Chen (ICPP 2015).  The library is
+organized bottom-up:
+
+* :mod:`repro.topology` — Fat-Tree / BCube fabrics and shortest paths;
+* :mod:`repro.cluster` — racks, hosts, VMs, placement, dependency graph;
+* :mod:`repro.traces` — synthetic ZopleCloud-style traces and workload
+  streams;
+* :mod:`repro.forecast` — ARIMA, NARNET and dynamic model selection;
+* :mod:`repro.alerts` — the pre-alert mechanism (thresholds, monitors,
+  QCN-style switch feedback);
+* :mod:`repro.costs` — the Eq. (1) migration cost model;
+* :mod:`repro.kmedian` — the k-median reduction and Local Search (3+2/p);
+* :mod:`repro.migration` — Algs. 1–4 (PRIORITY, KM matching,
+  REQUEST/ACK, VMMIGRATION, FLOWREROUTE);
+* :mod:`repro.sim` — the round-based simulator with regional,
+  centralized-optimal and reactive managers.
+
+Quickstart::
+
+    from repro.topology import build_fattree
+    from repro.cluster import build_cluster
+    from repro.sim import SheriffSimulation, inject_fraction_alerts
+
+    cluster = build_cluster(build_fattree(8), seed=1, skew=0.8)
+    sim = SheriffSimulation(cluster)
+    alerts, magnitudes = inject_fraction_alerts(cluster, 0.05, seed=2)
+    summary = sim.run_round(alerts, magnitudes)
+    print(summary.migrations, summary.total_cost)
+"""
+
+from repro import errors
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["errors", "ReproError", "__version__"]

@@ -1,0 +1,33 @@
+"""Pre-alert mechanism (Sec. III-B and IV).
+
+Hosts monitor their VMs' workload profiles, forecast ``T`` seconds ahead
+with the model pool, and emit ``ALERT = max(W)`` when any predicted
+component crosses the THRESHOLD.  Switches signal congestion through a
+QCN-style queue-length feedback, and shims watch their ToR uplink.
+"""
+
+from repro.alerts.threshold import AlertConfig
+from repro.alerts.alert import Alert, AlertKind, compute_alert
+from repro.alerts.monitor import VMMonitor, default_model_pool
+from repro.alerts.qcn import SwitchQueue, ToRUplinkMonitor
+from repro.alerts.aggregate import (
+    host_profiles,
+    hottest_resource,
+    rack_profiles,
+    rack_uplink_traffic,
+)
+
+__all__ = [
+    "AlertConfig",
+    "Alert",
+    "AlertKind",
+    "compute_alert",
+    "VMMonitor",
+    "default_model_pool",
+    "SwitchQueue",
+    "ToRUplinkMonitor",
+    "host_profiles",
+    "rack_profiles",
+    "rack_uplink_traffic",
+    "hottest_resource",
+]

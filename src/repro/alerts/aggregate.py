@@ -1,0 +1,94 @@
+"""Host- and rack-level workload profile aggregation.
+
+Shims reason about servers and ToRs, not individual VMs: a host's
+effective profile is the capacity-weighted mean of its VMs' profiles
+(a saturated big VM matters more than a saturated tiny one), and a rack's
+traffic through its ToR is the sum of its VMs' TRF components.  These
+rollups are what Sec. III-B's "feedbacks piggyback the value of target
+items" carry upward.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.placement import Placement
+from repro.cluster.resources import NUM_RESOURCES, ResourceKind
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "host_profiles",
+    "rack_profiles",
+    "rack_uplink_traffic",
+    "hottest_resource",
+]
+
+
+def _check_profiles(placement: Placement, vm_profiles: np.ndarray) -> np.ndarray:
+    p = np.asarray(vm_profiles, dtype=np.float64)
+    if p.shape != (placement.num_vms, NUM_RESOURCES):
+        raise ConfigurationError(
+            f"vm_profiles must be ({placement.num_vms}, {NUM_RESOURCES}), got {p.shape}"
+        )
+    if ((p < 0) | (p > 1)).any():
+        raise ConfigurationError("profile values must lie in [0, 1]")
+    return p
+
+
+def host_profiles(placement: Placement, vm_profiles: np.ndarray) -> np.ndarray:
+    """Capacity-weighted mean profile per host, ``(hosts, NUM_RESOURCES)``.
+
+    Hosts with no VMs report an all-zero profile.
+    """
+    p = _check_profiles(placement, vm_profiles)
+    weights = placement.vm_capacity.astype(np.float64)
+    out = np.zeros((placement.num_hosts, NUM_RESOURCES))
+    denom = np.bincount(placement.vm_host, weights=weights, minlength=placement.num_hosts)
+    for r in range(NUM_RESOURCES):
+        num = np.bincount(
+            placement.vm_host, weights=weights * p[:, r], minlength=placement.num_hosts
+        )
+        nz = denom > 0
+        out[nz, r] = num[nz] / denom[nz]
+    return out
+
+
+def rack_profiles(placement: Placement, vm_profiles: np.ndarray) -> np.ndarray:
+    """Capacity-weighted mean profile per rack, ``(racks, NUM_RESOURCES)``."""
+    p = _check_profiles(placement, vm_profiles)
+    racks = placement.host_rack[placement.vm_host]
+    weights = placement.vm_capacity.astype(np.float64)
+    out = np.zeros((placement.num_racks, NUM_RESOURCES))
+    denom = np.bincount(racks, weights=weights, minlength=placement.num_racks)
+    for r in range(NUM_RESOURCES):
+        num = np.bincount(
+            racks, weights=weights * p[:, r], minlength=placement.num_racks
+        )
+        nz = denom > 0
+        out[nz, r] = num[nz] / denom[nz]
+    return out
+
+
+def rack_uplink_traffic(placement: Placement, vm_profiles: np.ndarray) -> np.ndarray:
+    """Capacity-weighted TRF sum per rack — the ToR uplink demand proxy.
+
+    This is the quantity the shim compares against ``β · ToR capacity``
+    (Eq. 10) when deciding whether the rack as a whole must shed load.
+    """
+    p = _check_profiles(placement, vm_profiles)
+    racks = placement.host_rack[placement.vm_host]
+    demand = placement.vm_capacity * p[:, int(ResourceKind.TRF)]
+    return np.bincount(racks, weights=demand, minlength=placement.num_racks)
+
+
+def hottest_resource(profile: np.ndarray) -> ResourceKind:
+    """Which resource dominates a profile row (ties → lowest index)."""
+    p = np.asarray(profile, dtype=np.float64).ravel()
+    if p.shape[0] != NUM_RESOURCES:
+        raise ConfigurationError(
+            f"profile must have {NUM_RESOURCES} entries, got {p.shape[0]}"
+        )
+    return ResourceKind(int(np.argmax(p)))

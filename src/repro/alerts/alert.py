@@ -1,0 +1,89 @@
+"""Alert values and message records (Sec. III-B, IV-C).
+
+The seriousness of a VM's predicted condition is
+
+    ``ALERT = max(W)``  if any component of the predicted profile ``W``
+    exceeds THRESHOLD, else ``0``.
+
+Shims receive three kinds of alert (Sec. III-B): from a local host (server
+overload), from the local ToR (uplink congestion), and from an outer
+switch (path congestion) — Alg. 1 dispatches on the kind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["AlertKind", "Alert", "compute_alert"]
+
+
+class AlertKind(Enum):
+    """Origin class of an alert, driving Alg. 1's switch statement."""
+
+    SERVER = "server"
+    LOCAL_TOR = "local_tor"
+    OUTER_SWITCH = "outer_switch"
+
+
+def compute_alert(predicted_profile: np.ndarray, threshold: float) -> float:
+    """The paper's ALERT value for one predicted profile.
+
+    Parameters
+    ----------
+    predicted_profile:
+        Length-``NUM_RESOURCES`` normalized prediction ``W``; values are
+        clipped into ``[0, 1]`` first (forecasters may slightly overshoot).
+    threshold:
+        THRESHOLD in ``(0, 1]``.
+    """
+    w = np.clip(np.asarray(predicted_profile, dtype=np.float64).ravel(), 0.0, 1.0)
+    if w.size == 0:
+        raise ConfigurationError("empty profile")
+    if not (0.0 < threshold <= 1.0):
+        raise ConfigurationError(f"threshold must be in (0, 1], got {threshold}")
+    m = float(w.max())
+    return m if m > threshold else 0.0
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One ALERT message delivered to a shim.
+
+    Attributes
+    ----------
+    kind:
+        Which of the three Alg. 1 cases applies.
+    rack:
+        Delegation node the alert is addressed to.
+    magnitude:
+        The ALERT value (``max(W)`` for servers, normalized queue occupancy
+        for switches); always > 0 — zero alerts are simply not sent.
+    vm, host, switch:
+        Origin coordinates, filled according to *kind*.
+    time:
+        Collection round the alert was raised in.
+    """
+
+    kind: AlertKind
+    rack: int
+    magnitude: float
+    time: int = 0
+    vm: Optional[int] = None
+    host: Optional[int] = None
+    switch: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.magnitude <= 0.0:
+            raise ConfigurationError(
+                f"alerts carry positive magnitude, got {self.magnitude}"
+            )
+        if self.kind is AlertKind.SERVER and self.host is None:
+            raise ConfigurationError("server alert needs a host id")
+        if self.kind is AlertKind.OUTER_SWITCH and self.switch is None:
+            raise ConfigurationError("outer-switch alert needs a switch id")

@@ -1,0 +1,147 @@
+"""Per-VM monitoring and prediction (Sec. IV-A/B).
+
+Each VM's "local computing device" periodically samples the workload
+profile ``[CPU, MEM, IO, TRF]``, feeds one forecaster per component, and
+reports ``ALERT = max(predicted W)`` to its shim when the prediction
+crosses the threshold.
+
+For fleet-scale simulations the per-component model pool is configurable:
+the full ARIMA+NARNET pool reproduces the paper's prediction quality,
+while a light pool (naive + small ARIMA) keeps thousand-VM sweeps fast.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.alerts.alert import compute_alert
+from repro.alerts.threshold import AlertConfig
+from repro.cluster.resources import NUM_RESOURCES
+from repro.errors import ConfigurationError, ForecastError
+from repro.forecast.arima import ARIMA
+from repro.forecast.naive import NaiveLast
+from repro.forecast.narnet import NARNET
+from repro.forecast.selection import DynamicModelSelector
+
+__all__ = ["default_model_pool", "light_model_pool", "seasonal_model_pool", "VMMonitor"]
+
+
+def default_model_pool() -> Dict[str, Callable[[], object]]:
+    """The paper's four-predictor example pool: two ARIMA + two NARNET."""
+    return {
+        "arima111": lambda: ARIMA(1, 1, 1),
+        "arima212": lambda: ARIMA(2, 1, 2),
+        "narnet8x10": lambda: NARNET(ni=8, nh=10, restarts=1, seed=11, maxiter=120),
+        "narnet12x20": lambda: NARNET(ni=12, nh=20, restarts=1, seed=13, maxiter=120),
+    }
+
+
+def light_model_pool() -> Dict[str, Callable[[], object]]:
+    """Cheap pool for fleet-scale simulation (naive + one small ARIMA)."""
+    return {
+        "arima110": lambda: ARIMA(1, 1, 0, maxiter=40),
+        "naive": lambda: NaiveLast(),
+    }
+
+
+def seasonal_model_pool(period: int) -> Dict[str, Callable[[], object]]:
+    """Pool for strongly periodic workloads (diurnal VMs).
+
+    Adds a seasonal ARIMA at the given *period* so long-horizon pre-alerts
+    keep the daily shape (see the horizon ablation); the plain ARIMA stays
+    in the pool for the short-horizon regime, and the selector arbitrates.
+    """
+    from repro.forecast.sarima import SeasonalARIMA
+
+    return {
+        "arima111": lambda: ARIMA(1, 1, 1, maxiter=60),
+        f"sarima_{period}": lambda: SeasonalARIMA(1, 0, 1, period=period),
+        "naive": lambda: NaiveLast(),
+    }
+
+
+class VMMonitor:
+    """Forecast-driven alert source for one VM.
+
+    Parameters
+    ----------
+    history:
+        ``(t0, NUM_RESOURCES)`` normalized profile history used for the
+        initial fit; must cover at least ``min_history`` rows.
+    config:
+        Thresholds and horizon.
+    pool_factory:
+        Zero-arg callable returning the model-factory mapping for each
+        resource component's :class:`DynamicModelSelector`.
+    period, refit_every, max_history:
+        Selector tuning (Eq. 14 window, refit cadence, bounded memory).
+    """
+
+    def __init__(
+        self,
+        history: np.ndarray,
+        config: AlertConfig,
+        *,
+        pool_factory: Callable[[], Dict[str, Callable[[], object]]] = light_model_pool,
+        period: int = 20,
+        refit_every: int = 40,
+        max_history: Optional[int] = 240,
+    ) -> None:
+        hist = np.asarray(history, dtype=np.float64)
+        if hist.ndim != 2 or hist.shape[1] != NUM_RESOURCES:
+            raise ConfigurationError(
+                f"history must be (t, {NUM_RESOURCES}), got {hist.shape}"
+            )
+        if hist.shape[0] < 16:
+            raise ConfigurationError(
+                f"need >= 16 history rows to initialize monitors, got {hist.shape[0]}"
+            )
+        self.config = config
+        self._selectors: List[DynamicModelSelector] = []
+        for r in range(NUM_RESOURCES):
+            sel = DynamicModelSelector(
+                pool_factory(),
+                period=period,
+                refit_every=refit_every,
+                max_history=max_history,
+            )
+            sel.fit(hist[:, r])
+            self._selectors.append(sel)
+
+    def predicted_profile(self) -> np.ndarray:
+        """T-seconds-ahead profile prediction (horizon steps ahead)."""
+        h = self.config.horizon
+        out = np.empty(NUM_RESOURCES)
+        for r, sel in enumerate(self._selectors):
+            out[r] = sel.forecast(h)[h - 1]
+        return np.clip(out, 0.0, 1.0)
+
+    def alert_value(self) -> float:
+        """ALERT magnitude from the current prediction (0 = no alert).
+
+        Must be called *before* :meth:`observe` for the round so the
+        prediction genuinely precedes the observation.
+        """
+        # One-step pool bookkeeping: predict_one caches every member's
+        # prediction so observe() can score the pool.
+        one_step = np.empty(NUM_RESOURCES)
+        for r, sel in enumerate(self._selectors):
+            one_step[r] = sel.predict_one()
+        if self.config.horizon == 1:
+            # the cached one-step predictions ARE the alert input
+            profile = np.clip(one_step, 0.0, 1.0)
+        else:
+            profile = self.predicted_profile()
+        return compute_alert(profile, self.config.threshold)
+
+    def observe(self, profile: np.ndarray) -> None:
+        """Feed the realized profile row for this round."""
+        row = np.asarray(profile, dtype=np.float64).ravel()
+        if row.shape[0] != NUM_RESOURCES:
+            raise ConfigurationError(
+                f"profile row must have {NUM_RESOURCES} entries, got {row.shape[0]}"
+            )
+        for r, sel in enumerate(self._selectors):
+            sel.observe(float(row[r]))

@@ -1,0 +1,5 @@
+"""Benchmark reporting helpers (series tables, figure-style output)."""
+
+from repro.analysis.tables import Series, format_table, format_series
+
+__all__ = ["Series", "format_table", "format_series"]

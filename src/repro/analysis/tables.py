@@ -1,0 +1,79 @@
+"""Plain-text series/table rendering for benchmark output.
+
+Every figure benchmark prints the series the paper plots, in a stable
+aligned format, so ``pytest benchmarks/ --benchmark-only`` output can be
+compared against the published curves by eye and EXPERIMENTS.md can quote
+it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Series", "format_series", "format_table"]
+
+Number = Union[int, float]
+
+
+@dataclass(frozen=True)
+class Series:
+    """One named curve: x values and y values of equal length."""
+
+    name: str
+    x: Sequence[Number]
+    y: Sequence[Number]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ConfigurationError(
+                f"series {self.name!r}: {len(self.x)} x vs {len(self.y)} y values"
+            )
+
+
+def _fmt(v, width: int = 10) -> str:
+    if isinstance(v, str):
+        return f"{v:>{width}s}"
+    if isinstance(v, (int, np.integer)):
+        return f"{v:>{width}d}"
+    if abs(v) >= 1e5 or (abs(v) > 0 and abs(v) < 1e-3):
+        return f"{v:>{width}.3e}"
+    return f"{v:>{width}.3f}"
+
+
+def format_series(title: str, series: Sequence[Series], x_label: str = "x") -> str:
+    """Render aligned columns: x plus one column per series."""
+    if not series:
+        raise ConfigurationError("need at least one series")
+    xs = [tuple(s.x) for s in series]
+    if len(set(xs)) != 1:
+        raise ConfigurationError("all series must share the same x values")
+    lines = [title]
+    header = f"{x_label:>10s}" + "".join(f"{s.name:>16s}" for s in series)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for i, x in enumerate(series[0].x):
+        row = _fmt(x) + "".join(_fmt(s.y[i], 16) for s in series)
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_table(title: str, rows: List[Dict[str, Number]]) -> str:
+    """Render a list of uniform dicts as an aligned table."""
+    if not rows:
+        raise ConfigurationError("need at least one row")
+    cols = list(rows[0].keys())
+    for r in rows:
+        if list(r.keys()) != cols:
+            raise ConfigurationError("all rows must share the same columns")
+    lines = [title]
+    header = "".join(f"{c:>16s}" for c in cols)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in rows:
+        lines.append("".join(_fmt(r[c], 16) for c in cols))
+    return "\n".join(lines)

@@ -1,0 +1,294 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+``python -m repro <command>`` (or the ``sheriff-repro`` entry point):
+
+* ``balance``  — Figs. 9/10: workload std-dev over migration rounds;
+* ``sweep``    — Figs. 11/12 (or 13/14 with ``--topology bcube``): cost
+  and search-space comparison of regional Sheriff vs the centralized
+  optimal manager across fabric sizes;
+* ``forecast`` — Figs. 6–8: ARIMA / NARNET / combined-model accuracy on a
+  chosen trace regime;
+* ``traces``   — Figs. 3–5: summary statistics of the synthetic suite;
+* ``approx``   — Sec. VI-C: empirical Local Search ratio vs the 3 + 2/p
+  bound.
+
+Every command accepts ``--seed`` and prints plain aligned tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sheriff-repro",
+        description="Sheriff (ICPP 2015) reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("balance", help="workload balancing over rounds (Figs. 9/10)")
+    p.add_argument("--topology", choices=["fattree", "bcube"], default="fattree")
+    p.add_argument("--size", type=int, default=8, help="pods (fattree) / switches per level (bcube)")
+    p.add_argument("--rounds", type=int, default=24)
+    p.add_argument("--alert-fraction", type=float, default=0.05)
+    p.add_argument("--seed", type=int, default=2015)
+
+    p = sub.add_parser("sweep", help="regional vs centralized sweep (Figs. 11-14)")
+    p.add_argument("--topology", choices=["fattree", "bcube"], default="fattree")
+    p.add_argument(
+        "--sizes", type=str, default="8,16,24",
+        help="comma-separated pod counts / switches per level",
+    )
+    p.add_argument("--seed", type=int, default=2015)
+
+    p = sub.add_parser("forecast", help="prediction accuracy (Figs. 6-8)")
+    p.add_argument("--trace", choices=["weekly", "nonlinear", "mixed"], default="mixed")
+    p.add_argument("--train-frac", type=float, default=0.6)
+    p.add_argument("--seed", type=int, default=2015)
+
+    p = sub.add_parser("traces", help="synthetic trace suite statistics (Figs. 3-5)")
+    p.add_argument("--seed", type=int, default=2015)
+
+    p = sub.add_parser("approx", help="Local Search ratio vs 3 + 2/p (Sec. VI-C)")
+    p.add_argument("--trials", type=int, default=20)
+    p.add_argument("--swap-size", type=int, default=1)
+    p.add_argument("--seed", type=int, default=2015)
+
+    p = sub.add_parser("report", help="run every experiment family, emit markdown")
+    p.add_argument("--seed", type=int, default=2015)
+    p.add_argument("--full", action="store_true", help="benchmark-suite scales")
+    p.add_argument("--output", type=str, default=None, help="write to file")
+
+    return parser
+
+
+def _build_topology(kind: str, size: int):
+    from repro.topology import build_bcube, build_fattree
+
+    return build_fattree(size) if kind == "fattree" else build_bcube(size)
+
+
+def _cluster_for(kind: str, size: int, seed: int, skew: float = 0.8):
+    from repro.cluster import build_cluster
+
+    hosts = 4 if kind == "fattree" else max(2, size)
+    return build_cluster(
+        _build_topology(kind, size),
+        hosts_per_rack=hosts,
+        fill_fraction=0.5,
+        skew=skew,
+        seed=seed,
+        delay_sensitive_fraction=0.0,
+    )
+
+
+def cmd_balance(args: argparse.Namespace) -> int:
+    from repro.analysis import Series, format_series
+    from repro.sim import SheriffSimulation, inject_fraction_alerts
+
+    cluster = _cluster_for(args.topology, args.size, args.seed, skew=1.1)
+    sim = SheriffSimulation(cluster, balance_weight=25.0)
+    for r in range(args.rounds):
+        alerts, vma = inject_fraction_alerts(
+            cluster, args.alert_fraction, time=r, seed=args.seed + r
+        )
+        sim.run_round(alerts, vma)
+    series = sim.workload_std_series()
+    print(
+        format_series(
+            f"Workload std-dev (%) on {args.topology}-{args.size}, "
+            f"{args.alert_fraction:.0%} alerting per round",
+            [Series("std_dev_pct", list(range(len(series))), series.tolist())],
+            x_label="round",
+        )
+    )
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis import format_table
+    from repro.costs.model import CostModel
+    from repro.sim import (
+        centralized_migration_round,
+        inject_fraction_alerts,
+        regional_migration_round,
+    )
+
+    sizes = [int(x) for x in args.sizes.split(",") if x.strip()]
+    rows = []
+    for size in sizes:
+        cluster = _cluster_for(args.topology, size, args.seed, skew=0.5)
+        cm = CostModel(cluster)
+        _, vma = inject_fraction_alerts(cluster, 0.05, seed=args.seed)
+        cands = sorted(vma)
+        reg = regional_migration_round(cluster, cm, cands)
+        cen = centralized_migration_round(cluster, cm, cands)
+        rows.append(
+            {
+                "size": size,
+                "sheriff_cost": reg.total_cost,
+                "optimal_cost": cen.total_cost,
+                "sheriff_space": reg.search_space,
+                "central_space": cen.search_space,
+            }
+        )
+    print(
+        format_table(
+            f"Sheriff vs centralized optimal on {args.topology} "
+            "(cost and search space)",
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_forecast(args: argparse.Namespace) -> int:
+    from repro.analysis import format_table
+    from repro.forecast import ARIMA, NARNET, DynamicModelSelector, mse
+    from repro.forecast.selection import rolling_one_step
+    from repro.traces import mixed_trace, nonlinear_trace, weekly_traffic_trace
+
+    makers = {
+        "weekly": lambda: weekly_traffic_trace(seed=args.seed),
+        "nonlinear": lambda: nonlinear_trace(1000, seed=args.seed),
+        "mixed": lambda: mixed_trace(seed=args.seed),
+    }
+    y = makers[args.trace]()
+    train = int(args.train_frac * len(y))
+    actual = y[train:]
+    arima = rolling_one_step(lambda: ARIMA(1, 1, 1), y, train, refit_every=120)
+    narnet = rolling_one_step(
+        lambda: NARNET(ni=10, nh=16, restarts=1, seed=1, maxiter=150),
+        y,
+        train,
+        refit_every=120,
+    )
+    selector = DynamicModelSelector(
+        {
+            "arima": lambda: ARIMA(1, 1, 1),
+            "narnet": lambda: NARNET(ni=10, nh=16, restarts=1, seed=1, maxiter=150),
+        },
+        period=20,
+        refit_every=120,
+    )
+    combined = selector.run(y, train).predictions
+    print(
+        format_table(
+            f"One-step prediction MSE on the {args.trace} trace "
+            f"(train {train} / test {len(actual)})",
+            [
+                {
+                    "arima_mse": mse(actual, arima),
+                    "narnet_mse": mse(actual, narnet),
+                    "combined_mse": mse(actual, combined),
+                }
+            ],
+        )
+    )
+    return 0
+
+
+def cmd_traces(args: argparse.Namespace) -> int:
+    from repro.analysis import format_table
+    from repro.traces import ZopleCloudTraces
+
+    suite = ZopleCloudTraces.generate(args.seed)
+    rows = []
+    for arr in (suite.cpu, suite.disk_io, suite.weekly_traffic):
+        rows.append(
+            {
+                "mean": float(arr.mean()),
+                "max": float(arr.max()),
+                "std": float(arr.std()),
+                "burst_ratio": float(arr.max() / max(np.median(arr), 1e-9)),
+            }
+        )
+    print(
+        format_table(
+            "Synthetic ZopleCloud traces (rows: CPU %, disk I/O MB, weekly MB)",
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_approx(args: argparse.Namespace) -> int:
+    from repro.analysis import format_table
+    from repro.kmedian import KMedianInstance, exact_kmedian, local_search
+
+    rng = np.random.default_rng(args.seed)
+    ratios = []
+    for trial in range(args.trials):
+        n = int(rng.integers(8, 14))
+        k = int(rng.integers(2, min(5, n - 1)))
+        inst = KMedianInstance.from_points(rng.random((n, 2)), k)
+        _, opt = exact_kmedian(inst)
+        res = local_search(inst, p=args.swap_size, seed=trial)
+        if opt > 1e-12:
+            ratios.append(res.cost / opt)
+    bound = 3.0 + 2.0 / args.swap_size
+    print(
+        format_table(
+            f"Local Search (p={args.swap_size}) vs exact optimum, "
+            f"{args.trials} instances",
+            [
+                {
+                    "max_ratio": float(np.max(ratios)),
+                    "mean_ratio": float(np.mean(ratios)),
+                    "bound": bound,
+                }
+            ],
+        )
+    )
+    return 0 if max(ratios) <= bound else 1
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.report import generate_report
+
+    text = generate_report(args.seed, fast=not args.full)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+_COMMANDS = {
+    "balance": cmd_balance,
+    "sweep": cmd_sweep,
+    "forecast": cmd_forecast,
+    "traces": cmd_traces,
+    "approx": cmd_approx,
+    "report": cmd_report,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # output piped into a pager/head that closed early — not an error
+        import os
+
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        os.dup2(os.open(os.devnull, os.O_WRONLY), 1)
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,175 @@
+"""The :class:`Cluster` aggregate and its factory.
+
+A cluster binds together everything Sheriff manages: the wired topology,
+rack/host/VM inventory, the live placement, and the dependency graph.  The
+factory :func:`build_cluster` populates a fabric the way the paper's
+simulation does — homogeneous hosts per rack, VM capacities up to 20 units,
+an initial placement drawn at random but respecting capacities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.dependency import DependencyGraph
+from repro.cluster.host import Host
+from repro.cluster.placement import Placement
+from repro.cluster.rack import Rack
+from repro.cluster.vm import VM
+from repro.errors import ConfigurationError, PlacementError
+from repro.rng import SeedLike, as_generator
+from repro.topology.base import Topology
+
+__all__ = ["Cluster", "build_cluster"]
+
+
+@dataclass
+class Cluster:
+    """Topology + inventory + placement + dependencies.
+
+    The simulator and the managers only ever share one ``Cluster``; cloning
+    the placement (:meth:`Placement.clone`) is how baselines explore
+    alternative plans without disturbing live state.
+    """
+
+    topology: Topology
+    racks: List[Rack]
+    hosts: List[Host]
+    vms: List[VM]
+    placement: Placement
+    dependencies: DependencyGraph
+
+    def __post_init__(self) -> None:
+        if len(self.racks) != self.topology.num_racks:
+            raise ConfigurationError(
+                f"{len(self.racks)} rack records for a topology with "
+                f"{self.topology.num_racks} ToR nodes"
+            )
+
+    @property
+    def num_racks(self) -> int:
+        return len(self.racks)
+
+    @property
+    def num_hosts(self) -> int:
+        return len(self.hosts)
+
+    @property
+    def num_vms(self) -> int:
+        return len(self.vms)
+
+    def tor_capacity(self, rack: int) -> int:
+        return self.racks[rack].tor_capacity
+
+    def workload_std(self) -> float:
+        """Std-dev of per-host load percentage — the Fig. 9/10 y-axis."""
+        return float(np.std(self.placement.host_load_fraction() * 100.0))
+
+    def workload_mean(self) -> float:
+        return float(np.mean(self.placement.host_load_fraction() * 100.0))
+
+
+def build_cluster(
+    topology: Topology,
+    *,
+    hosts_per_rack: int = 4,
+    host_capacity: int = 100,
+    vm_capacity_max: int = 20,
+    fill_fraction: float = 0.5,
+    tor_capacity: int = 400,
+    dependency_degree: float = 1.0,
+    delay_sensitive_fraction: float = 0.1,
+    skew: float = 0.0,
+    seed: SeedLike = None,
+) -> Cluster:
+    """Populate *topology* with hosts and VMs.
+
+    Parameters
+    ----------
+    hosts_per_rack, host_capacity:
+        Homogeneous rack contents.  The paper's facility uses 40 servers per
+        rack; simulations here default to 4 to keep benchmark sweeps (pods
+        8..48) tractable while preserving the algorithms' behaviour.
+    vm_capacity_max:
+        VM sizes are drawn uniformly from ``1..vm_capacity_max`` — the
+        paper's "VM capacity is set up to value 20".
+    fill_fraction:
+        Mean fraction of each host's capacity occupied initially.
+    skew:
+        0 gives a uniform fill; larger values concentrate load on a subset
+        of hosts (lognormal multiplier), creating the imbalance Figs. 9/10
+        start from.
+    dependency_degree:
+        Mean VM dependency degree for :meth:`DependencyGraph.random`.
+    delay_sensitive_fraction:
+        Fraction of VMs marked delay-sensitive (never migrated).
+    """
+    if not (0.0 < fill_fraction <= 1.0):
+        raise ConfigurationError(f"fill_fraction must be in (0, 1], got {fill_fraction}")
+    if not (0.0 <= delay_sensitive_fraction <= 1.0):
+        raise ConfigurationError(
+            f"delay_sensitive_fraction must be in [0, 1], got {delay_sensitive_fraction}"
+        )
+    if vm_capacity_max < 1 or vm_capacity_max > host_capacity:
+        raise ConfigurationError(
+            f"vm_capacity_max must be in 1..host_capacity, got {vm_capacity_max}"
+        )
+    if skew < 0:
+        raise ConfigurationError(f"skew must be non-negative, got {skew}")
+    rng = as_generator(seed)
+
+    n_racks = topology.num_racks
+    racks: List[Rack] = []
+    hosts: List[Host] = []
+    for r in range(n_racks):
+        ids = list(range(r * hosts_per_rack, (r + 1) * hosts_per_rack))
+        racks.append(Rack(rack_id=r, host_ids=ids, tor_capacity=tor_capacity))
+        for hid in ids:
+            hosts.append(Host(host_id=hid, rack=r, capacity=host_capacity))
+
+    # Per-host target fill: lognormal skew normalized to mean fill_fraction.
+    n_hosts = len(hosts)
+    if skew > 0:
+        mult = rng.lognormal(mean=0.0, sigma=skew, size=n_hosts)
+        mult /= mult.mean()
+    else:
+        mult = np.ones(n_hosts)
+    target = np.clip(fill_fraction * mult, 0.02, 0.95) * host_capacity
+
+    vms: List[VM] = []
+    vm_host: List[int] = []
+    for h in range(n_hosts):
+        used = 0
+        budget = int(target[h])
+        while used < budget:
+            cap = int(rng.integers(1, vm_capacity_max + 1))
+            if used + cap > host_capacity:
+                cap = host_capacity - used
+                if cap <= 0:
+                    break
+            value = float(rng.uniform(1.0, 10.0))
+            sensitive = bool(rng.random() < delay_sensitive_fraction)
+            vms.append(
+                VM(
+                    vm_id=len(vms),
+                    capacity=cap,
+                    value=value,
+                    delay_sensitive=sensitive,
+                )
+            )
+            vm_host.append(h)
+            used += cap
+
+    placement = Placement(vms, hosts, vm_host)
+    deps = DependencyGraph.random(len(vms), dependency_degree, rng)
+    return Cluster(
+        topology=topology,
+        racks=racks,
+        hosts=hosts,
+        vms=vms,
+        placement=placement,
+        dependencies=deps,
+    )

@@ -1,0 +1,39 @@
+"""Physical host (server) records.
+
+The paper calls servers "hosts" (``h_ij``) to avoid clashing with switches.
+A host has a fixed capacity budget; the sum of capacities of the VMs placed
+on it may never exceed that budget (constraint Eq. (8)/(9) of the problem
+formulation, enforced by :class:`~repro.cluster.placement.Placement`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Host"]
+
+
+@dataclass
+class Host:
+    """One physical server ``h_ij``.
+
+    ``host_id`` is global; ``rack`` is the delegation-node id ``v_i`` it
+    lives under (fixed for the host's lifetime — Sheriff migrates VMs,
+    never servers).
+    """
+
+    host_id: int
+    rack: int
+    capacity: int
+
+    def __post_init__(self) -> None:
+        if self.host_id < 0:
+            raise ConfigurationError(f"host_id must be non-negative, got {self.host_id}")
+        if self.rack < 0:
+            raise ConfigurationError(f"host {self.host_id}: negative rack id {self.rack}")
+        if self.capacity <= 0:
+            raise ConfigurationError(
+                f"host {self.host_id}: capacity must be positive, got {self.capacity}"
+            )

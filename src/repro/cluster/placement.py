@@ -1,0 +1,179 @@
+"""VM placement state — the location function ``ξ`` of the paper.
+
+The placement is the single mutable object the migration algorithms act on.
+It is stored as flat numpy arrays (``vm_host``, ``host_rack``, capacities)
+so that per-host loads, per-rack loads and balance metrics are one
+``np.bincount`` away — no Python loop over VMs in the hot simulation path.
+
+Capacity invariants (Eq. (8)/(9) of the problem formulation) are enforced
+incrementally: ``migrate`` refuses to overfill a destination host, and
+``check_invariants`` re-derives everything from scratch for the test-suite.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.host import Host
+from repro.cluster.vm import VM
+from repro.errors import CapacityError, PlacementError
+
+__all__ = ["Placement"]
+
+
+class Placement:
+    """Mapping VM → host → rack with capacity accounting.
+
+    Parameters
+    ----------
+    vms:
+        VM records; ``vm_id`` must equal the list index.
+    hosts:
+        Host records; ``host_id`` must equal the list index.
+    vm_host:
+        Initial host id of each VM.
+    """
+
+    def __init__(
+        self,
+        vms: Sequence[VM],
+        hosts: Sequence[Host],
+        vm_host: Sequence[int],
+    ) -> None:
+        for i, vm in enumerate(vms):
+            if vm.vm_id != i:
+                raise PlacementError(f"vm at index {i} has vm_id {vm.vm_id}")
+        for j, h in enumerate(hosts):
+            if h.host_id != j:
+                raise PlacementError(f"host at index {j} has host_id {h.host_id}")
+        self.num_vms = len(vms)
+        self.num_hosts = len(hosts)
+        self.vm_capacity = np.asarray([vm.capacity for vm in vms], dtype=np.int64)
+        self.vm_value = np.asarray([vm.value for vm in vms], dtype=np.float64)
+        self.vm_delay_sensitive = np.asarray(
+            [vm.delay_sensitive for vm in vms], dtype=bool
+        )
+        self.host_capacity = np.asarray([h.capacity for h in hosts], dtype=np.int64)
+        self.host_rack = np.asarray([h.rack for h in hosts], dtype=np.int64)
+        self.num_racks = int(self.host_rack.max()) + 1 if self.num_hosts else 0
+
+        vh = np.asarray(vm_host, dtype=np.int64)
+        if vh.shape != (self.num_vms,):
+            raise PlacementError(
+                f"vm_host must have shape ({self.num_vms},), got {vh.shape}"
+            )
+        if self.num_vms and ((vh < 0) | (vh >= self.num_hosts)).any():
+            raise PlacementError("vm_host contains out-of-range host ids")
+        self.vm_host = vh.copy()
+        self.host_used = np.bincount(
+            self.vm_host, weights=self.vm_capacity.astype(np.float64),
+            minlength=self.num_hosts,
+        ).astype(np.int64)
+        over = np.nonzero(self.host_used > self.host_capacity)[0]
+        if over.size:
+            raise CapacityError(
+                f"initial placement overfills hosts {over[:5].tolist()} "
+                f"(used {self.host_used[over[:5]].tolist()} vs "
+                f"capacity {self.host_capacity[over[:5]].tolist()})"
+            )
+        self._migrations = 0
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def host_of(self, vm: int) -> int:
+        return int(self.vm_host[vm])
+
+    def rack_of(self, vm: int) -> int:
+        return int(self.host_rack[self.vm_host[vm]])
+
+    def vms_on_host(self, host: int) -> np.ndarray:
+        """VM ids currently placed on *host* (ascending)."""
+        return np.nonzero(self.vm_host == host)[0]
+
+    def vms_in_rack(self, rack: int) -> np.ndarray:
+        """VM ids currently placed in *rack* (ascending)."""
+        return np.nonzero(self.host_rack[self.vm_host] == rack)[0]
+
+    def hosts_in_rack(self, rack: int) -> np.ndarray:
+        return np.nonzero(self.host_rack == rack)[0]
+
+    def free_capacity(self, host: int) -> int:
+        return int(self.host_capacity[host] - self.host_used[host])
+
+    def host_load_fraction(self) -> np.ndarray:
+        """Per-host utilization in ``[0, 1]`` — the Fig. 9/10 metric base."""
+        return self.host_used / self.host_capacity
+
+    def rack_used(self) -> np.ndarray:
+        """Total placed VM capacity per rack."""
+        return np.bincount(
+            self.host_rack, weights=self.host_used.astype(np.float64),
+            minlength=self.num_racks,
+        ).astype(np.int64)
+
+    @property
+    def migrations_performed(self) -> int:
+        """Count of successful :meth:`migrate` calls since construction."""
+        return self._migrations
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+    def migrate(self, vm: int, dst_host: int) -> None:
+        """Move *vm* to *dst_host*, maintaining capacity accounting.
+
+        Raises :class:`CapacityError` when the destination lacks room and
+        :class:`PlacementError` on a no-op move (the algorithms never emit
+        one; silently accepting it would hide matching bugs).
+        """
+        if not (0 <= vm < self.num_vms):
+            raise PlacementError(f"unknown vm {vm}")
+        if not (0 <= dst_host < self.num_hosts):
+            raise PlacementError(f"unknown host {dst_host}")
+        src = int(self.vm_host[vm])
+        if src == dst_host:
+            raise PlacementError(f"vm {vm} is already on host {dst_host}")
+        need = int(self.vm_capacity[vm])
+        if self.free_capacity(dst_host) < need:
+            raise CapacityError(
+                f"host {dst_host} has {self.free_capacity(dst_host)} free, "
+                f"vm {vm} needs {need}"
+            )
+        self.vm_host[vm] = dst_host
+        self.host_used[src] -= need
+        self.host_used[dst_host] += need
+        self._migrations += 1
+
+    def clone(self) -> "Placement":
+        """Deep copy (used by the centralized baseline to explore plans)."""
+        new = object.__new__(Placement)
+        new.num_vms = self.num_vms
+        new.num_hosts = self.num_hosts
+        new.num_racks = self.num_racks
+        new.vm_capacity = self.vm_capacity  # immutable by convention
+        new.vm_value = self.vm_value
+        new.vm_delay_sensitive = self.vm_delay_sensitive
+        new.host_capacity = self.host_capacity
+        new.host_rack = self.host_rack
+        new.vm_host = self.vm_host.copy()
+        new.host_used = self.host_used.copy()
+        new._migrations = self._migrations
+        return new
+
+    # ------------------------------------------------------------------ #
+    # verification
+    # ------------------------------------------------------------------ #
+    def check_invariants(self) -> None:
+        """Re-derive accounting from scratch; raise on any drift."""
+        used = np.bincount(
+            self.vm_host, weights=self.vm_capacity.astype(np.float64),
+            minlength=self.num_hosts,
+        ).astype(np.int64)
+        if not np.array_equal(used, self.host_used):
+            raise PlacementError("host_used accounting has drifted")
+        over = np.nonzero(used > self.host_capacity)[0]
+        if over.size:
+            raise CapacityError(f"hosts {over[:5].tolist()} overfilled")

@@ -1,0 +1,42 @@
+"""Rack records.
+
+A rack is the paper's basic management unit: a set of hosts plus a ToR
+switch with its shim layer.  The ToR's uplink capacity bounds how much VM
+traffic the PRIORITY β-selection may move through it (Eq. (10)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Rack"]
+
+
+@dataclass
+class Rack:
+    """One rack / delegation region ``v_i``.
+
+    ``rack_id`` equals the ToR node id in the :class:`~repro.topology.base.Topology`
+    (ToR nodes are the id-prefix by construction).
+    """
+
+    rack_id: int
+    host_ids: List[int] = field(default_factory=list)
+    tor_capacity: int = 100
+
+    def __post_init__(self) -> None:
+        if self.rack_id < 0:
+            raise ConfigurationError(f"rack_id must be non-negative, got {self.rack_id}")
+        if self.tor_capacity <= 0:
+            raise ConfigurationError(
+                f"rack {self.rack_id}: ToR capacity must be positive, got {self.tor_capacity}"
+            )
+        if len(set(self.host_ids)) != len(self.host_ids):
+            raise ConfigurationError(f"rack {self.rack_id}: duplicate host ids")
+
+    @property
+    def num_hosts(self) -> int:
+        return len(self.host_ids)

@@ -1,0 +1,106 @@
+"""Resource dimensions and workload profiles.
+
+The paper's per-VM workload profile (Sec. IV-A) is
+
+    ``W^k_ij = [CPU, MEM, IO, TRF]``
+
+with every component normalized to ``[0, 1]``.  We fix the dimension order
+here once; every array in the library whose trailing axis is "resource"
+follows :data:`RESOURCE_NAMES`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Iterable, Sequence, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ResourceKind",
+    "NUM_RESOURCES",
+    "RESOURCE_NAMES",
+    "WorkloadProfile",
+    "normalize_profile",
+]
+
+
+class ResourceKind(IntEnum):
+    """Index of each monitored resource in a workload profile."""
+
+    CPU = 0
+    MEM = 1
+    IO = 2
+    TRF = 3
+
+
+NUM_RESOURCES = 4
+RESOURCE_NAMES = ("cpu", "mem", "io", "trf")
+
+
+def normalize_profile(
+    raw: np.ndarray,
+    maxima: Union[Sequence[float], np.ndarray],
+) -> np.ndarray:
+    """Normalize raw resource readings into ``[0, 1]`` component-wise.
+
+    ``raw`` has shape ``(..., NUM_RESOURCES)``; ``maxima`` gives the
+    physical full-scale value of each component (e.g. 100 for CPU %,
+    NIC line rate for TRF).  Values above full scale clip to 1 — a
+    saturated sensor reads saturated.
+    """
+    raw = np.asarray(raw, dtype=np.float64)
+    m = np.asarray(maxima, dtype=np.float64)
+    if raw.shape[-1] != NUM_RESOURCES:
+        raise ConfigurationError(
+            f"profile trailing axis must be {NUM_RESOURCES}, got {raw.shape}"
+        )
+    if m.shape != (NUM_RESOURCES,):
+        raise ConfigurationError(f"maxima must have shape ({NUM_RESOURCES},), got {m.shape}")
+    if (m <= 0).any():
+        raise ConfigurationError("all resource maxima must be positive")
+    return np.clip(raw / m, 0.0, 1.0)
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """A normalized point-in-time workload profile ``W`` of one VM.
+
+    Immutable value object; arithmetic-heavy code paths use raw arrays of
+    shape ``(num_vms, NUM_RESOURCES)`` instead and only materialize
+    ``WorkloadProfile`` at API boundaries.
+    """
+
+    cpu: float
+    mem: float
+    io: float
+    trf: float
+
+    def __post_init__(self) -> None:
+        for name in RESOURCE_NAMES:
+            x = getattr(self, name)
+            if not (0.0 <= x <= 1.0) or not np.isfinite(x):
+                raise ConfigurationError(f"profile component {name}={x} outside [0, 1]")
+
+    @classmethod
+    def from_array(cls, arr: Iterable[float]) -> "WorkloadProfile":
+        vals = list(arr)
+        if len(vals) != NUM_RESOURCES:
+            raise ConfigurationError(
+                f"profile needs {NUM_RESOURCES} components, got {len(vals)}"
+            )
+        return cls(*map(float, vals))
+
+    def as_array(self) -> np.ndarray:
+        return np.array([self.cpu, self.mem, self.io, self.trf], dtype=np.float64)
+
+    def max_component(self) -> float:
+        """``max(W)`` — the paper's ALERT magnitude (Sec. IV-C)."""
+        return float(max(self.cpu, self.mem, self.io, self.trf))
+
+    def exceeds(self, threshold: float) -> bool:
+        """True iff any component exceeds *threshold* (strict, per Eq. ALERT)."""
+        return self.max_component() > threshold

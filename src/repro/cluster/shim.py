@@ -1,0 +1,90 @@
+"""Shim-layer view of a delegation region.
+
+The shim (Sec. II-B) is the per-rack management agent.  Its *dominating
+region* is its own rack; its *migration horizon* is the set of one-hop
+wired neighbor racks — racks reachable through a single intermediate
+switch, which is exactly the regional scope the paper's conclusion states
+("dominate its local region by one hop wired neighbors").
+
+:class:`ShimView` is a read-mostly helper: it precomputes the neighbor-rack
+set from the topology once, and exposes the queries the distributed
+manager (Alg. 1) needs each round.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Set
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.errors import TopologyError
+from repro.topology.base import Topology
+
+__all__ = ["ShimView", "neighbor_racks"]
+
+
+def neighbor_racks(topology: Topology, rack: int) -> FrozenSet[int]:
+    """Racks sharing at least one switch with *rack* (excluding itself).
+
+    In Fat-Tree this is the rest of the pod; in BCube it is every rack that
+    shares a level-1+ switch.  This is the candidate destination set of the
+    regional VMMIGRATION.
+    """
+    if not (0 <= rack < topology.num_racks):
+        raise TopologyError(f"rack {rack} out of range 0..{topology.num_racks - 1}")
+    out: Set[int] = set()
+    for sw in topology.neighbors(rack):
+        if sw < topology.num_racks:
+            # direct rack-rack link (possible in server-centric fabrics)
+            out.add(int(sw))
+            continue
+        for other in topology.neighbors(int(sw)):
+            if other < topology.num_racks:
+                out.add(int(other))
+    out.discard(rack)
+    return frozenset(out)
+
+
+class ShimView:
+    """Per-rack management viewpoint bound to a cluster.
+
+    Parameters
+    ----------
+    cluster:
+        The shared cluster state.
+    rack:
+        The delegation node this shim runs on.
+    """
+
+    def __init__(self, cluster: Cluster, rack: int) -> None:
+        self.cluster = cluster
+        self.rack = rack
+        self.neighbors: FrozenSet[int] = neighbor_racks(cluster.topology, rack)
+
+    @property
+    def region(self) -> FrozenSet[int]:
+        """Own rack plus migration-horizon racks (``N_r ∪ {v_i}``)."""
+        return self.neighbors | {self.rack}
+
+    def local_vms(self) -> np.ndarray:
+        """VM ids currently inside the dominating rack."""
+        return self.cluster.placement.vms_in_rack(self.rack)
+
+    def local_hosts(self) -> np.ndarray:
+        return self.cluster.placement.hosts_in_rack(self.rack)
+
+    def candidate_hosts(self) -> np.ndarray:
+        """Hosts in neighbor racks — possible migration destinations."""
+        pl = self.cluster.placement
+        mask = np.isin(pl.host_rack, list(self.neighbors))
+        return np.nonzero(mask)[0]
+
+    def search_space(self, num_candidate_vms: int) -> int:
+        """Candidate (VM, destination-host) pairs this shim examines.
+
+        The Fig. 12/14 metric: a regional shim only pairs its candidate VMs
+        against hosts in neighboring racks, while a centralized manager
+        pairs them against *every* host in the DCN.
+        """
+        return num_candidate_vms * int(self.candidate_hosts().shape[0])

@@ -1,0 +1,46 @@
+"""Virtual machine records.
+
+A VM in Sheriff carries three scalars the algorithms consume:
+
+* ``capacity`` — its size in the paper's minimum capacity unit (Mbps);
+  knapsack weight in PRIORITY (Alg. 2), slot requirement in REQUEST
+  (Alg. 4), and numerator of the transmission time ``T(e)`` in Eq. (1).
+* ``value`` — its worth to the operator; PRIORITY evicts *low-value,
+  large-size* VMs first.
+* ``delay_sensitive`` — delay-sensitive VMs are never migrated
+  (Alg. 2 line 1 eliminates them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = ["VM"]
+
+
+@dataclass
+class VM:
+    """One virtual machine ``m^k_ij``.
+
+    ``vm_id`` is global and stable; rack/host coordinates live in
+    :class:`~repro.cluster.placement.Placement`, not here, so a migration
+    never mutates the VM record itself.
+    """
+
+    vm_id: int
+    capacity: int
+    value: float
+    delay_sensitive: bool = False
+
+    def __post_init__(self) -> None:
+        if self.vm_id < 0:
+            raise ConfigurationError(f"vm_id must be non-negative, got {self.vm_id}")
+        if self.capacity <= 0:
+            raise ConfigurationError(
+                f"VM {self.vm_id}: capacity must be a positive integer "
+                f"(minimum unit = 1 Mbps), got {self.capacity}"
+            )
+        if self.value < 0:
+            raise ConfigurationError(f"VM {self.vm_id}: negative value {self.value}")

@@ -1,0 +1,29 @@
+"""Migration cost model (Sec. III-C, Eq. 1; simplification Sec. V-A).
+
+``Cost(v_i, v_p) = C_r + C_d · D(e) · χ^p_i + Σ_{e ∈ P(v_i, v_p)} (δ·T(e) + η·P(e))``
+
+split into three modules:
+
+* :mod:`~repro.costs.precopy` — the six-stage pre-copy live-migration
+  timeline (Fig. 2) behind the constant ``C_r``;
+* :mod:`~repro.costs.transmission` — path transmission cost with
+  Floyd/Dijkstra-precomputed best paths (the ``g → G`` transformation);
+* :mod:`~repro.costs.dependency` — the dependency-graph distance delta
+  behind ``C_d · D(e) · χ``;
+* :mod:`~repro.costs.model` — the :class:`CostModel` facade combining all
+  three, consumed by VMMIGRATION and the k-median transform.
+"""
+
+from repro.costs.precopy import MigrationTimeline, precopy_timeline
+from repro.costs.transmission import TransmissionCostTable
+from repro.costs.dependency import dependency_cost
+from repro.costs.model import CostModel, CostParams
+
+__all__ = [
+    "MigrationTimeline",
+    "precopy_timeline",
+    "TransmissionCostTable",
+    "dependency_cost",
+    "CostModel",
+    "CostParams",
+]

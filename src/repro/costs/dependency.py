@@ -1,0 +1,75 @@
+"""Dependency cost of a migration (Sec. III-C).
+
+Moving ``m^k_ij`` from rack ``v_i`` to rack ``v_p`` changes the induced
+dependency subgraph around the VM: traffic to each dependent VM now
+travels from ``v_p`` instead of ``v_i``.  The paper expresses this as the
+difference of induced-graph path lengths times the unit cost ``C_d``
+(the ``C_d · D(e) · χ^p_i`` term after simplification — a pure function
+``f(v_i, v_p)`` once the dependent racks are fixed).
+
+We compute it directly as
+
+    ``C_d · Σ_{r ∈ dep-racks(vm)} (D[v_p, r] − D[v_i, r])``
+
+which is signed: moving *toward* one's dependents yields a negative
+(beneficial) dependency cost.  ``D`` is the inter-rack distance along the
+selected transmission paths.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.cluster.dependency import DependencyGraph
+from repro.cluster.placement import Placement
+from repro.errors import ConfigurationError
+
+__all__ = ["dependency_cost", "dependent_racks"]
+
+
+def dependent_racks(
+    dependencies: DependencyGraph, placement: Placement, vm: int
+) -> np.ndarray:
+    """Racks currently hosting VMs dependent on *vm* (with multiplicity).
+
+    Multiplicity matters: two dependents in the same rack double the
+    traffic affected by the move.
+    """
+    nbrs = sorted(dependencies.neighbors(vm))
+    if not nbrs:
+        return np.empty(0, dtype=np.int64)
+    idx = np.asarray(nbrs, dtype=np.int64)
+    return placement.host_rack[placement.vm_host[idx]]
+
+
+def dependency_cost(
+    dependencies: DependencyGraph,
+    placement: Placement,
+    rack_distance: np.ndarray,
+    vm: int,
+    dst_rack: int,
+    *,
+    unit_cost: float = 1.0,
+) -> float:
+    """Signed dependency-cost delta of moving *vm* to *dst_rack*.
+
+    Parameters
+    ----------
+    rack_distance:
+        ``(racks, racks)`` inter-rack distance matrix ``D``.
+    unit_cost:
+        ``C_d``, the unit cost per distance in ``G_d`` (simulation: 1).
+    """
+    if unit_cost < 0:
+        raise ConfigurationError(f"unit_cost must be non-negative, got {unit_cost}")
+    n_racks = rack_distance.shape[0]
+    if not (0 <= dst_rack < n_racks):
+        raise ConfigurationError(f"dst_rack {dst_rack} out of range 0..{n_racks - 1}")
+    src_rack = placement.host_rack[placement.vm_host[vm]]
+    racks = dependent_racks(dependencies, placement, vm)
+    if racks.size == 0:
+        return 0.0
+    delta = rack_distance[dst_rack, racks] - rack_distance[src_rack, racks]
+    return float(unit_cost * delta.sum())

@@ -1,0 +1,139 @@
+"""The full migration cost function (Eq. 1 / Eq. 18).
+
+``Cost(v_i, v_p) = C_r + f(v_i, v_p) + G(v_i, v_p)`` with
+
+* ``C_r`` — the constant computing cost of initialization, reservation,
+  commitment and activation (simulation value: 100);
+* ``f`` — the dependency cost (:mod:`repro.costs.dependency`);
+* ``G`` — the path-minimized transmission cost
+  (:mod:`repro.costs.transmission`).
+
+:class:`CostModel` binds the three to a cluster and exposes per-VM and
+vectorized queries; it is the single cost oracle used by VMMIGRATION, the
+k-median transform, and both baselines — so comparisons between managers
+are apples-to-apples by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.costs.dependency import dependency_cost
+from repro.costs.transmission import TransmissionCostTable
+from repro.errors import ConfigurationError
+
+__all__ = ["CostParams", "CostModel"]
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Scalar knobs of Eq. (1), defaulting to the paper's Sec. VI-B values."""
+
+    migration_constant: float = 100.0  # C_r
+    dependency_unit: float = 1.0  # C_d
+    delta: float = 1.0  # δ — weight of transmission time T(e)
+    eta: float = 1.0  # η — weight of utilization P(e)
+    reference_capacity: float = 10.0
+    bandwidth_threshold: float = 0.0  # B_t
+
+    def __post_init__(self) -> None:
+        if self.migration_constant < 0:
+            raise ConfigurationError(
+                f"C_r must be non-negative, got {self.migration_constant}"
+            )
+        if self.dependency_unit < 0:
+            raise ConfigurationError(
+                f"C_d must be non-negative, got {self.dependency_unit}"
+            )
+
+
+class CostModel:
+    """Cost oracle bound to one cluster.
+
+    Construction runs the (cached) shortest-path precomputation once;
+    queries afterwards are O(1) per pair / O(racks) per vector.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        params: Optional[CostParams] = None,
+        *,
+        available_bandwidth: Optional[np.ndarray] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.params = params or CostParams()
+        self.table = TransmissionCostTable(
+            cluster.topology,
+            delta=self.params.delta,
+            eta=self.params.eta,
+            reference_capacity=self.params.reference_capacity,
+            available_bandwidth=available_bandwidth,
+            bandwidth_threshold=self.params.bandwidth_threshold,
+        )
+        self._rack_dist = self.table.rack_distance_matrix()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def rack_distances(self) -> np.ndarray:
+        """Inter-rack physical distances along selected paths (view)."""
+        return self._rack_dist
+
+    def migration_cost(self, vm: int, dst_rack: int) -> float:
+        """Full Eq. (1) cost of migrating *vm* into *dst_rack*.
+
+        An intra-rack move still pays ``C_r`` (the VM is re-hosted) but has
+        zero transmission and zero dependency delta only if its dependents'
+        distances are unchanged — which they are, since D is rack-level.
+        """
+        pl = self.cluster.placement
+        src_rack = int(pl.host_rack[pl.vm_host[vm]])
+        cap = float(pl.vm_capacity[vm])
+        trans = self.table.cost(cap, src_rack, dst_rack)
+        dep = dependency_cost(
+            self.cluster.dependencies,
+            pl,
+            self._rack_dist,
+            vm,
+            dst_rack,
+            unit_cost=self.params.dependency_unit,
+        )
+        return self.params.migration_constant + dep + trans
+
+    def migration_cost_vector(self, vm: int) -> np.ndarray:
+        """Eq. (1) cost of *vm* against every destination rack (vectorized)."""
+        pl = self.cluster.placement
+        src_rack = int(pl.host_rack[pl.vm_host[vm]])
+        cap = float(pl.vm_capacity[vm])
+        trans = self.table.cost_vector(cap, src_rack)
+        from repro.costs.dependency import dependent_racks
+
+        racks = dependent_racks(self.cluster.dependencies, pl, vm)
+        if racks.size:
+            dep = self.params.dependency_unit * (
+                self._rack_dist[:, racks].sum(axis=1)
+                - self._rack_dist[src_rack, racks].sum()
+            )
+        else:
+            dep = np.zeros(self.table.num_racks)
+        return self.params.migration_constant + dep + trans
+
+    def pairwise_rack_cost(self, capacity: float) -> np.ndarray:
+        """``(racks, racks)`` matrix ``C_r + G`` for a given VM capacity.
+
+        The k-median transform (Sec. V-A) works on rack-level costs where
+        the dependency term is folded per-instance; this is its distance
+        oracle.
+        """
+        r = self.table.num_racks
+        out = (
+            self.params.delta * capacity * self.table.sum_inv_b[:, :r]
+            + self.params.eta * self.table.sum_util[:, :r]
+            + self.params.migration_constant
+        )
+        np.fill_diagonal(out, 0.0)
+        return out

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the Sheriff reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything the library throws with a single ``except`` clause while
+still distinguishing configuration problems from runtime protocol failures.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "TopologyError",
+    "PlacementError",
+    "CapacityError",
+    "ForecastError",
+    "ConvergenceError",
+    "MigrationError",
+    "ProtocolError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A user-supplied parameter is out of its documented domain."""
+
+
+class TopologyError(ReproError):
+    """A topology is malformed (unknown node, disconnected fabric, ...)."""
+
+
+class PlacementError(ReproError):
+    """A VM placement request cannot be satisfied."""
+
+
+class CapacityError(PlacementError):
+    """A host or switch does not have room for the requested resources."""
+
+
+class ForecastError(ReproError):
+    """A forecasting model could not be fit or queried."""
+
+
+class ConvergenceError(ForecastError):
+    """An iterative fit (ARIMA CSS, NARNET training) failed to converge."""
+
+
+class MigrationError(ReproError):
+    """A VM migration could not be scheduled or executed."""
+
+
+class ProtocolError(MigrationError):
+    """The REQUEST/ACK protocol was violated (e.g. duplicate commit)."""
+
+
+class SimulationError(ReproError):
+    """The round-based simulator reached an inconsistent state."""

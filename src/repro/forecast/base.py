@@ -1,0 +1,62 @@
+"""Common forecaster interface.
+
+Every model in :mod:`repro.forecast` implements the same three-method
+contract so the dynamic selector (and the per-VM monitors) can treat them
+uniformly:
+
+* :meth:`Forecaster.fit` — estimate parameters from a history;
+* :meth:`Forecaster.forecast` — h-step-ahead conditional mean from the end
+  of the observed data (the paper's ``P_t Y_{t+h}``);
+* :meth:`Forecaster.append` — feed one newly observed value *without*
+  refitting (parameters stay, state advances), which is what a shim does
+  between periodic refits.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ForecastError
+
+__all__ = ["Forecaster"]
+
+
+class Forecaster(ABC):
+    """Abstract base for one-dimensional time-series forecasters."""
+
+    _fitted: bool = False
+
+    @abstractmethod
+    def fit(self, y: np.ndarray) -> "Forecaster":
+        """Estimate parameters from series *y*; returns ``self``."""
+
+    @abstractmethod
+    def forecast(self, h: int = 1) -> np.ndarray:
+        """Conditional-mean forecasts for the next *h* steps (shape ``(h,)``)."""
+
+    @abstractmethod
+    def append(self, value: float) -> None:
+        """Advance state by one observed value without re-estimating."""
+
+    # ------------------------------------------------------------------ #
+    def predict_one(self) -> float:
+        """Convenience scalar one-step-ahead forecast."""
+        return float(self.forecast(1)[0])
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise ForecastError(f"{type(self).__name__} is not fitted")
+
+    @staticmethod
+    def _check_series(y: np.ndarray, min_len: int) -> np.ndarray:
+        arr = np.asarray(y, dtype=np.float64).ravel()
+        if arr.shape[0] < min_len:
+            raise ForecastError(
+                f"series too short: need >= {min_len} points, got {arr.shape[0]}"
+            )
+        if not np.isfinite(arr).all():
+            raise ForecastError("series contains NaN or inf")
+        return arr

@@ -1,0 +1,90 @@
+"""Lag and difference operators (Sec. IV-B).
+
+The paper defines the lag operator ``L^j Y_t = Y_{t-j}`` and the lag-1
+difference ``∇Y_t = Y_t - Y_{t-1}`` with powers ``∇^j = ∇(∇^{j-1})``.
+ARIMA works on ``∇^d Y``; forecasts are integrated back with Eq. (12)
+``P_t Y_{t+h} = (∇^{-d}) P_t ∇^d Y_{t+h}``, implemented here as
+:func:`undifference`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import ForecastError
+
+__all__ = ["difference", "undifference", "difference_heads", "lag_matrix"]
+
+
+def difference(y: np.ndarray, d: int) -> np.ndarray:
+    """Apply ``∇^d`` to *y*; result has length ``len(y) - d``."""
+    arr = np.asarray(y, dtype=np.float64).ravel()
+    if d < 0:
+        raise ForecastError(f"difference order must be non-negative, got {d}")
+    if arr.shape[0] <= d:
+        raise ForecastError(f"series of length {arr.shape[0]} cannot be differenced {d}x")
+    return np.diff(arr, n=d) if d > 0 else arr.copy()
+
+
+def difference_heads(y: np.ndarray, d: int) -> List[float]:
+    """Last value of each intermediate differencing level.
+
+    ``heads[j]`` is the final element of ``∇^j y`` for ``j = 0..d-1`` — the
+    integration constants :func:`undifference` needs to rebuild level
+    forecasts from differenced ones.
+    """
+    arr = np.asarray(y, dtype=np.float64).ravel()
+    if d < 0:
+        raise ForecastError(f"difference order must be non-negative, got {d}")
+    if arr.shape[0] <= d:
+        raise ForecastError(f"series of length {arr.shape[0]} cannot be differenced {d}x")
+    heads: List[float] = []
+    cur = arr
+    for _ in range(d):
+        heads.append(float(cur[-1]))
+        cur = np.diff(cur)
+    return heads
+
+
+def undifference(forecasts: np.ndarray, heads: List[float]) -> np.ndarray:
+    """Integrate ``∇^d``-scale forecasts back to the original level.
+
+    Parameters
+    ----------
+    forecasts:
+        h-step forecasts of the *d*-times-differenced series.
+    heads:
+        Output of :func:`difference_heads` on the observed series — the
+        values at the integration boundary, outermost level first.
+
+    Implements the recursion ``Y_{t+k} = Y_{t+k-1} + ∇Y_{t+k}`` applied
+    ``d`` times (innermost difference first).
+    """
+    out = np.asarray(forecasts, dtype=np.float64).copy()
+    for head in reversed(heads):
+        out = head + np.cumsum(out)
+    return out
+
+
+def lag_matrix(y: np.ndarray, lags: int) -> tuple[np.ndarray, np.ndarray]:
+    """Delay-embedding design matrix for autoregression.
+
+    Returns ``(X, target)`` where row ``i`` of ``X`` is
+    ``[y_{t-1}, y_{t-2}, ..., y_{t-lags}]`` for target ``y_t``
+    (most recent lag first — NARNET convention here).  Built from strided
+    views of a single reversed copy, no per-row Python loop.
+    """
+    arr = np.asarray(y, dtype=np.float64).ravel()
+    if lags < 1:
+        raise ForecastError(f"need >= 1 lag, got {lags}")
+    n = arr.shape[0]
+    if n <= lags:
+        raise ForecastError(f"series of length {n} too short for {lags} lags")
+    m = n - lags
+    # sliding windows over y: window i is y[i : i+lags] = lags oldest-first
+    win = np.lib.stride_tricks.sliding_window_view(arr, lags)[:m]
+    X = win[:, ::-1]  # most recent lag first
+    target = arr[lags:]
+    return np.ascontiguousarray(X), target

@@ -1,0 +1,67 @@
+"""Forecast accuracy metrics.
+
+The paper's selection fitness is the trailing mean squared prediction
+error over period ``T_p`` (Eq. 14); the rest are standard companions used
+in tests and benchmark reporting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ForecastError
+
+__all__ = ["mse", "rmse", "mae", "mape", "trailing_mse"]
+
+
+def _pair(actual: np.ndarray, predicted: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(actual, dtype=np.float64).ravel()
+    p = np.asarray(predicted, dtype=np.float64).ravel()
+    if a.shape != p.shape:
+        raise ForecastError(f"shape mismatch: actual {a.shape} vs predicted {p.shape}")
+    if a.shape[0] == 0:
+        raise ForecastError("empty series")
+    return a, p
+
+
+def mse(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """Mean squared error."""
+    a, p = _pair(actual, predicted)
+    d = a - p
+    return float(np.dot(d, d) / d.shape[0])
+
+
+def rmse(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """Root mean squared error."""
+    return float(np.sqrt(mse(actual, predicted)))
+
+
+def mae(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """Mean absolute error."""
+    a, p = _pair(actual, predicted)
+    return float(np.mean(np.abs(a - p)))
+
+
+def mape(actual: np.ndarray, predicted: np.ndarray, eps: float = 1e-9) -> float:
+    """Mean absolute percentage error (%); near-zero actuals are skipped."""
+    a, p = _pair(actual, predicted)
+    mask = np.abs(a) > eps
+    if not mask.any():
+        raise ForecastError("all actual values are ~0; MAPE undefined")
+    return float(100.0 * np.mean(np.abs((a[mask] - p[mask]) / a[mask])))
+
+
+def trailing_mse(errors: np.ndarray, t: int, period: int) -> float:
+    """Eq. (14): ``MSE_f(t, T_p) = (1/T_p) Σ_{i=t-T_p+1..t} ERROR_f(i)²``.
+
+    *errors* is the per-step error history indexed by time unit; entries
+    before the start of history are treated as absent (the window shrinks).
+    """
+    e = np.asarray(errors, dtype=np.float64).ravel()
+    if period < 1:
+        raise ForecastError(f"period must be >= 1, got {period}")
+    if not (0 <= t < e.shape[0]):
+        raise ForecastError(f"time {t} outside history of length {e.shape[0]}")
+    lo = max(0, t - period + 1)
+    win = e[lo : t + 1]
+    return float(np.mean(win * win))

@@ -1,0 +1,244 @@
+"""Dynamic model selection (Sec. IV-B, Eq. 14).
+
+Sheriff never commits to a single model: it maintains a pool (e.g. two
+ARIMA orders and two NARNET shapes), tracks each member's squared one-step
+prediction errors, and at every step answers with the member whose
+trailing mean squared error over the window ``T_p`` is smallest.
+
+:class:`DynamicModelSelector` is the *live* object a per-VM monitor embeds
+(predict → observe → predict ...).  :func:`rolling_one_step` is the offline
+evaluation harness the Figs. 6–8 benchmarks use for single models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConvergenceError, ForecastError
+from repro.forecast.base import Forecaster
+from repro.forecast.metrics import trailing_mse
+
+__all__ = ["DynamicModelSelector", "rolling_one_step", "SelectionTrace"]
+
+ForecasterFactory = Callable[[], Forecaster]
+
+
+def rolling_one_step(
+    factory: ForecasterFactory,
+    y: np.ndarray,
+    train_len: int,
+    *,
+    refit_every: int = 50,
+    max_history: Optional[int] = None,
+) -> np.ndarray:
+    """Walk-forward one-step predictions of ``y[train_len:]``.
+
+    At each step ``t >= train_len`` the model (fit on data up to ``t``)
+    predicts ``y[t]``; the true value is then appended.  The model refits
+    from scratch every *refit_every* steps, optionally on only the last
+    *max_history* observations (a monitor's bounded memory).
+    """
+    arr = np.asarray(y, dtype=np.float64).ravel()
+    n = arr.shape[0]
+    if not (0 < train_len < n):
+        raise ForecastError(f"train_len must be in 1..{n - 1}, got {train_len}")
+    if refit_every < 1:
+        raise ForecastError(f"refit_every must be >= 1, got {refit_every}")
+    model = factory()
+    model.fit(_window(arr[:train_len], max_history))
+    preds = np.empty(n - train_len)
+    since_fit = 0
+    for k, t in enumerate(range(train_len, n)):
+        if since_fit >= refit_every:
+            model = factory()
+            model.fit(_window(arr[:t], max_history))
+            since_fit = 0
+        preds[k] = model.predict_one()
+        model.append(arr[t])
+        since_fit += 1
+    return preds
+
+
+def _window(arr: np.ndarray, max_history: Optional[int]) -> np.ndarray:
+    if max_history is not None and arr.shape[0] > max_history:
+        return arr[-max_history:]
+    return arr
+
+
+@dataclass
+class SelectionTrace:
+    """Per-step record of what the selector did (offline analysis)."""
+
+    chosen: List[str]
+    predictions: np.ndarray
+    per_model_predictions: Dict[str, np.ndarray]
+
+
+class DynamicModelSelector:
+    """Live minimum-trailing-MSE model selector.
+
+    Parameters
+    ----------
+    factories:
+        Ordered mapping name → zero-arg constructor of an (unfitted)
+        :class:`Forecaster`.  The paper's example pool is two ARIMA and two
+        NARNET configurations.
+    period:
+        The fitness window ``T_p`` of Eq. (14).
+    refit_every:
+        Full refits happen every this many observed values.
+    max_history:
+        Bound on the history length used at refit (None = unbounded).
+    """
+
+    def __init__(
+        self,
+        factories: Dict[str, ForecasterFactory],
+        *,
+        period: int = 20,
+        refit_every: int = 50,
+        max_history: Optional[int] = None,
+    ) -> None:
+        if not factories:
+            raise ForecastError("selector needs at least one model factory")
+        if period < 1:
+            raise ForecastError(f"period must be >= 1, got {period}")
+        if refit_every < 1:
+            raise ForecastError(f"refit_every must be >= 1, got {refit_every}")
+        self.factories = dict(factories)
+        self.period = period
+        self.refit_every = refit_every
+        self.max_history = max_history
+        self.names = list(factories.keys())
+        self._models: Dict[str, Forecaster] = {}
+        self._errors: Dict[str, List[float]] = {n: [] for n in self.names}
+        self._last_pred: Dict[str, float] = {}
+        self._history: Optional[np.ndarray] = None
+        self._since_fit = 0
+        self._fitted = False
+
+    # ------------------------------------------------------------------ #
+    def fit(self, y: np.ndarray) -> "DynamicModelSelector":
+        """Fit every pool member on the training series."""
+        arr = np.asarray(y, dtype=np.float64).ravel()
+        self._history = arr.copy()
+        self._refit_all()
+        self._errors = {n: [] for n in self.names}
+        self._last_pred = {}
+        self._since_fit = 0
+        self._fitted = True
+        return self
+
+    def _refit_all(self) -> None:
+        assert self._history is not None
+        failures = []
+        models: Dict[str, Forecaster] = {}
+        for name in self.names:
+            model = self.factories[name]()
+            try:
+                model.fit(_window(self._history, self.max_history))
+                models[name] = model
+            except (ConvergenceError, ForecastError) as exc:
+                failures.append((name, exc))
+        if not models:
+            raise ConvergenceError(f"every pool member failed to fit: {failures}")
+        self._models = models
+
+    # ------------------------------------------------------------------ #
+    def best_model_name(self) -> str:
+        """Pool member with minimum ``MSE_f(t, T_p)`` (ties → pool order)."""
+        self._require_fitted()
+        best_name = None
+        best_score = np.inf
+        for name in self.names:
+            if name not in self._models:
+                continue
+            errs = self._errors[name]
+            if not errs:
+                score = 0.0  # no evidence against it yet
+            else:
+                e = np.asarray(errs)
+                score = trailing_mse(e, e.shape[0] - 1, self.period)
+            if score < best_score:
+                best_score = score
+                best_name = name
+        assert best_name is not None
+        return best_name
+
+    def predict_one(self) -> float:
+        """One-step forecast from the currently best model.
+
+        Also caches every member's one-step prediction so that
+        :meth:`observe` can score the whole pool against the realized value.
+        """
+        self._require_fitted()
+        self._last_pred = {}
+        for name, model in self._models.items():
+            try:
+                self._last_pred[name] = model.predict_one()
+            except ForecastError:
+                continue
+        if not self._last_pred:
+            raise ForecastError("no pool member could produce a prediction")
+        best = self.best_model_name()
+        if best not in self._last_pred:
+            best = next(iter(self._last_pred))
+        return self._last_pred[best]
+
+    def forecast(self, h: int = 1) -> np.ndarray:
+        """h-step forecast from the currently best model."""
+        self._require_fitted()
+        best = self.best_model_name()
+        return self._models[best].forecast(h)
+
+    def observe(self, value: float) -> None:
+        """Feed the realized value: score the pool, advance, maybe refit."""
+        self._require_fitted()
+        if not np.isfinite(value):
+            raise ForecastError(f"observed value must be finite, got {value}")
+        for name, pred in self._last_pred.items():
+            self._errors[name].append(float(value) - pred)
+        for model in self._models.values():
+            model.append(float(value))
+        assert self._history is not None
+        self._history = np.append(self._history, float(value))
+        self._since_fit += 1
+        if self._since_fit >= self.refit_every:
+            self._refit_all()
+            self._since_fit = 0
+
+    # ------------------------------------------------------------------ #
+    def run(self, y: np.ndarray, train_len: int) -> SelectionTrace:
+        """Offline walk-forward over ``y`` (Figs. 6–8 harness).
+
+        Fits on ``y[:train_len]`` then predicts/observes each subsequent
+        point, recording which member answered.
+        """
+        arr = np.asarray(y, dtype=np.float64).ravel()
+        n = arr.shape[0]
+        if not (0 < train_len < n):
+            raise ForecastError(f"train_len must be in 1..{n - 1}, got {train_len}")
+        self.fit(arr[:train_len])
+        m = n - train_len
+        preds = np.empty(m)
+        chosen: List[str] = []
+        per_model: Dict[str, List[float]] = {name: [] for name in self.names}
+        for k, t in enumerate(range(train_len, n)):
+            p = self.predict_one()
+            preds[k] = p
+            chosen.append(self.best_model_name())
+            for name in self.names:
+                per_model[name].append(self._last_pred.get(name, np.nan))
+            self.observe(arr[t])
+        return SelectionTrace(
+            chosen=chosen,
+            predictions=preds,
+            per_model_predictions={n: np.asarray(v) for n, v in per_model.items()},
+        )
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise ForecastError("DynamicModelSelector is not fitted")

@@ -1,0 +1,80 @@
+"""Stationarity heuristics for choosing the differencing order ``d``.
+
+Box–Jenkins identification first differences a non-stationary series
+"to remove periodicity and trends".  Without statsmodels we implement two
+standard, dependency-free checks and combine them:
+
+* **ACF decay**: a unit-root series has an ACF that stays near 1 for many
+  lags; a stationary one decays quickly.
+* **Variance rule**: over-differencing *increases* variance, so we pick the
+  smallest ``d`` whose differenced variance is within a tolerance of the
+  minimum across candidate orders (the classic "difference until the
+  variance stops decreasing" rule).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ForecastError
+from repro.forecast.acf import acf
+from repro.forecast.lag import difference
+
+__all__ = ["is_stationary", "choose_difference_order"]
+
+
+def is_stationary(
+    y: np.ndarray,
+    *,
+    acf_lags: int = 10,
+    acf_threshold: float = 0.45,
+) -> bool:
+    """Heuristic stationarity check via mean high-lag autocorrelation.
+
+    Returns True when the mean |ACF| over lags ``acf_lags//2 .. acf_lags``
+    falls below *acf_threshold* — slowly decaying ACFs flag a trend/unit
+    root.
+    """
+    arr = np.asarray(y, dtype=np.float64).ravel()
+    if arr.shape[0] < 3 * acf_lags:
+        raise ForecastError(
+            f"need >= {3 * acf_lags} points for the stationarity check, got {arr.shape[0]}"
+        )
+    if np.std(arr) < 1e-12:
+        return True  # a constant is trivially stationary
+    r = acf(arr, acf_lags)
+    tail = np.abs(r[acf_lags // 2 :])
+    return bool(tail.mean() < acf_threshold)
+
+
+def choose_difference_order(
+    y: np.ndarray,
+    max_d: int = 2,
+    *,
+    variance_tolerance: float = 1.10,
+) -> int:
+    """Smallest ``d`` in ``0..max_d`` making the series look stationary.
+
+    Primary signal is :func:`is_stationary`; ties (nothing passes) fall back
+    to the variance rule: the smallest ``d`` whose differenced-series
+    variance is within *variance_tolerance* × the minimum over all orders.
+    """
+    arr = np.asarray(y, dtype=np.float64).ravel()
+    if max_d < 0:
+        raise ForecastError(f"max_d must be non-negative, got {max_d}")
+    variances = []
+    for d in range(max_d + 1):
+        dy = difference(arr, d)
+        variances.append(float(np.var(dy)))
+        try:
+            if is_stationary(dy):
+                return d
+        except ForecastError:
+            # series became too short to test at this order; stop probing
+            break
+    v = np.asarray(variances)
+    best = float(v.min())
+    for d, var in enumerate(v):
+        if var <= variance_tolerance * best:
+            return d
+    return int(v.argmin())

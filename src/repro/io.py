@@ -1,0 +1,164 @@
+"""Persistence: save and reload fabrics and clusters.
+
+Experiments worth publishing are worth replaying.  ``save_cluster`` /
+``load_cluster`` round-trip the complete simulation state that is not
+derivable from a seed — topology, inventory, live placement and the
+dependency graph — as a single compressed ``.npz`` archive, so a run can
+be snapshotted mid-experiment and resumed or inspected elsewhere.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.dependency import DependencyGraph
+from repro.cluster.host import Host
+from repro.cluster.placement import Placement
+from repro.cluster.rack import Rack
+from repro.cluster.vm import VM
+from repro.errors import ConfigurationError
+from repro.topology.base import NodeKind, Topology
+
+__all__ = ["save_topology", "load_topology", "save_cluster", "load_cluster"]
+
+PathLike = Union[str, Path]
+_FORMAT_VERSION = 1
+
+
+def _topology_payload(topo: Topology) -> dict:
+    lt = topo.links
+    return {
+        "topo_kinds": topo.kinds,
+        "topo_u": lt.u,
+        "topo_v": lt.v,
+        "topo_capacity": lt.capacity,
+        "topo_distance": lt.distance,
+        "topo_meta": np.frombuffer(
+            json.dumps({"name": topo.name, "meta": topo.meta}).encode(), dtype=np.uint8
+        ),
+    }
+
+
+def _topology_from_payload(data) -> Topology:
+    info = json.loads(bytes(data["topo_meta"]).decode())
+    kinds = [NodeKind(int(k)) for k in data["topo_kinds"]]
+    topo = Topology(info["name"], kinds)
+    topo.meta.update(info.get("meta", {}))
+    for u, v, cap, dist in zip(
+        data["topo_u"], data["topo_v"], data["topo_capacity"], data["topo_distance"]
+    ):
+        topo.add_link(int(u), int(v), float(cap), float(dist))
+    return topo
+
+
+def save_topology(topo: Topology, path: PathLike) -> None:
+    """Write *topo* to a compressed ``.npz`` archive."""
+    np.savez_compressed(
+        Path(path), format_version=_FORMAT_VERSION, **_topology_payload(topo)
+    )
+
+
+def load_topology(path: PathLike) -> Topology:
+    """Read a topology saved by :func:`save_topology`."""
+    with np.load(Path(path)) as data:
+        _check_version(data)
+        return _topology_from_payload(data)
+
+
+def save_cluster(cluster: Cluster, path: PathLike) -> None:
+    """Write the full cluster state (topology, inventory, placement, G_d)."""
+    pl = cluster.placement
+    pairs = []
+    for a in range(cluster.dependencies.num_vms):
+        for b in cluster.dependencies.neighbors(a):
+            if b > a:
+                pairs.append((a, b))
+    dep = (
+        np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        if pairs
+        else np.empty((0, 2), dtype=np.int64)
+    )
+    np.savez_compressed(
+        Path(path),
+        format_version=_FORMAT_VERSION,
+        **_topology_payload(cluster.topology),
+        vm_capacity=pl.vm_capacity,
+        vm_value=pl.vm_value,
+        vm_delay_sensitive=pl.vm_delay_sensitive,
+        vm_host=pl.vm_host,
+        host_capacity=pl.host_capacity,
+        host_rack=pl.host_rack,
+        tor_capacity=np.asarray(
+            [r.tor_capacity for r in cluster.racks], dtype=np.int64
+        ),
+        dependency_pairs=dep,
+    )
+
+
+def load_cluster(path: PathLike) -> Cluster:
+    """Reload a cluster saved by :func:`save_cluster`.
+
+    The placement is revalidated on construction, so a corrupted archive
+    (e.g. edited capacities) fails loudly instead of mis-simulating.
+    """
+    with np.load(Path(path)) as data:
+        _check_version(data)
+        topo = _topology_from_payload(data)
+        host_rack = data["host_rack"]
+        host_capacity = data["host_capacity"]
+        hosts = [
+            Host(host_id=i, rack=int(host_rack[i]), capacity=int(host_capacity[i]))
+            for i in range(host_rack.shape[0])
+        ]
+        vm_capacity = data["vm_capacity"]
+        vm_value = data["vm_value"]
+        vm_delay = data["vm_delay_sensitive"]
+        vms = [
+            VM(
+                vm_id=i,
+                capacity=int(vm_capacity[i]),
+                value=float(vm_value[i]),
+                delay_sensitive=bool(vm_delay[i]),
+            )
+            for i in range(vm_capacity.shape[0])
+        ]
+        placement = Placement(vms, hosts, data["vm_host"])
+        tor = data["tor_capacity"]
+        if tor.shape[0] != topo.num_racks:
+            raise ConfigurationError(
+                f"archive has {tor.shape[0]} racks for a "
+                f"{topo.num_racks}-rack topology"
+            )
+        racks = [
+            Rack(
+                rack_id=r,
+                host_ids=[int(h) for h in np.nonzero(host_rack == r)[0]],
+                tor_capacity=int(tor[r]),
+            )
+            for r in range(topo.num_racks)
+        ]
+        deps = DependencyGraph(
+            len(vms),
+            [(int(a), int(b)) for a, b in data["dependency_pairs"]],
+        )
+        return Cluster(
+            topology=topo,
+            racks=racks,
+            hosts=hosts,
+            vms=vms,
+            placement=placement,
+            dependencies=deps,
+        )
+
+
+def _check_version(data) -> None:
+    v = int(data["format_version"])
+    if v != _FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported archive format version {v} (expected {_FORMAT_VERSION})"
+        )

@@ -1,0 +1,23 @@
+"""k-median machinery (Sec. V-A and VI-C).
+
+The centralized VMMIGRATION reduces to metric k-median: clients are the
+alerting (source) ToRs, facilities are all ToRs, and the connection cost
+between two ToRs is the path-independent ``Cost(v_i, v_p)``.  The Local
+Search algorithm with ``p``-swaps (Arya et al., SICOMP 2004 — the paper's
+Alg. 5) gives the ``3 + 2/p`` approximation the paper proves.
+"""
+
+from repro.kmedian.instance import KMedianInstance
+from repro.kmedian.local_search import LocalSearchResult, local_search
+from repro.kmedian.exact import exact_kmedian
+from repro.kmedian.greedy import greedy_kmedian
+from repro.kmedian.transform import vmmigration_to_kmedian
+
+__all__ = [
+    "KMedianInstance",
+    "local_search",
+    "LocalSearchResult",
+    "exact_kmedian",
+    "greedy_kmedian",
+    "vmmigration_to_kmedian",
+]

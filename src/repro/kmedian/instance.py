@@ -1,0 +1,106 @@
+"""k-median problem instances.
+
+An instance is a client×facility connection-cost matrix plus the number
+``k`` of facilities to open; the objective is the sum over clients of the
+distance to the closest open facility.  Clients may carry weights
+(several alerting VMs behind one ToR).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["KMedianInstance"]
+
+
+@dataclass(frozen=True)
+class KMedianInstance:
+    """One k-median instance.
+
+    Attributes
+    ----------
+    distances:
+        ``(clients, facilities)`` non-negative connection costs.
+    k:
+        Number of facilities to open (1 ≤ k ≤ facilities).
+    weights:
+        Optional per-client demand weights (default 1).
+    """
+
+    distances: np.ndarray
+    k: int
+    weights: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        d = np.asarray(self.distances, dtype=np.float64)
+        if d.ndim != 2 or d.shape[0] == 0 or d.shape[1] == 0:
+            raise ConfigurationError(f"distances must be 2-D non-empty, got {d.shape}")
+        if not np.isfinite(d).all() or (d < 0).any():
+            raise ConfigurationError("distances must be finite and non-negative")
+        if not (1 <= self.k <= d.shape[1]):
+            raise ConfigurationError(
+                f"k must be in 1..{d.shape[1]} facilities, got {self.k}"
+            )
+        object.__setattr__(self, "distances", d)
+        if self.weights is not None:
+            w = np.asarray(self.weights, dtype=np.float64)
+            if w.shape != (d.shape[0],):
+                raise ConfigurationError(
+                    f"weights must have shape ({d.shape[0]},), got {w.shape}"
+                )
+            if (w < 0).any():
+                raise ConfigurationError("weights must be non-negative")
+            object.__setattr__(self, "weights", w)
+
+    @property
+    def num_clients(self) -> int:
+        return int(self.distances.shape[0])
+
+    @property
+    def num_facilities(self) -> int:
+        return int(self.distances.shape[1])
+
+    def cost(self, solution: Iterable[int]) -> float:
+        """Objective value of an open-facility set."""
+        s = self._check_solution(solution)
+        d = self.distances[:, s].min(axis=1)
+        if self.weights is not None:
+            d = d * self.weights
+        return float(d.sum())
+
+    def assignment(self, solution: Iterable[int]) -> np.ndarray:
+        """Closest open facility (as a facility index) per client."""
+        s = self._check_solution(solution)
+        local = self.distances[:, s].argmin(axis=1)
+        return s[local]
+
+    def _check_solution(self, solution: Iterable[int]) -> np.ndarray:
+        s = np.asarray(sorted(set(int(x) for x in solution)), dtype=np.int64)
+        if s.shape[0] != self.k:
+            raise ConfigurationError(
+                f"solution must open exactly k={self.k} distinct facilities, got {s.shape[0]}"
+            )
+        if s.shape[0] and (s[0] < 0 or s[-1] >= self.num_facilities):
+            raise ConfigurationError("solution contains out-of-range facility ids")
+        return s
+
+    @classmethod
+    def from_points(
+        cls,
+        points: np.ndarray,
+        k: int,
+        *,
+        weights: Optional[np.ndarray] = None,
+    ) -> "KMedianInstance":
+        """Euclidean instance where every point is client and facility."""
+        p = np.asarray(points, dtype=np.float64)
+        if p.ndim != 2:
+            raise ConfigurationError(f"points must be 2-D, got shape {p.shape}")
+        diff = p[:, None, :] - p[None, :, :]
+        d = np.sqrt((diff * diff).sum(axis=2))
+        return cls(distances=d, k=k, weights=weights)

@@ -1,0 +1,65 @@
+"""VMMIGRATION → k-median transformation (Sec. V-A).
+
+The centralized migration problem — pick ``m`` destination ToRs and route
+every alerting ToR's evicted load to one of them at minimum total cost —
+becomes k-median once the cost between any two racks is path-independent:
+
+1. **Simplification** — ``Cost(v_i, v_p) = C_r + f(v_i, v_p) + g(...)``
+   with ``f`` depending only on the endpoints;
+2. **Transformation** — all-pairs shortest paths (Floyd/Dijkstra) turn
+   ``g(v_i, v_p, e_ip)`` into ``G(v_i, v_p)``: see
+   :class:`~repro.costs.transmission.TransmissionCostTable`;
+3. **Reduction** — clients ``C`` = alerting (source) ToRs, facilities
+   ``F`` = all ToRs, connection cost = ``Cost``; solve k-median.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.costs.model import CostModel
+from repro.errors import ConfigurationError
+from repro.kmedian.instance import KMedianInstance
+
+__all__ = ["vmmigration_to_kmedian"]
+
+
+def vmmigration_to_kmedian(
+    cost_model: CostModel,
+    source_racks: Sequence[int],
+    k: int,
+    *,
+    capacity: Optional[float] = None,
+    weights: Optional[np.ndarray] = None,
+) -> KMedianInstance:
+    """Build the k-median instance of Sec. V-A.
+
+    Parameters
+    ----------
+    cost_model:
+        Cost oracle over the cluster (provides ``C_r + G``).
+    source_racks:
+        The alerting ToRs (the client set ``C``).
+    k:
+        Number of destination ToRs to open.
+    capacity:
+        VM capacity used in the transmission term; defaults to the cost
+        model's reference capacity.
+    weights:
+        Per-source demand weights, e.g. the amount of alerting VM capacity
+        behind each source ToR.
+    """
+    srcs = [int(s) for s in source_racks]
+    if not srcs:
+        raise ConfigurationError("need at least one source rack")
+    n_racks = cost_model.table.num_racks
+    if any(not (0 <= s < n_racks) for s in srcs):
+        raise ConfigurationError(f"source rack out of range 0..{n_racks - 1}")
+    if len(set(srcs)) != len(srcs):
+        raise ConfigurationError("duplicate source racks; aggregate their weight instead")
+    cap = capacity if capacity is not None else cost_model.params.reference_capacity
+    full = cost_model.pairwise_rack_cost(cap)
+    dist = full[np.asarray(srcs, dtype=np.int64), :]
+    return KMedianInstance(distances=dist, k=k, weights=weights)

@@ -1,0 +1,190 @@
+"""Pre-Alert Management Procedure (Alg. 1) — the per-shim framework.
+
+Every delegation node runs one :class:`ShimManager`.  Each round it takes
+the alerts addressed to it, dispatches on their kind:
+
+* **outer switch** — collect local VMs whose flows cross the hot switch,
+  PRIORITY(F, α), and reroute those flows (cheaper than migration, so it
+  runs first — Sec. III-B);
+* **local host** — PRIORITY(F, 1): the single highest-ALERT VM on that
+  host joins the migration set;
+* **local ToR** — aggregated after the loop: PRIORITY over the whole
+  rack with the β budget of the ToR capacity (Eq. 10).
+
+and finally calls VMMIGRATION (Alg. 3) on the migration set against the
+one-hop neighbor racks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.alerts.alert import Alert, AlertKind
+from repro.cluster.cluster import Cluster
+from repro.cluster.shim import ShimView
+from repro.costs.model import CostModel
+from repro.errors import ConfigurationError
+from repro.migration.priority import CandidateVM, PriorityFactor, priority_select
+from repro.migration.request import ReceiverRegistry
+from repro.migration.reroute import FlowTable, flow_reroute
+from repro.migration.vmmigration import MigrationStats, vmmigration
+
+__all__ = ["RoundReport", "ShimManager"]
+
+
+@dataclass
+class RoundReport:
+    """What one shim did in one management round."""
+
+    rack: int
+    migration: MigrationStats = field(default_factory=MigrationStats)
+    selected_for_migration: List[int] = field(default_factory=list)
+    rerouted_flows: int = 0
+    reroute_failures: int = 0
+    alerts_processed: int = 0
+
+
+class ShimManager:
+    """Alg. 1 bound to one delegation node.
+
+    Parameters
+    ----------
+    alpha, beta:
+        Capacity portions for switch-triggered rerouting and ToR-triggered
+        migration ("different portion of capacity for migration since it
+        is not necessary to migrate all VMs").
+    flow_table:
+        Shared flow registry; optional — without it, outer-switch alerts
+        are counted but produce no reroutes.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        cost_model: CostModel,
+        rack: int,
+        *,
+        alpha: float = 0.1,
+        beta: float = 0.1,
+        balance_weight: float = 50.0,
+        flow_table: Optional[FlowTable] = None,
+    ) -> None:
+        if not (0.0 < alpha <= 1.0) or not (0.0 < beta <= 1.0):
+            raise ConfigurationError(
+                f"alpha/beta must be in (0, 1], got {alpha}/{beta}"
+            )
+        self.cluster = cluster
+        self.cost_model = cost_model
+        self.rack = rack
+        self.alpha = alpha
+        self.beta = beta
+        self.balance_weight = balance_weight
+        self.flow_table = flow_table
+        self.shim = ShimView(cluster, rack)
+
+    # ------------------------------------------------------------------ #
+    def _candidate(self, vm: int, alerts: Dict[int, float]) -> CandidateVM:
+        pl = self.cluster.placement
+        return CandidateVM(
+            vm_id=vm,
+            capacity=int(pl.vm_capacity[vm]),
+            value=float(pl.vm_value[vm]),
+            alert=float(alerts.get(vm, 0.0)),
+            delay_sensitive=bool(pl.vm_delay_sensitive[vm]),
+        )
+
+    def process_round(
+        self,
+        alerts: Sequence[Alert],
+        vm_alerts: Dict[int, float],
+        receivers: ReceiverRegistry,
+        frozen: frozenset = frozenset(),
+        host_load=None,
+    ) -> RoundReport:
+        """Run Alg. 1 for this shim.
+
+        Parameters
+        ----------
+        alerts:
+            Alert messages addressed to this rack this round.
+        vm_alerts:
+            Per-VM ALERT magnitudes (from the monitors), used by PRIORITY.
+        receivers:
+            The round's shared REQUEST/ACK state.
+        frozen:
+            VMs that may not migrate this round — typically VMs still inside
+            their live-migration window (Fig. 2's t1-t4 spans multiple
+            rounds); excluding them prevents migration ping-pong.
+        host_load:
+            Optional measured per-host utilization for destination steering
+            (see :func:`repro.migration.vmmigration.vmmigration`).
+        """
+        report = RoundReport(rack=self.rack)
+        pl = self.cluster.placement
+        migrate_set: List[int] = []
+        reroute_flow_ids: List[int] = []
+        hot_switches: Set[int] = set()
+        tor_alerted = False
+
+        for alert in alerts:
+            if alert.rack != self.rack:
+                raise ConfigurationError(
+                    f"alert for rack {alert.rack} delivered to shim {self.rack}"
+                )
+            report.alerts_processed += 1
+            if alert.kind is AlertKind.OUTER_SWITCH:
+                assert alert.switch is not None
+                hot_switches.add(alert.switch)
+                if self.flow_table is not None:
+                    flows = self.flow_table.flows_through(
+                        alert.switch, from_rack=self.rack
+                    )
+                    cands = [self._candidate(f.vm, vm_alerts) for f in flows]
+                    budget = max(1, int(self.alpha * self.cluster.tor_capacity(self.rack)))
+                    chosen = priority_select(
+                        cands, PriorityFactor.ALPHA, budget=budget
+                    )
+                    chosen_vms = {c.vm_id for c in chosen}
+                    reroute_flow_ids.extend(
+                        f.flow_id for f in flows if f.vm in chosen_vms
+                    )
+            elif alert.kind is AlertKind.LOCAL_TOR:
+                tor_alerted = True
+            elif alert.kind is AlertKind.SERVER:
+                assert alert.host is not None
+                vms = pl.vms_on_host(alert.host)
+                cands = [self._candidate(int(v), vm_alerts) for v in vms]
+                cands = [c for c in cands if c.alert > 0]
+                chosen = priority_select(cands, PriorityFactor.ONE)
+                migrate_set.extend(c.vm_id for c in chosen)
+
+        if tor_alerted:
+            vms = pl.vms_in_rack(self.rack)
+            cands = [self._candidate(int(v), vm_alerts) for v in vms]
+            budget = max(1, int(self.beta * self.cluster.tor_capacity(self.rack)))
+            chosen = priority_select(cands, PriorityFactor.BETA, budget=budget)
+            migrate_set.extend(c.vm_id for c in chosen)
+
+        # rerouting first — cheaper and faster than migration (Sec. III-B)
+        if reroute_flow_ids and self.flow_table is not None:
+            ok, failed = flow_reroute(self.flow_table, reroute_flow_ids, hot_switches)
+            report.rerouted_flows = ok
+            report.reroute_failures = failed
+
+        migrate_set = [v for v in dict.fromkeys(migrate_set) if v not in frozen]
+        report.selected_for_migration = migrate_set
+        if migrate_set:
+            dest_hosts = self.shim.candidate_hosts()
+            report.migration = vmmigration(
+                self.cluster,
+                self.cost_model,
+                migrate_set,
+                dest_hosts.tolist(),
+                receivers,
+                balance_weight=self.balance_weight,
+                host_load=host_load,
+            )
+        return report

@@ -1,0 +1,119 @@
+"""PRIORITY candidate selection (Alg. 2).
+
+Given a candidate VM set ``F`` and a priority factor ``w``:
+
+* ``w = 1`` — pick the single VM with the highest ALERT (host-overload
+  case: relieve the worst offender, keep churn minimal);
+* ``w = α`` (switch alerts) / ``w = β`` (ToR alerts) — delay-sensitive VMs
+  are eliminated first, then a 0/1 knapsack over the allowed capacity
+  ``w · capacity`` selects "as many VMs with lowest value as possible":
+  among subsets that relieve the most capacity (≤ the budget), the one
+  with minimum total value wins.
+
+The DP runs in ``O(|F| · C)`` with ``C`` the capacity budget in the
+paper's minimum unit (Mbps); subsets are reconstructed from a kept/not
+table rather than the paper's set-valued ``V[]`` array (same result,
+no per-cell set copies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["PriorityFactor", "CandidateVM", "priority_select"]
+
+
+class PriorityFactor(Enum):
+    """Which Alg. 2 case applies."""
+
+    ALPHA = "alpha"  # outer-switch alert: budget = α · switch share
+    BETA = "beta"  # ToR alert: budget = β · ToR capacity
+    ONE = "one"  # host alert: single max-ALERT VM
+
+
+@dataclass(frozen=True)
+class CandidateVM:
+    """Selection view of one VM."""
+
+    vm_id: int
+    capacity: int
+    value: float
+    alert: float
+    delay_sensitive: bool = False
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ConfigurationError(
+                f"candidate {self.vm_id}: capacity must be positive, got {self.capacity}"
+            )
+
+
+def priority_select(
+    candidates: Sequence[CandidateVM],
+    factor: PriorityFactor,
+    *,
+    budget: Optional[int] = None,
+) -> List[CandidateVM]:
+    """Run Alg. 2 and return the selected VMs.
+
+    Parameters
+    ----------
+    candidates:
+        The set ``F``.
+    factor:
+        ``ONE`` needs no budget; ``ALPHA``/``BETA`` require *budget* =
+        ``w · capacity`` already multiplied out by the caller (the caller
+        knows whether the base is the switch share or the ToR capacity).
+    """
+    # Alg. 2 line 1 applies before the switch: delay-sensitive VMs are
+    # never migration candidates, whichever priority factor is in play
+    pool = [c for c in candidates if not c.delay_sensitive]
+    if not pool:
+        return []
+    if factor is PriorityFactor.ONE:
+        # highest ALERT; ties broken by largest size then lowest value,
+        # matching the paper's eviction preference ("lowest value but
+        # largest size") so the single move relieves the most load
+        return [max(pool, key=lambda c: (c.alert, c.capacity, -c.value))]
+
+    if budget is None or budget < 0:
+        raise ConfigurationError(
+            f"{factor.value}-selection needs a non-negative capacity budget, got {budget}"
+        )
+    if budget == 0:
+        return []
+
+    caps = np.asarray([c.capacity for c in pool], dtype=np.int64)
+    vals = np.asarray([c.value for c in pool], dtype=np.float64)
+    C = int(min(budget, caps.sum()))
+    if C <= 0:
+        return []
+
+    n = len(pool)
+    # dp[i][j] = min total value of a subset of pool[:i] with capacity
+    # exactly j; the full prefix table makes reconstruction unambiguous.
+    dp = np.full((n + 1, C + 1), np.inf)
+    dp[0, 0] = 0.0
+    for i in range(n):
+        ci, vi = int(caps[i]), float(vals[i])
+        dp[i + 1] = dp[i]
+        if ci <= C:
+            cand = dp[i, : C - ci + 1] + vi
+            better = cand < dp[i + 1, ci:]
+            dp[i + 1, ci:][better] = cand[better]
+    feasible = np.nonzero(np.isfinite(dp[n]))[0]
+    # most relieved capacity wins; dp already holds min value at that size
+    j = int(feasible.max())
+    chosen: List[CandidateVM] = []
+    for i in range(n, 0, -1):
+        if dp[i, j] != dp[i - 1, j]:
+            chosen.append(pool[i - 1])
+            j -= int(caps[i - 1])
+    chosen.reverse()
+    return chosen

@@ -1,0 +1,99 @@
+"""REQUEST/ACK/REJECT receiver protocol (Alg. 4).
+
+A migration destination is only valid once the destination's delegation
+node accepts the request.  Requests are served first-come-first-served;
+the receiver checks that it really is the candidate delegation for the
+target host, that the host has room (accounting for capacity it has
+already promised this round), and that no dependency conflict would
+co-locate dependent VMs on one server (Sec. II-C's conflict graph).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.errors import ProtocolError
+
+__all__ = ["RequestOutcome", "ReceiverRegistry"]
+
+
+class RequestOutcome(Enum):
+    """Receiver verdict on one REQUEST message."""
+
+    ACK = "ack"
+    REJECT = "reject"
+    IGNORED = "ignored"  # addressed to the wrong delegation (Alg. 4 line 8)
+
+
+@dataclass
+class _Reservation:
+    vm: int
+    host: int
+    capacity: int
+
+
+class ReceiverRegistry:
+    """Receiver-side state for one management round.
+
+    One registry serves the whole cluster (each delegation's acceptances
+    are independent, keyed by rack); reservations accumulate until
+    :meth:`commit_round` applies the accepted migrations to the placement,
+    or :meth:`reset_round` drops them.
+    """
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+        self._promised: Dict[int, int] = {}  # host -> capacity promised
+        self._reservations: List[_Reservation] = []
+        self._reserved_vms: set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    def request(self, vm: int, dst_host: int, dst_rack: int) -> RequestOutcome:
+        """Alg. 4 for one REQUEST(vm → dst_host) addressed to *dst_rack*.
+
+        ``dst_rack`` models the addressing: a request routed to a
+        delegation that does not own the host is ignored, not rejected.
+        """
+        pl = self.cluster.placement
+        if not (0 <= vm < pl.num_vms):
+            raise ProtocolError(f"unknown vm {vm}")
+        if not (0 <= dst_host < pl.num_hosts):
+            raise ProtocolError(f"unknown host {dst_host}")
+        if int(pl.host_rack[dst_host]) != dst_rack:
+            return RequestOutcome.IGNORED
+        if vm in self._reserved_vms:
+            raise ProtocolError(f"vm {vm} already holds a reservation this round")
+        need = int(pl.vm_capacity[vm])
+        free = pl.free_capacity(dst_host) - self._promised.get(dst_host, 0)
+        if free < need:
+            return RequestOutcome.REJECT
+        if self.cluster.dependencies.conflicts_on_host(pl, vm, dst_host):
+            return RequestOutcome.REJECT
+        self._promised[dst_host] = self._promised.get(dst_host, 0) + need
+        self._reservations.append(_Reservation(vm=vm, host=dst_host, capacity=need))
+        self._reserved_vms.add(vm)
+        return RequestOutcome.ACK
+
+    # ------------------------------------------------------------------ #
+    @property
+    def pending(self) -> int:
+        """Number of un-committed reservations."""
+        return len(self._reservations)
+
+    def commit_round(self) -> List[Tuple[int, int]]:
+        """Apply every accepted migration; returns ``(vm, host)`` pairs."""
+        moved: List[Tuple[int, int]] = []
+        for res in self._reservations:
+            self.cluster.placement.migrate(res.vm, res.host)
+            moved.append((res.vm, res.host))
+        self.reset_round()
+        return moved
+
+    def reset_round(self) -> None:
+        """Drop all reservations without applying them."""
+        self._promised.clear()
+        self._reservations.clear()
+        self._reserved_vms.clear()

@@ -1,0 +1,183 @@
+"""VMMIGRATION (Alg. 3): match, request, migrate.
+
+Each iteration builds the bipartite cost graph between the remaining
+candidate VMs ``F`` and the destination hosts available at neighbor
+delegations ``T``, solves minimum-weight matching, then sends REQUESTs
+(Alg. 4).  ACKed VMs are reserved for migration and leave ``F``;
+REJECTed VMs stay and are re-matched against the updated availability in
+the next iteration, exactly the paper's retry loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.costs.model import CostModel
+from repro.errors import MigrationError
+from repro.migration.matching import hungarian
+from repro.migration.request import ReceiverRegistry, RequestOutcome
+
+__all__ = ["MigrationStats", "vmmigration"]
+
+
+def _greedy_assign(cost: np.ndarray) -> np.ndarray:
+    """Cheapest-edge-first partial assignment; -1 marks unassigned rows."""
+    n, m = cost.shape
+    out = np.full(n, -1, dtype=np.int64)
+    finite = np.isfinite(cost)
+    order = np.argsort(cost, axis=None)
+    used_rows = np.zeros(n, dtype=bool)
+    used_cols = np.zeros(m, dtype=bool)
+    for flat in order:
+        r, c = divmod(int(flat), m)
+        if not finite[r, c]:
+            break  # sorted ascending: everything after is inf too
+        if used_rows[r] or used_cols[c]:
+            continue
+        out[r] = c
+        used_rows[r] = True
+        used_cols[c] = True
+    return out
+
+
+@dataclass
+class MigrationStats:
+    """Bookkeeping of one VMMIGRATION invocation."""
+
+    requested: int = 0
+    acked: int = 0
+    rejected: int = 0
+    total_cost: float = 0.0
+    search_space: int = 0
+    """Candidate (VM, destination-host) pairs examined — Fig. 12/14 metric."""
+    iterations: int = 0
+    unplaced: List[int] = field(default_factory=list)
+    moves: List[Tuple[int, int, float]] = field(default_factory=list)
+    """Accepted (vm, dst_host, cost) triples."""
+
+
+def vmmigration(
+    cluster: Cluster,
+    cost_model: CostModel,
+    candidates: Sequence[int],
+    destination_hosts: Iterable[int],
+    receivers: ReceiverRegistry,
+    *,
+    max_iterations: int = 8,
+    balance_weight: float = 50.0,
+    host_load: Optional[np.ndarray] = None,
+) -> MigrationStats:
+    """Run Alg. 3 for one delegation's candidate set.
+
+    Parameters
+    ----------
+    candidates:
+        VM ids selected by PRIORITY (the set ``F``).
+    destination_hosts:
+        Host ids at neighbor delegations (``T``); availability is
+        re-examined each iteration because earlier ACKs consume capacity.
+    receivers:
+        The round's shared receiver protocol state; accepted moves are
+        reserved there (call ``commit_round`` after all shims ran).
+    balance_weight:
+        Load-aware destination steering: the matching minimizes
+        ``Cost + balance_weight · load_fraction(dst)``, so among
+        similarly-priced destinations the emptier host wins.  This is the
+        mechanism behind the paper's balancing result (Figs. 9/10) — an
+        overload-relief migration must not land on another hot host.
+        ``stats.total_cost`` always reports the *true* Eq. (1) cost.
+    host_load:
+        Optional per-host *measured* utilization in [0, 1] (what the shim's
+        monitoring actually sees).  When given, steering uses it instead of
+        the placement fill fraction — a host packed with idle VMs is a fine
+        destination, one running hot is not.
+
+    Notes
+    -----
+    Per the paper, a VM left unmatched (every destination rejected or
+    infeasible) is reported in ``stats.unplaced``; Alg. 3 would have the
+    shim "recalculate possible migration destinations", which here is the
+    next management round.
+    """
+    stats = MigrationStats()
+    remaining = [int(v) for v in dict.fromkeys(candidates)]
+    hosts = np.asarray(sorted(set(int(h) for h in destination_hosts)), dtype=np.int64)
+    if not remaining:
+        return stats
+    if hosts.size == 0:
+        stats.unplaced = remaining
+        return stats
+    pl = cluster.placement
+    host_racks = pl.host_rack[hosts]
+
+    for _ in range(max_iterations):
+        if not remaining:
+            break
+        stats.iterations += 1
+        # availability net of this round's promises is known only to the
+        # receivers; the sender uses last-known free capacity as a filter
+        free = np.asarray([pl.free_capacity(int(h)) for h in hosts])
+        if host_load is not None:
+            load_frac = np.asarray(host_load, dtype=np.float64)[hosts]
+        else:
+            load_frac = pl.host_used[hosts] / pl.host_capacity[hosts]
+        steer = balance_weight * load_frac
+        cost = np.full((len(remaining), hosts.size), np.inf)
+        true_cost = np.full((len(remaining), hosts.size), np.inf)
+        for r, vm in enumerate(remaining):
+            per_rack = cost_model.migration_cost_vector(vm)
+            need = int(pl.vm_capacity[vm])
+            feasible = free >= need
+            true_cost[r, feasible] = per_rack[host_racks[feasible]]
+            cost[r, feasible] = true_cost[r, feasible] + steer[feasible]
+        if stats.iterations == 1:
+            # retries re-examine subsets of the same pairs; the search
+            # space metric (Fig. 12/14) counts distinct (VM, host) pairs
+            stats.search_space = cost.size
+        # rows with no feasible destination cannot enter the matching
+        has_dest = np.isfinite(cost).any(axis=1)
+        rows = np.nonzero(has_dest)[0]
+        if rows.size == 0:
+            break
+        sub = cost[rows]
+        if rows.size > hosts.size:
+            # more VMs than hosts: match the cheapest |hosts| rows
+            best_per_row = sub.min(axis=1)
+            order = np.argsort(best_per_row)[: hosts.size]
+            rows = rows[order]
+            sub = cost[rows]
+        try:
+            assignment, _ = hungarian(sub)
+        except MigrationError:
+            # no perfect matching (forbidden pairs funnel several VMs onto
+            # one host): fall back to greedy cheapest-first assignment so
+            # the placeable subset still moves
+            assignment = _greedy_assign(sub)
+        progressed = False
+        next_remaining = list(remaining)
+        for k, (rr, col) in enumerate(zip(rows, assignment)):
+            if col < 0 or not np.isfinite(sub[k, int(col)]):
+                continue
+            vm = remaining[int(rr)]
+            host = int(hosts[int(col)])
+            rack = int(host_racks[int(col)])
+            stats.requested += 1
+            outcome = receivers.request(vm, host, rack)
+            if outcome is RequestOutcome.ACK:
+                c = float(true_cost[int(rr), int(col)])
+                stats.acked += 1
+                stats.total_cost += c
+                stats.moves.append((vm, host, c))
+                next_remaining.remove(vm)
+                progressed = True
+            else:
+                stats.rejected += 1
+        remaining = next_remaining
+        if not progressed:
+            break
+    stats.unplaced = remaining
+    return stats

@@ -1,0 +1,147 @@
+"""One-shot reproduction report.
+
+``sheriff-repro report`` (or :func:`generate_report`) runs a compact
+version of every experiment family and renders a single markdown
+document — the "does the whole reproduction still hold?" button.  Scales
+are trimmed relative to the benchmark suite so the full report finishes
+in well under a minute.
+"""
+
+from __future__ import annotations
+
+import io
+import time
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["generate_report"]
+
+
+def _h(out: io.StringIO, title: str) -> None:
+    out.write(f"\n## {title}\n\n")
+
+
+def generate_report(seed: int = 2015, *, fast: bool = True) -> str:
+    """Run every experiment family; return the markdown report."""
+    from repro.analysis import format_table
+    from repro.cluster import build_cluster
+    from repro.costs.model import CostModel
+    from repro.forecast import ARIMA, NARNET, mse
+    from repro.forecast.evaluation import compare_models
+    from repro.kmedian import KMedianInstance, exact_kmedian, local_search
+    from repro.sim import (
+        SheriffSimulation,
+        centralized_migration_round,
+        inject_fraction_alerts,
+        regional_migration_round,
+    )
+    from repro.topology import build_fattree
+    from repro.traces import ZopleCloudTraces, mixed_trace
+
+    t0 = time.perf_counter()
+    out = io.StringIO()
+    out.write("# Sheriff reproduction report\n")
+    out.write(f"\nseed: {seed}\n")
+
+    # ------------------------------------------------------------------ #
+    _h(out, "Traces (Figs. 3-5)")
+    suite = ZopleCloudTraces.generate(seed)
+    rows = [
+        {
+            "mean": float(a.mean()),
+            "max": float(a.max()),
+            "std": float(a.std()),
+        }
+        for a in (suite.cpu, suite.disk_io, suite.weekly_traffic)
+    ]
+    out.write("```\n")
+    out.write(format_table("rows: CPU %, disk I/O MB, weekly traffic MB", rows))
+    out.write("\n```\n")
+
+    # ------------------------------------------------------------------ #
+    _h(out, "Prediction (Figs. 6-8)")
+    y = mixed_trace(seed=seed)[: 700 if fast else 1008]
+    train = int(0.6 * len(y))
+    zoo = {
+        "arima(1,1,1)": lambda: ARIMA(1, 1, 1),
+        "narnet(10,16)": lambda: NARNET(
+            ni=10, nh=16, restarts=1, seed=1, maxiter=150
+        ),
+    }
+    rows = compare_models(zoo, y, train, stride=2 if fast else 1)
+    out.write("```\n")
+    out.write(format_table("mixed trace, one-step walk-forward", rows))
+    out.write("\n```\n")
+
+    # ------------------------------------------------------------------ #
+    _h(out, "Balancing (Figs. 9-10)")
+    cluster = build_cluster(
+        build_fattree(8),
+        hosts_per_rack=4,
+        skew=1.1,
+        fill_fraction=0.5,
+        seed=seed,
+        delay_sensitive_fraction=0.0,
+    )
+    sim = SheriffSimulation(cluster, balance_weight=25.0)
+    rounds = 12 if fast else 24
+    for r in range(rounds):
+        alerts, vma = inject_fraction_alerts(cluster, 0.05, time=r, seed=seed + r)
+        sim.run_round(alerts, vma)
+    series = sim.workload_std_series()
+    out.write(
+        f"Fat-Tree k=8: workload std-dev {series[0]:.1f} % -> "
+        f"{series[-1]:.1f} % over {rounds} rounds "
+        f"({'declining' if series[-1] < series[0] else 'NOT declining'})\n"
+    )
+
+    # ------------------------------------------------------------------ #
+    _h(out, "Regional vs centralized (Figs. 11-14)")
+    rows = []
+    for k in (8, 16) if fast else (8, 16, 24, 32):
+        c2 = build_cluster(
+            build_fattree(k),
+            hosts_per_rack=2,
+            fill_fraction=0.5,
+            skew=0.5,
+            seed=seed,
+            delay_sensitive_fraction=0.0,
+        )
+        cm = CostModel(c2)
+        _, vma = inject_fraction_alerts(c2, 0.05, seed=seed)
+        cands = sorted(vma)
+        reg = regional_migration_round(c2, cm, cands)
+        cen = centralized_migration_round(c2, cm, cands)
+        rows.append(
+            {
+                "pods": k,
+                "sheriff_per_vm": reg.total_cost / max(len(reg.moves), 1),
+                "optimal_per_vm": cen.total_cost / max(len(cen.moves), 1),
+                "space_ratio": cen.search_space / max(reg.search_space, 1),
+            }
+        )
+    out.write("```\n")
+    out.write(format_table("cost per placed VM and search-space ratio", rows))
+    out.write("\n```\n")
+
+    # ------------------------------------------------------------------ #
+    _h(out, "Approximation (Sec. VI-C)")
+    rng = np.random.default_rng(seed)
+    ratios = []
+    for trial in range(10 if fast else 25):
+        inst = KMedianInstance.from_points(rng.random((10, 2)), 3)
+        _, opt = exact_kmedian(inst)
+        res = local_search(inst, p=1, seed=trial)
+        if opt > 1e-12:
+            ratios.append(res.cost / opt)
+    out.write(
+        f"Local Search (p=1) worst ratio {max(ratios):.3f}, "
+        f"mean {np.mean(ratios):.3f} (bound 5.0)\n"
+    )
+
+    out.write(
+        f"\n---\ngenerated in {time.perf_counter() - t0:.1f}s; "
+        "see EXPERIMENTS.md for the full benchmark suite.\n"
+    )
+    return out.getvalue()

@@ -1,0 +1,96 @@
+"""Round-based DCN management simulator (Sec. VI-B).
+
+The simulator advances in management rounds of ``T`` seconds.  Each round
+alerts are produced (injected per the paper's "5 % of VMs alert" rule,
+derived from demand via the reactive/predictive managers, or emerging
+from flow load via the congestion module), every shim runs Alg. 1, the
+receiver protocol commits accepted migrations, and metrics are recorded.
+
+Managers and baselines: `regional` (per-shim Alg. 3 planning),
+`centralized` (global optimal matching, Figs. 11–14 comparator),
+`kmedian_planner` (the Sec. V-A reduction pipeline), `reactive`
+(contingency) and `PredictiveManager` (pre-alert) over demand-driven
+workloads.  Infrastructure: `scenario`/`scenarios` (alert & demand
+generation), `driver` (managed-run loop), `fullstack` (closed loop over
+all three alert paths), `inflight` (live-migration windows),
+`congestion`/`latency` (switch load & queueing delay), `failures`
+(switch death), `metrics`/`recorder`/`timing` (measurement).
+"""
+
+from repro.sim.engine import RoundSummary, SheriffSimulation
+from repro.sim.scenario import (
+    forecast_alert_round,
+    inject_fraction_alerts,
+    overloaded_host_alerts,
+)
+from repro.sim.metrics import (
+    BalanceSeries,
+    gini_coefficient,
+    jain_fairness,
+    search_space_centralized,
+    search_space_regional,
+    time_above_threshold,
+)
+from repro.sim.centralized import CentralizedPlan, centralized_migration_round
+from repro.sim.regional import regional_migration_round
+from repro.sim.kmedian_planner import kmedian_migration_round
+from repro.sim.reactive import PredictiveManager, ReactiveManager
+from repro.sim.congestion import congestion_alerts, hot_switches, switch_capacity
+from repro.sim.failures import FailureInjector, FailureReport
+from repro.sim.timing import PlanTiming, time_plan
+from repro.sim.driver import AlertSource, ManagedRunReport, run_managed_simulation
+from repro.sim.fullstack import FullStackRound, FullStackSimulation
+from repro.sim.inflight import InFlightTracker, MigrationTiming, TimedReceiverRegistry
+from repro.sim.latency import flow_latencies, latency_percentiles, switch_delay_factors
+from repro.sim.recorder import SimulationRecorder
+from repro.sim.scenarios import (
+    SurgeEvent,
+    creeping_growth,
+    flash_crowd,
+    host_surges,
+    steady_demand,
+)
+
+__all__ = [
+    "SheriffSimulation",
+    "RoundSummary",
+    "inject_fraction_alerts",
+    "overloaded_host_alerts",
+    "forecast_alert_round",
+    "BalanceSeries",
+    "search_space_regional",
+    "search_space_centralized",
+    "jain_fairness",
+    "gini_coefficient",
+    "time_above_threshold",
+    "centralized_migration_round",
+    "regional_migration_round",
+    "kmedian_migration_round",
+    "CentralizedPlan",
+    "ReactiveManager",
+    "PredictiveManager",
+    "congestion_alerts",
+    "hot_switches",
+    "switch_capacity",
+    "FailureInjector",
+    "FailureReport",
+    "PlanTiming",
+    "time_plan",
+    "ManagedRunReport",
+    "run_managed_simulation",
+    "AlertSource",
+    "SurgeEvent",
+    "steady_demand",
+    "host_surges",
+    "flash_crowd",
+    "creeping_growth",
+    "SimulationRecorder",
+    "switch_delay_factors",
+    "flow_latencies",
+    "latency_percentiles",
+    "FullStackSimulation",
+    "FullStackRound",
+    "MigrationTiming",
+    "InFlightTracker",
+    "TimedReceiverRegistry",
+]

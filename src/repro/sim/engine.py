@@ -1,0 +1,200 @@
+"""The Sheriff simulation engine.
+
+One :class:`SheriffSimulation` owns a cluster, a cost model, one
+:class:`~repro.migration.manager.ShimManager` per rack and the shared
+receiver registry.  A *round* is: deliver alerts → every shim runs
+Alg. 1 (selection + matching + REQUEST) → commit accepted migrations →
+record metrics.  Shims run logically in parallel; the FCFS receiver
+protocol (Alg. 4) is what keeps their concurrent reservations conflict-
+free, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.alerts.alert import Alert
+from repro.cluster.cluster import Cluster
+from repro.costs.model import CostModel, CostParams
+from repro.errors import SimulationError
+from repro.migration.manager import RoundReport, ShimManager
+from repro.migration.request import ReceiverRegistry
+from repro.migration.reroute import FlowTable
+from repro.sim.inflight import InFlightTracker, MigrationTiming, TimedReceiverRegistry
+
+__all__ = ["RoundSummary", "SheriffSimulation"]
+
+
+@dataclass
+class RoundSummary:
+    """Aggregated outcome of one management round."""
+
+    round_index: int
+    alerts: int
+    migrations: int
+    requests: int
+    rejects: int
+    total_cost: float
+    search_space: int
+    unplaced: int
+    """Candidates no shim could place this round (retried next round)."""
+    workload_std_before: float
+    workload_std_after: float
+    reports: List[RoundReport] = field(default_factory=list)
+
+
+class SheriffSimulation:
+    """Distributed (regional) Sheriff over one cluster.
+
+    Parameters
+    ----------
+    cluster:
+        Shared cluster state (mutated by committed migrations).
+    cost_params:
+        Eq. (1) knobs; defaults are the paper's simulation settings.
+    alpha, beta:
+        PRIORITY portions handed to every shim.
+    with_flows:
+        Build a :class:`FlowTable` from the dependency graph so that
+        outer-switch alerts can exercise FLOWREROUTE.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        *,
+        cost_params: Optional[CostParams] = None,
+        alpha: float = 0.1,
+        beta: float = 0.1,
+        balance_weight: float = 50.0,
+        migration_cooldown: int = 3,
+        migration_timing: Optional[MigrationTiming] = None,
+        with_flows: bool = False,
+        flow_rate: float = 0.05,
+    ) -> None:
+        self.cluster = cluster
+        self.cost_model = CostModel(cluster, cost_params)
+        self.inflight: Optional[InFlightTracker] = None
+        if migration_timing is not None:
+            # live-migration windows: accepted moves reserve the destination
+            # now and land after the Fig. 2 timeline elapses
+            self.inflight = InFlightTracker(cluster, migration_timing)
+            self.receivers: ReceiverRegistry = TimedReceiverRegistry(
+                cluster, self.inflight
+            )
+        else:
+            self.receivers = ReceiverRegistry(cluster)
+        self.flow_table: Optional[FlowTable] = None
+        if with_flows:
+            self.flow_table = FlowTable(cluster.topology)
+            self._populate_flows(flow_rate)
+        self.managers: Dict[int, ShimManager] = {
+            r: ShimManager(
+                cluster,
+                self.cost_model,
+                r,
+                alpha=alpha,
+                beta=beta,
+                balance_weight=balance_weight,
+                flow_table=self.flow_table,
+            )
+            for r in range(cluster.num_racks)
+        }
+        self.history: List[RoundSummary] = []
+        self.migration_cooldown = migration_cooldown
+        self._last_move: Dict[int, int] = {}
+
+    def _populate_flows(self, rate: float) -> None:
+        """One flow per inter-rack dependency pair, attributed to the lower VM."""
+        assert self.flow_table is not None
+        pl = self.cluster.placement
+        racks = pl.host_rack[pl.vm_host]
+        deps = self.cluster.dependencies
+        for vm in range(deps.num_vms):
+            for other in sorted(deps.neighbors(vm)):
+                if other <= vm:
+                    continue
+                ra, rb = int(racks[vm]), int(racks[other])
+                if ra != rb:
+                    self.flow_table.add_flow(vm, ra, rb, rate)
+
+    # ------------------------------------------------------------------ #
+    def run_round(
+        self,
+        alerts: Sequence[Alert],
+        vm_alerts: Dict[int, float],
+        host_load: Optional[np.ndarray] = None,
+    ) -> RoundSummary:
+        """Execute one management round.
+
+        Parameters
+        ----------
+        alerts:
+            All alert messages of the round (any rack).
+        vm_alerts:
+            Per-VM ALERT magnitudes for PRIORITY.
+        host_load:
+            Optional measured per-host utilization (demand-driven runs);
+            steers migration destinations toward genuinely cool hosts.
+        """
+        if self.receivers.pending:
+            raise SimulationError("uncommitted reservations from a previous round")
+        std_before = self.cluster.workload_std()
+        by_rack: Dict[int, List[Alert]] = {}
+        for alert in alerts:
+            by_rack.setdefault(alert.rack, []).append(alert)
+        now = len(self.history)
+        if self.inflight is not None:
+            assert isinstance(self.receivers, TimedReceiverRegistry)
+            self.receivers.set_round(now)
+            for vm, _host in self.inflight.complete_due(now):
+                # landing starts the post-migration cooldown
+                self._last_move[vm] = now
+        frozen = frozenset(
+            vm
+            for vm, moved_at in self._last_move.items()
+            if now - moved_at < self.migration_cooldown
+        )
+        if self.inflight is not None:
+            frozen = frozen | self.inflight.vms_in_flight
+        reports: List[RoundReport] = []
+        for rack in sorted(by_rack):
+            mgr = self.managers.get(rack)
+            if mgr is None:
+                raise SimulationError(f"alert addressed to unknown rack {rack}")
+            reports.append(
+                mgr.process_round(
+                    by_rack[rack], vm_alerts, self.receivers, frozen, host_load
+                )
+            )
+        moved = self.receivers.commit_round()
+        if self.inflight is None:
+            for vm, _host in moved:
+                self._last_move[vm] = now
+        std_after = self.cluster.workload_std()
+        summary = RoundSummary(
+            round_index=len(self.history),
+            alerts=len(alerts),
+            migrations=sum(r.migration.acked for r in reports),
+            requests=sum(r.migration.requested for r in reports),
+            rejects=sum(r.migration.rejected for r in reports),
+            total_cost=sum(r.migration.total_cost for r in reports),
+            search_space=sum(r.migration.search_space for r in reports),
+            unplaced=sum(len(r.migration.unplaced) for r in reports),
+            workload_std_before=std_before,
+            workload_std_after=std_after,
+            reports=reports,
+        )
+        self.history.append(summary)
+        return summary
+
+    # ------------------------------------------------------------------ #
+    def workload_std_series(self) -> np.ndarray:
+        """Std-dev after each completed round (prepended with the start)."""
+        if not self.history:
+            return np.asarray([self.cluster.workload_std()])
+        first = self.history[0].workload_std_before
+        return np.asarray([first] + [s.workload_std_after for s in self.history])

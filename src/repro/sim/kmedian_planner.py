@@ -1,0 +1,124 @@
+"""Centralized Alert-Migration via the k-median reduction (Sec. V-A).
+
+The paper's centralized algorithm is not a giant matching: it *reduces*
+the migration decision to k-median — pick ``m`` destination ToRs for the
+alerting ToRs' load at minimum path-independent cost — and solves it with
+Local Search (Alg. 5), inheriting the ``3 + 2/p`` guarantee.
+
+This module executes the full pipeline:
+
+1. group the alerting VMs by source ToR (the client set ``C``);
+2. build the k-median instance over ``Cost(v_i, v_p)`` with per-client
+   weights equal to the alerting capacity behind each ToR
+   (:func:`repro.kmedian.transform.vmmigration_to_kmedian`);
+3. run Local Search to open the destination ToRs;
+4. pack each source's VMs into the hosts of its assigned destination ToR
+   (first-fit decreasing within the rack; leftovers spill to the next
+   cheapest open ToR).
+
+The result is returned in the same :class:`CentralizedPlan` shape as the
+other managers so benchmarks compare all three uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.costs.model import CostModel
+from repro.errors import ConfigurationError
+from repro.kmedian.local_search import local_search
+from repro.kmedian.transform import vmmigration_to_kmedian
+from repro.sim.centralized import CentralizedPlan
+
+__all__ = ["kmedian_migration_round"]
+
+
+def kmedian_migration_round(
+    cluster: Cluster,
+    cost_model: CostModel,
+    candidates: Sequence[int],
+    *,
+    k: Optional[int] = None,
+    p: int = 1,
+    apply: bool = False,
+    seed: int = 0,
+) -> CentralizedPlan:
+    """Plan one centralized round through the k-median reduction.
+
+    Parameters
+    ----------
+    candidates:
+        Alerting VM ids.
+    k:
+        Destination ToRs to open; defaults to ``max(1, #source ToRs // 2)``
+        (consolidate onto half as many destinations).
+    p:
+        Local Search swap size (approximation ``3 + 2/p``).
+    """
+    plan = CentralizedPlan()
+    vms = [int(v) for v in dict.fromkeys(candidates)]
+    if not vms:
+        return plan
+    pl = cluster.placement
+    by_rack: Dict[int, List[int]] = {}
+    for vm in vms:
+        by_rack.setdefault(pl.rack_of(vm), []).append(vm)
+    sources = sorted(by_rack)
+    if k is None:
+        k = max(1, len(sources) // 2)
+    n_racks = cost_model.table.num_racks
+    if k > n_racks:
+        raise ConfigurationError(f"cannot open {k} ToRs in a {n_racks}-rack fabric")
+
+    weights = np.asarray(
+        [float(pl.vm_capacity[by_rack[r]].sum()) for r in sources]
+    )
+    inst = vmmigration_to_kmedian(cost_model, sources, k=k, weights=weights)
+    result = local_search(inst, p=p, seed=seed)
+    assignment = inst.assignment(result.solution)  # facility (rack) per source
+    plan.search_space = inst.num_clients * inst.num_facilities
+
+    # rank open facilities per source by connection cost for spill-over
+    open_racks = result.solution.tolist()
+    promised: Dict[int, int] = {}
+
+    def hosts_by_room(rack: int) -> List[int]:
+        hosts = pl.hosts_in_rack(rack)
+        room = [pl.free_capacity(int(h)) - promised.get(int(h), 0) for h in hosts]
+        order = np.argsort(room)[::-1]
+        return [int(hosts[i]) for i in order]
+
+    for idx, src in enumerate(sources):
+        dst_order = sorted(
+            open_racks, key=lambda f: (f != assignment[idx], inst.distances[idx, f])
+        )
+        # largest VMs first: first-fit decreasing packs racks tightest
+        for vm in sorted(by_rack[src], key=lambda v: -int(pl.vm_capacity[v])):
+            need = int(pl.vm_capacity[vm])
+            placed = False
+            for rack in dst_order:
+                if rack == src:
+                    continue  # a "migration" within the source rack is a no-op here
+                for host in hosts_by_room(rack):
+                    free = pl.free_capacity(host) - promised.get(host, 0)
+                    if free >= need and not cluster.dependencies.conflicts_on_host(
+                        pl, vm, host
+                    ):
+                        cost = cost_model.migration_cost(vm, rack)
+                        plan.moves.append((vm, host, cost))
+                        plan.total_cost += cost
+                        promised[host] = promised.get(host, 0) + need
+                        placed = True
+                        break
+                if placed:
+                    break
+            if not placed:
+                plan.unplaced.append(vm)
+
+    if apply:
+        for vm, host, _ in plan.moves:
+            cluster.placement.migrate(vm, host)
+    return plan

@@ -1,0 +1,100 @@
+"""Queueing-delay estimates from switch utilization.
+
+The paper's motivation (Sec. I) is that congestion "greatly increases job
+completion time"; utilization alone hides how *nonlinear* that is.  We
+model each switch port group as an M/M/1 server: normalized utilization
+``ρ`` inflates sojourn time by ``1 / (1 - ρ)``, so a switch at 0.9 is
+10× slower than an idle one, not 0.9/0.0 "a bit busier".
+
+* :func:`switch_delay_factors` — per-switch delay multiplier from a
+  :class:`~repro.migration.reroute.FlowTable`'s load;
+* :func:`flow_latencies` — per-flow end-to-end delay (sum over the
+  traversed switches);
+* :func:`latency_percentiles` — the fleet view (mean/p50/p95/p99) that
+  management actions should improve.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.migration.reroute import FlowTable
+from repro.sim.congestion import switch_capacity
+from repro.topology.base import Topology
+
+__all__ = ["switch_delay_factors", "flow_latencies", "latency_percentiles"]
+
+_RHO_CAP = 0.99  # clamp: a saturated M/M/1 has unbounded delay
+
+
+def switch_delay_factors(
+    topology: Topology,
+    flow_table: FlowTable,
+    *,
+    rho_cap: float = _RHO_CAP,
+) -> np.ndarray:
+    """Per-node M/M/1 delay multiplier ``1 / (1 - ρ)``.
+
+    ``ρ`` is the flow load over the node's aggregate link capacity;
+    utilizations at or above *rho_cap* are clamped there, so the returned
+    factors are finite (a real switch drops packets instead of queueing
+    forever — the clamp keeps the metric usable as a comparison signal).
+    Rack (ToR) nodes are included; hosts are not modeled.
+    """
+    if not (0.0 < rho_cap < 1.0):
+        raise ConfigurationError(f"rho_cap must be in (0, 1), got {rho_cap}")
+    cap = switch_capacity(topology)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rho = np.where(cap > 0, flow_table.node_load / cap, 0.0)
+    rho = np.clip(rho, 0.0, rho_cap)
+    return 1.0 / (1.0 - rho)
+
+
+def flow_latencies(
+    topology: Topology,
+    flow_table: FlowTable,
+    *,
+    per_hop_base: float = 1.0,
+    rho_cap: float = _RHO_CAP,
+) -> Dict[int, float]:
+    """End-to-end delay estimate per flow.
+
+    Each traversed node contributes ``per_hop_base × delay_factor``; the
+    result's absolute unit is arbitrary (one uncongested hop = 1), which
+    is exactly what before/after comparisons need.
+    """
+    if per_hop_base <= 0:
+        raise ConfigurationError(f"per_hop_base must be positive, got {per_hop_base}")
+    factors = switch_delay_factors(topology, flow_table, rho_cap=rho_cap)
+    out: Dict[int, float] = {}
+    for fid, flow in flow_table.flows.items():
+        out[fid] = float(per_hop_base * factors[np.asarray(flow.path)].sum())
+    return out
+
+
+def latency_percentiles(
+    topology: Topology,
+    flow_table: FlowTable,
+    *,
+    percentiles: Sequence[float] = (50.0, 95.0, 99.0),
+    rho_cap: float = _RHO_CAP,
+) -> Dict[str, float]:
+    """Fleet latency summary: mean plus the requested percentiles.
+
+    Raises when the flow table is empty — an empty fleet has no latency
+    distribution, and silently returning zeros would make a broken
+    experiment look healthy.
+    """
+    lat = flow_latencies(topology, flow_table, rho_cap=rho_cap)
+    if not lat:
+        raise ConfigurationError("no flows registered; nothing to summarize")
+    values = np.asarray(sorted(lat.values()))
+    out = {"mean": float(values.mean())}
+    for p in percentiles:
+        if not (0.0 < p <= 100.0):
+            raise ConfigurationError(f"percentile must be in (0, 100], got {p}")
+        out[f"p{p:g}"] = float(np.percentile(values, p))
+    return out

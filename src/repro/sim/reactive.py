@@ -1,0 +1,283 @@
+"""Contingency (reactive) management and the demand-driven harness.
+
+The paper's core argument (Sec. I) is pre-control vs contingency: existing
+schemes migrate VMs *after* detecting overload, Sheriff *before*.  To
+measure that difference we need load that varies over time:
+
+* :class:`DemandDrivenWorkload` attaches a
+  :class:`~repro.traces.workload.WorkloadStream` to every VM; a host's
+  effective utilization at round ``t`` is the capacity-weighted mean of
+  its VMs' current demand, so migrating a hot VM genuinely cools the host.
+* :class:`ReactiveManager` raises alerts only from *current* overload
+  (what a QCN/threshold monitor sees);
+* the pre-alert counterpart (driven by
+  :func:`repro.sim.scenario.forecast_alert_round`) predicts the next round
+  and acts one step earlier.
+
+The ablation benchmark counts host-overload-rounds under each policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.alerts.alert import Alert, AlertKind
+from repro.cluster.cluster import Cluster
+from repro.cluster.resources import NUM_RESOURCES
+from repro.errors import ConfigurationError
+from repro.traces.workload import WorkloadStream
+
+__all__ = ["DemandDrivenWorkload", "ReactiveManager", "PredictiveManager"]
+
+
+class _StreamDict(dict):
+    """Stream mapping that invalidates the owner's utilization cache."""
+
+    _owner: Optional["DemandDrivenWorkload"] = None
+
+    def __setitem__(self, key, value) -> None:
+        super().__setitem__(key, value)
+        if self._owner is not None:
+            self._owner._build_util_cache()
+
+
+class DemandDrivenWorkload:
+    """Time-varying per-VM demand bound to a cluster.
+
+    Parameters
+    ----------
+    streams:
+        One stream per VM id; every VM of the cluster must be covered.
+    """
+
+    def __init__(self, cluster: Cluster, streams: Dict[int, WorkloadStream]) -> None:
+        n = cluster.num_vms
+        missing = [v for v in range(n) if v not in streams]
+        if missing:
+            raise ConfigurationError(
+                f"streams missing for VMs {missing[:5]} (+{max(0, len(missing) - 5)} more)"
+            )
+        self.cluster = cluster
+        self.streams = _StreamDict(streams)
+        self.streams._owner = self
+        self._util_matrix: Optional[np.ndarray] = None
+        self._build_util_cache()
+
+    def _build_util_cache(self) -> None:
+        """Stack per-VM max-component series into a (T, vms) matrix.
+
+        Only possible when every stream has the same length; each round's
+        utilization then becomes one row view instead of an O(vms) Python
+        loop — the hot path of paper-scale demand simulations.  Rebuilt
+        whenever a stream is replaced.
+        """
+        n = self.cluster.num_vms
+        lengths = {self.streams[v].length for v in range(n)} if n else set()
+        if len(lengths) == 1:
+            T = lengths.pop()
+            self._util_matrix = np.empty((T, n))
+            for vm in range(n):
+                self._util_matrix[:, vm] = self.streams[vm].profile.max(axis=1)
+        else:
+            self._util_matrix = None
+
+    def vm_utilization(self, t: int) -> np.ndarray:
+        """Per-VM scalar demand at round *t*: the max profile component.
+
+        The max mirrors the ALERT semantics — a VM pegged on any one
+        resource stresses its host.
+        """
+        if self._util_matrix is not None:
+            row = min(t, self._util_matrix.shape[0] - 1)
+            return self._util_matrix[row].copy()
+        n = self.cluster.num_vms
+        out = np.empty(n)
+        for vm in range(n):
+            out[vm] = float(self.streams[vm].at(t).max())
+        return out
+
+    def host_load(self, t: int) -> np.ndarray:
+        """Per-host effective utilization in [0, 1] at round *t*.
+
+        Capacity-weighted VM demand over host capacity: a host packed with
+        idle VMs is not overloaded, one with few hot VMs is.
+        """
+        pl = self.cluster.placement
+        util = self.vm_utilization(t)
+        demand = np.bincount(
+            pl.vm_host,
+            weights=util * pl.vm_capacity,
+            minlength=pl.num_hosts,
+        )
+        return demand / pl.host_capacity
+
+    def overloaded_hosts(self, t: int, threshold: float) -> np.ndarray:
+        """Host ids whose effective load exceeds *threshold* at round *t*."""
+        return np.nonzero(self.host_load(t) > threshold)[0]
+
+
+class ReactiveManager:
+    """Contingency alert source: alerts only from *observed* overload.
+
+    Produces the same ``(alerts, vm_alerts)`` shape as the scenario
+    functions so both policies share the migration machinery — the only
+    difference under test is *when* they learn about trouble.
+    """
+
+    def __init__(self, workload: DemandDrivenWorkload, threshold: float = 0.9) -> None:
+        if not (0.0 < threshold <= 1.0):
+            raise ConfigurationError(f"threshold must be in (0, 1], got {threshold}")
+        self.workload = workload
+        self.threshold = threshold
+
+    def alerts_at(self, t: int) -> Tuple[List[Alert], Dict[int, float]]:
+        """SERVER alerts for hosts currently overloaded at round *t*."""
+        cluster = self.workload.cluster
+        pl = cluster.placement
+        load = self.workload.host_load(t)
+        util = self.workload.vm_utilization(t)
+        alerts: List[Alert] = []
+        vm_alerts: Dict[int, float] = {}
+        for host in np.nonzero(load > self.threshold)[0]:
+            rack = int(pl.host_rack[host])
+            mag = float(min(1.0, load[host]))
+            alerts.append(
+                Alert(
+                    kind=AlertKind.SERVER,
+                    rack=rack,
+                    magnitude=mag,
+                    host=int(host),
+                    time=t,
+                )
+            )
+            for vm in pl.vms_on_host(int(host)):
+                if not pl.vm_delay_sensitive[vm]:
+                    vm_alerts[int(vm)] = float(min(1.0, util[vm]))
+        return alerts, vm_alerts
+
+
+class PredictiveManager:
+    """Pre-alert source: alerts from *predicted* host overload.
+
+    The paper's server-side ALERT means "host ``h_ij`` cannot afford the
+    working load from its VMs" — an aggregate, per-host judgement.  This
+    manager tracks each host's effective load series, forecasts it
+    ``horizon`` rounds ahead with a per-host time-series model, and raises
+    the SERVER alert as soon as the *predicted* load crosses the threshold
+    — typically one or more rounds before a reactive manager would see the
+    overload.
+
+    Call :meth:`observe` once per round (after acting) so the forecasters
+    track reality including the effect of migrations.
+    """
+
+    def __init__(
+        self,
+        workload: DemandDrivenWorkload,
+        threshold: float = 0.9,
+        *,
+        horizon: int = 2,
+        min_history: int = 12,
+        refit_every: int = 10,
+        forecaster_factory=None,
+    ) -> None:
+        if not (0.0 < threshold <= 1.0):
+            raise ConfigurationError(f"threshold must be in (0, 1], got {threshold}")
+        if horizon < 1:
+            raise ConfigurationError(f"horizon must be >= 1, got {horizon}")
+        if min_history < 6:
+            raise ConfigurationError(f"min_history must be >= 6, got {min_history}")
+        from repro.forecast.arima import ARIMA
+
+        self.workload = workload
+        self.threshold = threshold
+        self.horizon = horizon
+        self.min_history = min_history
+        self.refit_every = refit_every
+        self._factory = forecaster_factory or (lambda: ARIMA(1, 1, 0, maxiter=40))
+        n_hosts = workload.cluster.num_hosts
+        self._history: List[List[float]] = [[] for _ in range(n_hosts)]
+        self._models: Dict[int, object] = {}
+        self._since_fit: Dict[int, int] = {}
+        self._last_assignment: Optional[np.ndarray] = None
+
+    def observe(self, t: int) -> None:
+        """Record round *t*'s realized host loads.
+
+        Hosts whose VM assignment changed since the last observation are
+        reset first: a migration steps the load series, and extrapolating
+        that step as a trend manufactures false alerts.  The shim knows
+        its own assignment changed, so dropping the stale history is the
+        honest model of what it can do.  While a host's history rebuilds,
+        :meth:`alerts_at` still detects plain threshold crossings from the
+        current load.
+        """
+        pl = self.workload.cluster.placement
+        current_assignment = pl.vm_host
+        if self._last_assignment is not None:
+            changed_vms = np.nonzero(self._last_assignment != current_assignment)[0]
+            for vm in changed_vms:
+                self.reset_host(int(self._last_assignment[vm]))
+                self.reset_host(int(current_assignment[vm]))
+        self._last_assignment = current_assignment.copy()
+        load = self.workload.host_load(t)
+        for h, v in enumerate(load):
+            self._history[h].append(float(v))
+            model = self._models.get(h)
+            if model is not None:
+                model.append(float(v))
+                self._since_fit[h] += 1
+
+    def reset_host(self, host: int) -> None:
+        """Drop *host*'s load history and model (assignment changed)."""
+        self._history[host].clear()
+        self._models.pop(host, None)
+        self._since_fit.pop(host, None)
+
+    def _predict(self, host: int) -> float:
+        hist = self._history[host]
+        if len(hist) < self.min_history:
+            return hist[-1] if hist else 0.0
+        model = self._models.get(host)
+        if model is None or self._since_fit[host] >= self.refit_every:
+            model = self._factory()
+            model.fit(np.asarray(hist))
+            self._models[host] = model
+            self._since_fit[host] = 0
+        try:
+            f = model.forecast(self.horizon)
+        except Exception:
+            return hist[-1]
+        return float(np.clip(np.max(f), 0.0, 1.0))
+
+    def alerts_at(self, t: int) -> Tuple[List[Alert], Dict[int, float]]:
+        """SERVER alerts for hosts whose predicted load crosses threshold."""
+        cluster = self.workload.cluster
+        pl = cluster.placement
+        util = self.workload.vm_utilization(t)
+        current = self.workload.host_load(t)
+        alerts: List[Alert] = []
+        vm_alerts: Dict[int, float] = {}
+        for host in range(pl.num_hosts):
+            # prediction adds lead time but must never lose plain
+            # threshold detection: alert on max(predicted, observed)
+            pred = max(self._predict(host), float(current[host]))
+            if pred <= self.threshold:
+                continue
+            rack = int(pl.host_rack[host])
+            alerts.append(
+                Alert(
+                    kind=AlertKind.SERVER,
+                    rack=rack,
+                    magnitude=float(max(pred, 1e-3)),
+                    host=host,
+                    time=t,
+                )
+            )
+            for vm in pl.vms_on_host(host):
+                if not pl.vm_delay_sensitive[vm]:
+                    vm_alerts[int(vm)] = float(min(1.0, util[vm]))
+        return alerts, vm_alerts

@@ -1,0 +1,123 @@
+"""Round-by-round simulation recording and export.
+
+Long experiments want their full trajectory, not just the end state: the
+recorder snapshots every metric the Figs. 9–14 analyses need after each
+round, keeps them as columnar arrays, and exports to ``.npz`` (reloadable
+with plain numpy) or CSV for external tooling.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import RoundSummary, SheriffSimulation
+from repro.sim.metrics import gini_coefficient, jain_fairness
+
+__all__ = ["SimulationRecorder"]
+
+PathLike = Union[str, Path]
+
+_COLUMNS = (
+    "round",
+    "alerts",
+    "migrations",
+    "requests",
+    "rejects",
+    "unplaced",
+    "total_cost",
+    "search_space",
+    "workload_std",
+    "workload_mean",
+    "jain_fairness",
+    "gini",
+)
+
+
+class SimulationRecorder:
+    """Attachable metrics recorder for a :class:`SheriffSimulation`.
+
+    Usage::
+
+        rec = SimulationRecorder(sim)
+        for r in range(rounds):
+            summary = sim.run_round(alerts, magnitudes)
+            rec.record(summary)
+        rec.to_npz("run.npz")
+    """
+
+    def __init__(self, sim: SheriffSimulation) -> None:
+        self.sim = sim
+        self._rows: List[Dict[str, float]] = []
+
+    def record(self, summary: RoundSummary) -> Dict[str, float]:
+        """Snapshot post-round metrics; returns the recorded row."""
+        load = self.sim.cluster.placement.host_load_fraction()
+        row = {
+            "round": float(summary.round_index),
+            "alerts": float(summary.alerts),
+            "migrations": float(summary.migrations),
+            "requests": float(summary.requests),
+            "rejects": float(summary.rejects),
+            "unplaced": float(summary.unplaced),
+            "total_cost": float(summary.total_cost),
+            "search_space": float(summary.search_space),
+            "workload_std": float(summary.workload_std_after),
+            "workload_mean": float(self.sim.cluster.workload_mean()),
+            "jain_fairness": jain_fairness(load),
+            "gini": gini_coefficient(load),
+        }
+        self._rows.append(row)
+        return row
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_rounds(self) -> int:
+        return len(self._rows)
+
+    def column(self, name: str) -> np.ndarray:
+        """One metric's trajectory as an array."""
+        if name not in _COLUMNS:
+            raise ConfigurationError(
+                f"unknown column {name!r}; choose from {_COLUMNS}"
+            )
+        return np.asarray([r[name] for r in self._rows])
+
+    def as_dict(self) -> Dict[str, np.ndarray]:
+        return {c: self.column(c) for c in _COLUMNS}
+
+    def summary(self) -> Dict[str, float]:
+        """Whole-run aggregates (totals and final balance)."""
+        if not self._rows:
+            raise ConfigurationError("nothing recorded yet")
+        return {
+            "rounds": float(self.num_rounds),
+            "total_migrations": float(self.column("migrations").sum()),
+            "total_cost": float(self.column("total_cost").sum()),
+            "final_std": float(self._rows[-1]["workload_std"]),
+            "final_jain": float(self._rows[-1]["jain_fairness"]),
+            "std_improvement": float(
+                self._rows[0]["workload_std"] - self._rows[-1]["workload_std"]
+            ),
+        }
+
+    # ------------------------------------------------------------------ #
+    def to_npz(self, path: PathLike) -> None:
+        """Write all columns to a compressed ``.npz``."""
+        if not self._rows:
+            raise ConfigurationError("nothing recorded yet")
+        np.savez_compressed(Path(path), **self.as_dict())
+
+    def to_csv(self, path: PathLike) -> None:
+        """Write all rows to CSV with a header."""
+        if not self._rows:
+            raise ConfigurationError("nothing recorded yet")
+        with open(Path(path), "w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=list(_COLUMNS))
+            writer.writeheader()
+            for row in self._rows:
+                writer.writerow(row)

@@ -1,0 +1,71 @@
+"""Regional (Sheriff) migration planning round — Fig. 11–14 protagonist.
+
+The exact regional counterpart of
+:func:`repro.sim.centralized.centralized_migration_round`: the same
+candidate VM set, but each VM may only move to hosts in its shim's
+one-hop neighbor racks, and each shim plans independently (Alg. 3 with
+the shared REQUEST protocol).  Comparing the two on identical candidate
+sets isolates precisely what the paper's Figs. 11–14 measure: the cost
+penalty and search-space savings of regional scope.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.shim import ShimView
+from repro.costs.model import CostModel
+from repro.migration.request import ReceiverRegistry
+from repro.migration.vmmigration import vmmigration
+from repro.sim.centralized import CentralizedPlan
+
+__all__ = ["regional_migration_round"]
+
+
+def regional_migration_round(
+    cluster: Cluster,
+    cost_model: CostModel,
+    candidates: Sequence[int],
+    *,
+    apply: bool = False,
+    balance_weight: float = 0.0,
+) -> CentralizedPlan:
+    """Plan one regional migration round over the same candidate set.
+
+    Returns the same :class:`CentralizedPlan` record type so benchmark
+    code treats both managers uniformly.  ``apply=False`` plans against
+    the live placement but rolls the reservations back.
+    """
+    plan = CentralizedPlan()
+    vms = [int(v) for v in dict.fromkeys(candidates)]
+    if not vms:
+        return plan
+    pl = cluster.placement
+    by_rack: Dict[int, List[int]] = {}
+    for vm in vms:
+        rack = int(pl.host_rack[pl.vm_host[vm]])
+        by_rack.setdefault(rack, []).append(vm)
+
+    receivers = ReceiverRegistry(cluster)
+    for rack in sorted(by_rack):
+        shim = ShimView(cluster, rack)
+        stats = vmmigration(
+            cluster,
+            cost_model,
+            by_rack[rack],
+            shim.candidate_hosts().tolist(),
+            receivers,
+            balance_weight=balance_weight,
+        )
+        plan.search_space += stats.search_space
+        plan.total_cost += stats.total_cost
+        plan.moves.extend(stats.moves)
+        plan.unplaced.extend(stats.unplaced)
+    if apply:
+        receivers.commit_round()
+    else:
+        receivers.reset_round()
+    return plan

@@ -1,0 +1,43 @@
+"""DCN topology substrate: Fat-Tree and BCube fabrics.
+
+The paper evaluates Sheriff on a switch-centric topology (Fat-Tree, Al-Fares
+et al., SIGCOMM'08) and a server-centric one (BCube).  This subpackage builds
+both as :class:`~repro.topology.base.Topology` objects: a typed node table, a
+typed link table with per-link capacity/distance, and vectorized all-pairs
+shortest-path kernels used by the migration cost model.
+"""
+
+from repro.topology.base import LinkTable, NodeKind, Topology
+from repro.topology.fattree import build_fattree
+from repro.topology.bcube import build_bcube
+from repro.topology.leafspine import build_leaf_spine, leaf_spine_counts
+from repro.topology.shortest_paths import (
+    floyd_warshall,
+    floyd_warshall_with_paths,
+    reconstruct_path,
+)
+from repro.topology.layout import rack_positions, rack_distance_matrix
+from repro.topology.validate import validate_topology
+from repro.topology.custom import from_edge_list, from_networkx
+from repro.topology.routing import ecmp_path, equal_cost_paths, path_diversity
+
+__all__ = [
+    "NodeKind",
+    "LinkTable",
+    "Topology",
+    "build_fattree",
+    "build_bcube",
+    "build_leaf_spine",
+    "leaf_spine_counts",
+    "floyd_warshall",
+    "floyd_warshall_with_paths",
+    "reconstruct_path",
+    "rack_positions",
+    "rack_distance_matrix",
+    "validate_topology",
+    "from_edge_list",
+    "from_networkx",
+    "equal_cost_paths",
+    "ecmp_path",
+    "path_diversity",
+]

@@ -1,0 +1,108 @@
+"""k-ary Fat-Tree fabric (Al-Fares et al., SIGCOMM 2008).
+
+A ``k``-pod Fat-Tree has:
+
+* ``k`` pods, each with ``k/2`` edge (ToR) switches and ``k/2`` aggregation
+  switches;
+* ``(k/2)^2`` core switches;
+* every ToR connects to all ``k/2`` aggregation switches in its pod;
+* aggregation switch ``a`` (index ``j`` within its pod) connects to core
+  switches ``j*(k/2) .. (j+1)*(k/2)-1``.
+
+Node-id layout (ToR prefix is required by :class:`~repro.topology.base.Topology`)::
+
+    [0 .. k*k/2)                        ToR   (pod-major order)
+    [k*k/2 .. k*k)                      AGG   (pod-major order)
+    [k*k .. k*k + (k/2)^2)              CORE
+
+The paper's simulation settings (Sec. VI-B) give aggregation↔core links an
+available bandwidth of 10 and ToR↔aggregation links 1; those are the
+defaults here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.topology.base import NodeKind, Topology
+
+__all__ = ["build_fattree", "fattree_counts"]
+
+
+def fattree_counts(k: int) -> dict:
+    """Closed-form element counts for a k-pod Fat-Tree.
+
+    Returns a dict with ``tor``, ``agg``, ``core``, ``links`` and
+    ``hosts_max`` (``k^3/4``, the canonical host capacity).
+    """
+    _check_k(k)
+    half = k // 2
+    tor = k * half
+    agg = k * half
+    core = half * half
+    # each ToR has k/2 uplinks; each agg has k/2 uplinks to core
+    links = tor * half + agg * half
+    return {
+        "tor": tor,
+        "agg": agg,
+        "core": core,
+        "links": links,
+        "hosts_max": half * tor,
+    }
+
+
+def _check_k(k: int) -> None:
+    if k < 2 or k % 2 != 0:
+        raise ConfigurationError(f"Fat-Tree requires an even k >= 2, got {k}")
+
+
+def build_fattree(
+    k: int,
+    *,
+    tor_agg_capacity: float = 1.0,
+    agg_core_capacity: float = 10.0,
+    tor_agg_distance: float = 1.0,
+    agg_core_distance: float = 2.0,
+) -> Topology:
+    """Build a ``k``-pod Fat-Tree :class:`Topology`.
+
+    Parameters
+    ----------
+    k:
+        Number of pods (even, >= 2).  The paper sweeps ``k`` from 8 to 48.
+    tor_agg_capacity, agg_core_capacity:
+        Link capacities ``C(e)``; defaults follow the paper's simulation
+        (1 for ToR↔agg, 10 for agg↔core).
+    tor_agg_distance, agg_core_distance:
+        Physical distances ``D(e)`` used by the dependency cost.  Intra-pod
+        cabling is shorter than pod↔core runs, hence the 1/2 defaults.
+    """
+    _check_k(k)
+    half = k // 2
+    n_tor = k * half
+    n_agg = k * half
+    n_core = half * half
+
+    kinds = (
+        [NodeKind.TOR] * n_tor + [NodeKind.AGG] * n_agg + [NodeKind.CORE] * n_core
+    )
+    topo = Topology(f"fattree-k{k}", kinds)
+    topo.meta["k"] = float(k)
+    topo.meta["pods"] = float(k)
+
+    agg_base = n_tor
+    core_base = n_tor + n_agg
+
+    for pod in range(k):
+        for i in range(half):  # ToR i of this pod
+            tor = pod * half + i
+            for j in range(half):  # agg j of this pod
+                agg = agg_base + pod * half + j
+                topo.add_link(tor, agg, tor_agg_capacity, tor_agg_distance)
+        for j in range(half):  # agg j uplinks to its core group
+            agg = agg_base + pod * half + j
+            for c in range(half):
+                core = core_base + j * half + c
+                topo.add_link(agg, core, agg_core_capacity, agg_core_distance)
+    return topo

@@ -1,0 +1,57 @@
+"""Physical rack layout per the paper's facility settings (Sec. II-A).
+
+Racks are 0.6 m wide, 2 m tall, 1 m deep; racks stand side by side forming
+rows with ~2 m aisles between rows.  Sheriff's dependency cost multiplies a
+unit cost ``C_d`` by physical distance, so the layout feeds directly into
+:mod:`repro.costs`.
+
+We place ``num_racks`` racks into rows of ``racks_per_row`` and measure
+rectilinear (aisle-walking) distance between rack centers: cabling and
+maintenance paths in a data center follow aisles, not diagonals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "RACK_WIDTH_M",
+    "RACK_DEPTH_M",
+    "ROW_GAP_M",
+    "rack_positions",
+    "rack_distance_matrix",
+]
+
+RACK_WIDTH_M = 0.6
+RACK_DEPTH_M = 1.0
+ROW_GAP_M = 2.0
+
+
+def rack_positions(num_racks: int, racks_per_row: int = 10) -> np.ndarray:
+    """Center coordinates ``(x, y)`` in meters of each rack.
+
+    Racks fill rows left-to-right; row pitch is rack depth + aisle gap.
+    """
+    if num_racks < 1:
+        raise ConfigurationError(f"need at least one rack, got {num_racks}")
+    if racks_per_row < 1:
+        raise ConfigurationError(f"racks_per_row must be >= 1, got {racks_per_row}")
+    idx = np.arange(num_racks)
+    col = idx % racks_per_row
+    row = idx // racks_per_row
+    x = (col + 0.5) * RACK_WIDTH_M
+    y = (row + 0.5) * (RACK_DEPTH_M + ROW_GAP_M)
+    return np.stack([x, y], axis=1)
+
+
+def rack_distance_matrix(num_racks: int, racks_per_row: int = 10) -> np.ndarray:
+    """Pairwise rectilinear distances (meters) between rack centers.
+
+    Vectorized: broadcasts the position array against itself instead of a
+    double Python loop.
+    """
+    pos = rack_positions(num_racks, racks_per_row)
+    diff = np.abs(pos[:, None, :] - pos[None, :, :])
+    return diff.sum(axis=2)

@@ -1,0 +1,64 @@
+"""Leaf-spine (2-tier Clos) fabric builder.
+
+The dominant post-Fat-Tree enterprise fabric: every leaf (ToR) connects
+to every spine, giving two-hop any-to-any reachability and ``spines``
+equal-cost paths between any pair of racks.  Sheriff runs on it
+unchanged — and because every leaf is a one-hop neighbor of every other,
+the regional migration horizon covers the whole fabric (the regional ≈
+centralized regime, like a two-level BCube).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.topology.base import NodeKind, Topology
+
+__all__ = ["build_leaf_spine", "leaf_spine_counts"]
+
+
+def leaf_spine_counts(leaves: int, spines: int) -> dict:
+    """Closed-form element counts."""
+    _check(leaves, spines)
+    return {
+        "leaves": leaves,
+        "spines": spines,
+        "links": leaves * spines,
+        "equal_cost_paths": spines,
+    }
+
+
+def _check(leaves: int, spines: int) -> None:
+    if leaves < 2:
+        raise ConfigurationError(f"need >= 2 leaves, got {leaves}")
+    if spines < 1:
+        raise ConfigurationError(f"need >= 1 spine, got {spines}")
+
+
+def build_leaf_spine(
+    leaves: int,
+    spines: int,
+    *,
+    link_capacity: float = 10.0,
+    link_distance: float = 1.0,
+) -> Topology:
+    """Build a full-mesh leaf-spine :class:`Topology`.
+
+    Parameters
+    ----------
+    leaves:
+        Number of ToR (leaf) switches — the racks.
+    spines:
+        Number of spine switches; also the ECMP fan-out.
+    link_capacity:
+        Uniform leaf↔spine link capacity (10 = the 10 Gbps uplinks of the
+        paper's rack model).
+    """
+    _check(leaves, spines)
+    kinds = [NodeKind.TOR] * leaves + [NodeKind.AGG] * spines
+    topo = Topology(f"leafspine-{leaves}x{spines}", kinds)
+    topo.meta["leaves"] = float(leaves)
+    topo.meta["spines"] = float(spines)
+    for leaf in range(leaves):
+        for s in range(spines):
+            topo.add_link(leaf, leaves + s, link_capacity, link_distance)
+    return topo

@@ -1,0 +1,148 @@
+"""Equal-cost multipath (ECMP) utilities.
+
+A Fat-Tree's raison d'être is path diversity: every inter-pod rack pair
+has ``(k/2)²`` equal-cost paths, and production fabrics spread flows
+across them by hashing (the paper's congestion citations — Hedera [1],
+Mahout [8] — are about what happens when that hashing collides).  These
+helpers enumerate the equal-cost path set so flow placement can model
+ECMP instead of always picking one deterministic shortest path:
+
+* :func:`equal_cost_paths` — all minimum-weight simple paths between two
+  racks (bounded enumeration);
+* :func:`ecmp_path` — deterministic hash-pick among them (what a real
+  switch does with a flow tuple);
+* :func:`path_diversity` — the equal-cost path count matrix, a fabric
+  health metric.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import dijkstra
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.topology.base import Topology
+
+__all__ = ["equal_cost_paths", "ecmp_path", "path_diversity"]
+
+_MAX_PATHS = 256
+
+
+def _weights_and_dist(topology: Topology, weight: str):
+    lt = topology.links
+    n = topology.num_nodes
+    if weight == "hops":
+        w = np.ones(len(lt))
+    elif weight == "inverse_capacity":
+        w = 1.0 / lt.capacity
+    elif weight == "distance":
+        w = lt.distance.copy()
+        if (w <= 0).any():
+            raise TopologyError("distance weights must be positive for routing")
+    else:
+        raise ConfigurationError(
+            f"unknown weight {weight!r}; use hops/inverse_capacity/distance"
+        )
+    g = csr_matrix(
+        (
+            np.concatenate([w, w]),
+            (np.concatenate([lt.u, lt.v]), np.concatenate([lt.v, lt.u])),
+        ),
+        shape=(n, n),
+    )
+    edge_w: Dict[Tuple[int, int], float] = {}
+    for i in range(len(lt)):
+        a, b = int(lt.u[i]), int(lt.v[i])
+        edge_w[(a, b)] = edge_w[(b, a)] = float(w[i])
+    return g, edge_w
+
+
+def equal_cost_paths(
+    topology: Topology,
+    src: int,
+    dst: int,
+    *,
+    weight: str = "hops",
+    max_paths: int = _MAX_PATHS,
+) -> List[List[int]]:
+    """All minimum-weight simple paths ``src → dst``.
+
+    Enumerates along the shortest-path DAG (a node/edge is on *some*
+    shortest path iff ``d(src, u) + w(u, v) + d(v, dst) == d(src, dst)``),
+    so only optimal paths are ever expanded.  Enumeration is capped at
+    *max_paths*; hitting the cap raises rather than silently truncating.
+    """
+    n = topology.num_nodes
+    if not (0 <= src < n and 0 <= dst < n):
+        raise TopologyError(f"endpoints ({src}, {dst}) out of range 0..{n - 1}")
+    if max_paths < 1:
+        raise ConfigurationError(f"max_paths must be >= 1, got {max_paths}")
+    if src == dst:
+        return [[src]]
+    g, edge_w = _weights_and_dist(topology, weight)
+    d_src = dijkstra(g, directed=False, indices=src)
+    d_dst = dijkstra(g, directed=False, indices=dst)
+    total = d_src[dst]
+    if not np.isfinite(total):
+        raise TopologyError(f"node {dst} unreachable from {src}")
+
+    paths: List[List[int]] = []
+    tol = 1e-9
+
+    def extend(node: int, prefix: List[int]) -> None:
+        if node == dst:
+            paths.append(prefix.copy())
+            if len(paths) > max_paths:
+                raise ConfigurationError(
+                    f"more than {max_paths} equal-cost paths between "
+                    f"{src} and {dst}; raise max_paths to enumerate them"
+                )
+            return
+        for nxt in topology.neighbors(node):
+            nxt = int(nxt)
+            w = edge_w[(node, nxt)]
+            if abs(d_src[node] + w + d_dst[nxt] - total) < tol:
+                prefix.append(nxt)
+                extend(nxt, prefix)
+                prefix.pop()
+
+    extend(src, [src])
+    return paths
+
+
+def ecmp_path(
+    topology: Topology,
+    src: int,
+    dst: int,
+    flow_key: int,
+    *,
+    weight: str = "hops",
+) -> List[int]:
+    """Deterministic hash-pick among the equal-cost paths.
+
+    ``flow_key`` stands in for the 5-tuple a switch would hash; the same
+    key always takes the same path (flowlet consistency), different keys
+    spread across the ECMP group.
+    """
+    paths = equal_cost_paths(topology, src, dst, weight=weight)
+    # Fibonacci hashing spreads small consecutive keys well
+    idx = (int(flow_key) * 2654435761) % (2**32) % len(paths)
+    return paths[idx]
+
+
+def path_diversity(topology: Topology, *, weight: str = "hops") -> np.ndarray:
+    """``(racks, racks)`` matrix of equal-cost path counts.
+
+    Diagonal is 1 (the trivial path).  In a healthy ``k``-pod Fat-Tree the
+    inter-pod entries equal ``(k/2)²`` and intra-pod entries ``k/2``.
+    """
+    r = topology.num_racks
+    out = np.ones((r, r), dtype=np.int64)
+    for a in range(r):
+        for b in range(a + 1, r):
+            c = len(equal_cost_paths(topology, a, b, weight=weight))
+            out[a, b] = out[b, a] = c
+    return out

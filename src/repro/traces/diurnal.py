@@ -1,0 +1,95 @@
+"""Seasonal (diurnal / weekly) deterministic components.
+
+Telecommunication-style workloads have explicit diurnal patterns
+(Sec. I cites [24]); web traffic additionally dips on weekends.  These
+builders return the *deterministic* seasonal skeleton; callers add noise
+from :mod:`repro.traces.noise`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["diurnal_pattern", "weekly_pattern"]
+
+
+def diurnal_pattern(
+    n: int,
+    period: int,
+    *,
+    base: float = 0.5,
+    amplitude: float = 0.4,
+    peak_phase: float = 0.58,
+    sharpness: float = 2.0,
+    harmonics: Sequence[float] = (1.0, 0.35, 0.1),
+) -> np.ndarray:
+    """One-day repeating pattern with a sharpened afternoon peak.
+
+    Parameters
+    ----------
+    n, period:
+        Total samples and samples per day.
+    base, amplitude:
+        Mean level and swing of the pattern.
+    peak_phase:
+        Fraction of the day where the main peak sits (0.58 ≈ 14:00).
+    sharpness:
+        >1 makes peaks narrower than troughs (raising the positive half
+        of the wave to this power), matching real diurnal load shapes.
+    harmonics:
+        Relative weights of the fundamental and its overtones.
+    """
+    if period < 2:
+        raise ConfigurationError(f"period must be >= 2, got {period}")
+    if n < 0:
+        raise ConfigurationError(f"n must be non-negative, got {n}")
+    if amplitude < 0:
+        raise ConfigurationError(f"amplitude must be non-negative, got {amplitude}")
+    t = np.arange(n) / period
+    wave = np.zeros(n)
+    for k, w in enumerate(harmonics, start=1):
+        wave += w * np.cos(2.0 * np.pi * k * (t - peak_phase))
+    norm = np.sum(np.abs(harmonics))
+    if norm > 0:
+        wave /= norm
+    if sharpness != 1.0:
+        pos = wave > 0
+        wave[pos] = wave[pos] ** sharpness
+    return base + amplitude * wave
+
+
+def weekly_pattern(
+    n: int,
+    period: int,
+    *,
+    weekend_factor: float = 0.6,
+    days_per_week: int = 7,
+    weekend_days: Sequence[int] = (5, 6),
+) -> np.ndarray:
+    """Multiplicative weekday/weekend modulation.
+
+    Returns an array of per-sample multipliers: 1.0 on weekdays,
+    *weekend_factor* on weekend days, with a half-day cosine ramp at the
+    boundaries so the modulation is smooth (step changes would confuse
+    low-order ARIMA differencing more than real traffic does).
+    """
+    if period < 2:
+        raise ConfigurationError(f"period must be >= 2, got {period}")
+    if weekend_factor <= 0:
+        raise ConfigurationError(f"weekend_factor must be positive, got {weekend_factor}")
+    day = (np.arange(n) // period) % days_per_week
+    target = np.where(np.isin(day, weekend_days), weekend_factor, 1.0)
+    if n == 0:
+        return target
+    # Smooth with a centered moving average half a day wide.
+    w = max(1, period // 2)
+    kernel = np.ones(w) / w
+    sm = np.convolve(target, kernel, mode="same")
+    # convolve shrinks edges towards 0 where the kernel hangs off the
+    # array; renormalize by the effective kernel mass.
+    mass = np.convolve(np.ones(n), kernel, mode="same")
+    return sm / mass

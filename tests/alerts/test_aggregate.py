@@ -1,0 +1,82 @@
+"""Profile aggregation tests."""
+
+import numpy as np
+import pytest
+
+from repro.alerts.aggregate import (
+    host_profiles,
+    hottest_resource,
+    rack_profiles,
+    rack_uplink_traffic,
+)
+from repro.cluster.host import Host
+from repro.cluster.placement import Placement
+from repro.cluster.resources import NUM_RESOURCES, ResourceKind
+from repro.cluster.vm import VM
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def placement():
+    vms = [VM(0, 10, 1.0), VM(1, 30, 1.0), VM(2, 20, 1.0)]
+    hosts = [Host(0, 0, 100), Host(1, 0, 100), Host(2, 1, 100)]
+    return Placement(vms, hosts, [0, 0, 2])
+
+
+def profiles_for(placement, rows):
+    return np.asarray(rows, dtype=np.float64)
+
+
+class TestHostProfiles:
+    def test_capacity_weighted_mean(self, placement):
+        p = profiles_for(placement, [
+            [1.0, 0.0, 0.0, 0.0],   # vm0, cap 10
+            [0.0, 0.0, 0.0, 0.0],   # vm1, cap 30
+            [0.5, 0.5, 0.5, 0.5],   # vm2, cap 20
+        ])
+        hp = host_profiles(placement, p)
+        assert hp[0, 0] == pytest.approx(10 / 40)  # (10*1 + 30*0) / 40
+        np.testing.assert_allclose(hp[2], 0.5)
+
+    def test_empty_host_zero(self, placement):
+        p = np.zeros((3, NUM_RESOURCES))
+        hp = host_profiles(placement, p)
+        np.testing.assert_allclose(hp[1], 0.0)
+
+    def test_shape_validation(self, placement):
+        with pytest.raises(ConfigurationError):
+            host_profiles(placement, np.zeros((2, NUM_RESOURCES)))
+        with pytest.raises(ConfigurationError):
+            host_profiles(placement, np.full((3, NUM_RESOURCES), 1.5))
+
+
+class TestRackProfiles:
+    def test_rack_rollup(self, placement):
+        p = profiles_for(placement, [
+            [0.8, 0, 0, 0],
+            [0.4, 0, 0, 0],
+            [0.6, 0, 0, 0],
+        ])
+        rp = rack_profiles(placement, p)
+        # rack 0 holds vm0 (cap 10) and vm1 (cap 30)
+        assert rp[0, 0] == pytest.approx((10 * 0.8 + 30 * 0.4) / 40)
+        assert rp[1, 0] == pytest.approx(0.6)
+
+    def test_uplink_traffic(self, placement):
+        p = np.zeros((3, NUM_RESOURCES))
+        p[:, int(ResourceKind.TRF)] = [0.5, 0.5, 1.0]
+        t = rack_uplink_traffic(placement, p)
+        assert t[0] == pytest.approx(10 * 0.5 + 30 * 0.5)
+        assert t[1] == pytest.approx(20 * 1.0)
+
+
+class TestHottestResource:
+    def test_argmax(self):
+        assert hottest_resource(np.array([0.1, 0.9, 0.3, 0.2])) is ResourceKind.MEM
+
+    def test_tie_lowest_index(self):
+        assert hottest_resource(np.array([0.5, 0.5, 0.5, 0.5])) is ResourceKind.CPU
+
+    def test_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            hottest_resource(np.zeros(3))

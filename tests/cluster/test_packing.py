@@ -1,0 +1,82 @@
+"""Bin-packing placement policy tests."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import build_cluster_packed, pack
+from repro.cluster.packing import POLICIES
+from repro.errors import CapacityError, ConfigurationError
+from repro.topology import build_fattree
+
+
+class TestPack:
+    @pytest.mark.parametrize("policy", sorted(POLICIES))
+    def test_capacity_respected(self, policy):
+        rng = np.random.default_rng(0)
+        sizes = rng.integers(1, 15, size=40)
+        caps = np.full(10, 60)
+        out = pack(sizes, caps, policy, seed=1)
+        used = np.bincount(out, weights=sizes, minlength=10)
+        assert (used <= caps).all()
+        assert out.shape == (40,)
+
+    def test_first_fit_front_loads(self):
+        out = pack([10] * 6, [100, 100, 100], "first_fit")
+        assert (out == 0).all()
+
+    def test_worst_fit_spreads(self):
+        out = pack([10] * 6, [100, 100, 100], "worst_fit")
+        counts = np.bincount(out, minlength=3)
+        assert counts.max() - counts.min() <= 1
+
+    def test_round_robin_stripes(self):
+        out = pack([10] * 6, [100, 100, 100], "round_robin")
+        np.testing.assert_array_equal(out, [0, 1, 2, 0, 1, 2])
+
+    def test_best_fit_tightest_gap(self):
+        # host 1 has gap exactly 10: best fit chooses it over host 0
+        out = pack([10], [100, 10], "best_fit")
+        assert out[0] == 1
+
+    def test_first_fit_decreasing_packs_better(self):
+        # classic: sizes that FF fragments but FFD packs
+        sizes = [6, 6, 6, 4, 4, 4]  # capacities 10 each
+        caps = [10, 10, 10]
+        ffd = pack(sizes, caps, "first_fit_decreasing")
+        used = np.bincount(ffd, weights=np.asarray(sizes), minlength=3)
+        assert (used == 10).all()  # perfect packing
+
+    def test_infeasible_raises(self):
+        with pytest.raises(CapacityError):
+            pack([50], [10, 10], "first_fit")
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigurationError):
+            pack([1], [10], "definitely_not_a_policy")
+
+    def test_random_fit_deterministic_with_seed(self):
+        sizes = list(range(1, 15))
+        a = pack(sizes, [40] * 5, "random_fit", seed=3)
+        b = pack(sizes, [40] * 5, "random_fit", seed=3)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestBuildClusterPacked:
+    def test_policies_produce_different_balance(self):
+        topo = build_fattree(4)
+        consolidated = build_cluster_packed(topo, policy="first_fit", seed=5)
+        balanced = build_cluster_packed(topo, policy="worst_fit", seed=5)
+        assert consolidated.workload_std() > balanced.workload_std() * 1.5
+        consolidated.placement.check_invariants()
+        balanced.placement.check_invariants()
+
+    def test_fill_target_met(self):
+        topo = build_fattree(4)
+        c = build_cluster_packed(topo, fill_fraction=0.6, seed=6)
+        mean_fill = c.placement.host_load_fraction().mean()
+        assert 0.5 <= mean_fill <= 0.7
+
+    def test_validation(self):
+        topo = build_fattree(4)
+        with pytest.raises(ConfigurationError):
+            build_cluster_packed(topo, fill_fraction=0.99)

@@ -1,0 +1,106 @@
+"""CostModel facade and dependency cost tests."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import build_cluster
+from repro.cluster.dependency import DependencyGraph
+from repro.costs.dependency import dependency_cost, dependent_racks
+from repro.costs.model import CostModel, CostParams
+from repro.errors import ConfigurationError
+from repro.topology import build_fattree
+
+
+class TestCostParams:
+    def test_paper_defaults(self):
+        p = CostParams()
+        assert p.migration_constant == 100.0
+        assert p.dependency_unit == 1.0
+        assert p.delta == 1.0 and p.eta == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CostParams(migration_constant=-1)
+        with pytest.raises(ConfigurationError):
+            CostParams(dependency_unit=-1)
+
+
+class TestDependencyCost:
+    def make(self):
+        c = build_cluster(build_fattree(4), hosts_per_rack=2, seed=0, dependency_degree=0.0)
+        return c
+
+    def test_no_dependents_zero(self):
+        c = self.make()
+        cm = CostModel(c)
+        assert dependency_cost(c.dependencies, c.placement, cm.rack_distances, 0, 5) == 0.0
+
+    def test_moving_toward_dependents_is_negative(self):
+        c = self.make()
+        pl = c.placement
+        # find two VMs in different racks and make them dependent
+        vm_a = int(pl.vms_in_rack(0)[0])
+        vm_b = int(pl.vms_in_rack(5)[0])
+        c.dependencies.add_pair(vm_a, vm_b)
+        cm = CostModel(c)
+        d = cm.rack_distances
+        toward = dependency_cost(c.dependencies, pl, d, vm_a, 5)
+        away = dependency_cost(c.dependencies, pl, d, vm_a, 0)  # stay: zero delta
+        assert toward < 0
+        assert away == 0.0
+
+    def test_multiplicity_counts(self):
+        c = self.make()
+        pl = c.placement
+        vm_a = int(pl.vms_in_rack(0)[0])
+        others = pl.vms_in_rack(5)
+        c.dependencies.add_pair(vm_a, int(others[0]))
+        c.dependencies.add_pair(vm_a, int(others[1]))
+        cm = CostModel(c)
+        two = dependency_cost(c.dependencies, pl, cm.rack_distances, vm_a, 5)
+        racks = dependent_racks(c.dependencies, pl, vm_a)
+        assert racks.shape == (2,)
+        # two dependents in the same rack -> twice the single-dependent delta
+        c2 = self.make()
+        vm_a2 = int(c2.placement.vms_in_rack(0)[0])
+        c2.dependencies.add_pair(vm_a2, int(c2.placement.vms_in_rack(5)[0]))
+        cm2 = CostModel(c2)
+        one = dependency_cost(c2.dependencies, c2.placement, cm2.rack_distances, vm_a2, 5)
+        assert two == pytest.approx(2 * one)
+
+
+class TestCostModel:
+    def test_vector_matches_scalar(self, small_cluster):
+        cm = CostModel(small_cluster)
+        v = cm.migration_cost_vector(0)
+        for rack in range(small_cluster.num_racks):
+            assert v[rack] == pytest.approx(cm.migration_cost(0, rack))
+
+    def test_includes_migration_constant(self, small_cluster):
+        cm = CostModel(small_cluster, CostParams(migration_constant=500.0))
+        src = small_cluster.placement.rack_of(0)
+        assert cm.migration_cost(0, src) >= 500.0
+
+    def test_pairwise_rack_cost_zero_diagonal(self, small_cluster):
+        cm = CostModel(small_cluster)
+        m = cm.pairwise_rack_cost(10.0)
+        assert (np.diagonal(m) == 0).all()
+        off = m[~np.eye(m.shape[0], dtype=bool)]
+        assert (off >= cm.params.migration_constant).all()
+
+    def test_larger_vm_costs_more(self, small_cluster):
+        cm = CostModel(small_cluster)
+        pl = small_cluster.placement
+        caps = pl.vm_capacity
+        big = int(np.argmax(caps))
+        small = int(np.argmin(caps))
+        if caps[big] == caps[small]:
+            pytest.skip("cluster has uniform VM sizes")
+        src_b, src_s = pl.rack_of(big), pl.rack_of(small)
+        # compare moves over identical rack pairs (symmetric fabric)
+        dst_b = (src_b + 4) % small_cluster.num_racks
+        dst_s = (src_s + 4) % small_cluster.num_racks
+        tb = cm.table.cost(float(caps[big]), src_b, dst_b)
+        ts = cm.table.cost(float(caps[small]), src_s, dst_s)
+        if dst_b != src_b and dst_s != src_s:
+            assert tb / max(caps[big], 1) <= ts / max(caps[small], 1) * 5

@@ -1,0 +1,72 @@
+"""Six-stage pre-copy timeline tests (Fig. 2)."""
+
+import pytest
+
+from repro.costs.precopy import precopy_timeline
+from repro.errors import ConfigurationError, MigrationError
+
+
+class TestTimeline:
+    def test_idle_vm_single_round(self):
+        tl = precopy_timeline(memory=1024, dirty_rate=0.0, bandwidth=100.0)
+        assert tl.rounds == 1
+        assert tl.t2 == pytest.approx(1024 / 100)
+        assert tl.t3 == 0.0
+        assert tl.transferred == pytest.approx(1024)
+
+    def test_downtime_respects_target(self):
+        tl = precopy_timeline(
+            memory=2048, dirty_rate=30.0, bandwidth=100.0, downtime_target=0.06
+        )
+        assert tl.downtime <= 0.06 + 1e-9
+
+    def test_rounds_shrink_geometrically(self):
+        tl = precopy_timeline(memory=1000, dirty_rate=50.0, bandwidth=100.0)
+        # ratio 0.5: residual after k rounds = 1000 * 0.5^k
+        assert tl.rounds >= 2
+        assert tl.transferred < 1000 / (1 - 0.5) + 1  # geometric series bound
+
+    def test_total_includes_all_stages(self):
+        tl = precopy_timeline(
+            memory=100,
+            dirty_rate=0.0,
+            bandwidth=100.0,
+            setup_time=0.5,
+            finish_time=0.2,
+        )
+        assert tl.total == pytest.approx(0.5 + 1.0 + 0.0 + 0.2)
+
+    def test_high_dirty_rate_hits_round_cap(self):
+        tl = precopy_timeline(
+            memory=1000, dirty_rate=99.0, bandwidth=100.0, max_rounds=5
+        )
+        assert tl.rounds == 5
+        assert tl.downtime > 0.06  # forced cut-over exceeds the target
+
+    def test_faster_bandwidth_shortens_migration(self):
+        slow = precopy_timeline(memory=4096, dirty_rate=20.0, bandwidth=100.0)
+        fast = precopy_timeline(memory=4096, dirty_rate=20.0, bandwidth=1000.0)
+        assert fast.total < slow.total
+        assert fast.downtime <= slow.downtime + 1e-9
+
+
+class TestFailureInjection:
+    def test_dirty_rate_at_bandwidth_cannot_converge(self):
+        with pytest.raises(MigrationError):
+            precopy_timeline(memory=1000, dirty_rate=100.0, bandwidth=100.0)
+
+    def test_dirty_rate_above_bandwidth(self):
+        with pytest.raises(MigrationError):
+            precopy_timeline(memory=1000, dirty_rate=150.0, bandwidth=100.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            precopy_timeline(memory=0, dirty_rate=1, bandwidth=1)
+        with pytest.raises(ConfigurationError):
+            precopy_timeline(memory=1, dirty_rate=-1, bandwidth=1)
+        with pytest.raises(ConfigurationError):
+            precopy_timeline(memory=1, dirty_rate=0, bandwidth=0)
+        with pytest.raises(ConfigurationError):
+            precopy_timeline(memory=1, dirty_rate=0, bandwidth=1, downtime_target=0)
+        with pytest.raises(ConfigurationError):
+            precopy_timeline(memory=1, dirty_rate=0, bandwidth=1, max_rounds=0)

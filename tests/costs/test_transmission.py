@@ -1,0 +1,115 @@
+"""Transmission cost table tests, cross-validated against Floyd-Warshall."""
+
+import numpy as np
+import pytest
+
+from repro.costs.transmission import TransmissionCostTable
+from repro.errors import ConfigurationError, TopologyError
+from repro.topology import build_bcube, build_fattree, floyd_warshall
+
+
+@pytest.fixture(params=["fattree", "bcube"])
+def topo(request):
+    return build_fattree(4) if request.param == "fattree" else build_bcube(4, 3)
+
+
+class TestAgainstFloydWarshall:
+    def test_path_weight_matches_fw(self, topo):
+        delta, eta, ref = 1.0, 1.0, 10.0
+        tab = TransmissionCostTable(topo, delta=delta, eta=eta, reference_capacity=ref)
+        lt = topo.links
+        n = topo.num_nodes
+        w = np.full((n, n), np.inf)
+        np.fill_diagonal(w, 0.0)
+        ew = delta * ref / lt.capacity + eta * (lt.capacity / lt.capacity)
+        w[lt.u, lt.v] = ew
+        w[lt.v, lt.u] = ew
+        fw = floyd_warshall(w)
+        np.testing.assert_allclose(tab.path_weight, fw[: topo.num_racks], atol=1e-9)
+
+    def test_component_sums_recombine(self, topo):
+        tab = TransmissionCostTable(topo, delta=2.0, eta=3.0, reference_capacity=7.0)
+        comb = 2.0 * 7.0 * tab.sum_inv_b + 3.0 * tab.sum_util
+        finite = np.isfinite(comb)
+        np.testing.assert_allclose(comb[finite], tab.path_weight[finite], atol=1e-6)
+
+
+class TestCostQueries:
+    def test_zero_for_same_rack(self, topo):
+        tab = TransmissionCostTable(topo)
+        assert tab.cost(5.0, 0, 0) == 0.0
+        assert tab.rack_distance(0, 0) == 0.0
+
+    def test_cost_scales_with_capacity_in_delta_term(self, topo):
+        tab = TransmissionCostTable(topo, delta=1.0, eta=0.0)
+        c1 = tab.cost(1.0, 0, topo.num_racks - 1)
+        c10 = tab.cost(10.0, 0, topo.num_racks - 1)
+        assert c10 == pytest.approx(10 * c1)
+
+    def test_eta_term_capacity_independent(self, topo):
+        tab = TransmissionCostTable(topo, delta=0.0, eta=1.0)
+        assert tab.cost(1.0, 0, 1) == tab.cost(99.0, 0, 1)
+
+    def test_cost_vector_consistent(self, topo):
+        tab = TransmissionCostTable(topo)
+        v = tab.cost_vector(5.0, 0)
+        for dst in range(topo.num_racks):
+            assert v[dst] == pytest.approx(tab.cost(5.0, 0, dst))
+
+    def test_symmetry(self, topo):
+        tab = TransmissionCostTable(topo)
+        r = topo.num_racks
+        for a in range(r):
+            for b in range(r):
+                assert tab.cost(5.0, a, b) == pytest.approx(tab.cost(5.0, b, a))
+
+    def test_path_endpoints_and_weight(self, topo):
+        tab = TransmissionCostTable(topo)
+        r = topo.num_racks
+        p = tab.path(0, r - 1)
+        assert p[0] == 0 and p[-1] == r - 1
+        assert tab.hops[0, r - 1] == len(p) - 1
+
+    def test_out_of_range_racks(self, topo):
+        tab = TransmissionCostTable(topo)
+        with pytest.raises(TopologyError):
+            tab.cost(1.0, 0, 10**6)
+
+
+class TestBandwidth:
+    def test_reduced_bandwidth_raises_cost(self):
+        topo = build_fattree(4)
+        full = TransmissionCostTable(topo)
+        half_bw = topo.links.capacity * 0.5
+        degraded = TransmissionCostTable(topo, available_bandwidth=half_bw)
+        r = topo.num_racks
+        assert degraded.cost(5.0, 0, r - 1) > full.cost(5.0, 0, r - 1)
+
+    def test_bandwidth_threshold_excludes_links(self):
+        topo = build_fattree(4)
+        # threshold above ToR-agg capacity (1.0) removes every rack uplink
+        with pytest.raises(TopologyError):
+            tab = TransmissionCostTable(topo, bandwidth_threshold=1.0)
+            # racks become unreachable: cost table must flag it
+            if np.isfinite(tab.sum_inv_b[0, 1]):
+                raise AssertionError("expected unreachable racks")
+            raise TopologyError("unreachable")
+
+    def test_threshold_below_min_keeps_connectivity(self):
+        topo = build_fattree(4)
+        tab = TransmissionCostTable(topo, bandwidth_threshold=0.5)
+        r = topo.num_racks
+        assert np.isfinite(tab.path_weight[:, :r]).all()
+
+    def test_bandwidth_above_capacity_rejected(self):
+        topo = build_fattree(4)
+        bw = topo.links.capacity * 2
+        with pytest.raises(ConfigurationError):
+            TransmissionCostTable(topo, available_bandwidth=bw)
+
+    def test_bad_params(self):
+        topo = build_fattree(4)
+        with pytest.raises(ConfigurationError):
+            TransmissionCostTable(topo, delta=-1)
+        with pytest.raises(ConfigurationError):
+            TransmissionCostTable(topo, reference_capacity=0)

@@ -1,0 +1,72 @@
+"""Lag/difference operator tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ForecastError
+from repro.forecast.lag import difference, difference_heads, lag_matrix, undifference
+
+
+class TestDifference:
+    def test_orders(self):
+        y = np.array([1.0, 3.0, 6.0, 10.0])
+        np.testing.assert_array_equal(difference(y, 0), y)
+        np.testing.assert_array_equal(difference(y, 1), [2, 3, 4])
+        np.testing.assert_array_equal(difference(y, 2), [1, 1])
+
+    def test_zero_order_returns_copy(self):
+        y = np.array([1.0, 2.0])
+        d = difference(y, 0)
+        d[0] = 99
+        assert y[0] == 1.0
+
+    def test_too_short_raises(self):
+        with pytest.raises(ForecastError):
+            difference(np.array([1.0, 2.0]), 2)
+
+    def test_negative_order_raises(self):
+        with pytest.raises(ForecastError):
+            difference(np.array([1.0, 2.0]), -1)
+
+
+class TestUndifference:
+    @pytest.mark.parametrize("d", [1, 2, 3])
+    def test_roundtrip(self, d):
+        rng = np.random.default_rng(0)
+        y = rng.normal(size=60).cumsum() + 5
+        heads = difference_heads(y, d)
+        w = difference(y, d)
+        # pretend the last 10 differenced values are 'forecasts' and rebuild
+        rebuilt = undifference(w[-10:], difference_heads(y[:-10], d))
+        np.testing.assert_allclose(rebuilt, y[-10:], atol=1e-9)
+
+    def test_identity_with_no_heads(self):
+        f = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(undifference(f, []), f)
+
+    def test_single_integration(self):
+        # ∇Y forecasts [2, 3] from level 10 -> levels [12, 15]
+        np.testing.assert_array_equal(undifference(np.array([2.0, 3.0]), [10.0]), [12, 15])
+
+
+class TestLagMatrix:
+    def test_embedding(self):
+        y = np.arange(6, dtype=float)
+        X, t = lag_matrix(y, 2)
+        # row 0 predicts y[2]=2 from [y1, y0]
+        np.testing.assert_array_equal(X[0], [1, 0])
+        np.testing.assert_array_equal(t, [2, 3, 4, 5])
+        assert X.shape == (4, 2)
+
+    def test_most_recent_first(self):
+        y = np.array([10.0, 20.0, 30.0, 40.0])
+        X, _ = lag_matrix(y, 3)
+        np.testing.assert_array_equal(X[0], [30, 20, 10])
+
+    def test_too_short(self):
+        with pytest.raises(ForecastError):
+            lag_matrix(np.ones(3), 3)
+
+    def test_bad_lags(self):
+        with pytest.raises(ForecastError):
+            lag_matrix(np.ones(5), 0)

@@ -1,0 +1,64 @@
+"""Forecast metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ForecastError
+from repro.forecast.metrics import mae, mape, mse, rmse, trailing_mse
+
+
+class TestPointMetrics:
+    def test_mse_known_value(self):
+        assert mse([1, 2, 3], [1, 2, 5]) == pytest.approx(4.0 / 3.0)
+
+    def test_rmse_is_sqrt_mse(self):
+        a, p = np.arange(10.0), np.arange(10.0) + 2
+        assert rmse(a, p) == pytest.approx(np.sqrt(mse(a, p)))
+
+    def test_mae_known_value(self):
+        assert mae([0, 0], [3, -1]) == 2.0
+
+    def test_mape_percentage(self):
+        assert mape([100.0, 200.0], [110.0, 180.0]) == pytest.approx(10.0)
+
+    def test_mape_skips_zeros(self):
+        assert mape([0.0, 100.0], [5.0, 110.0]) == pytest.approx(10.0)
+
+    def test_mape_all_zero_raises(self):
+        with pytest.raises(ForecastError):
+            mape([0.0, 0.0], [1.0, 1.0])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ForecastError):
+            mse([1, 2], [1, 2, 3])
+
+    def test_empty_raises(self):
+        with pytest.raises(ForecastError):
+            mse([], [])
+
+    def test_perfect_prediction_zero(self):
+        x = np.random.default_rng(0).normal(size=50)
+        assert mse(x, x) == 0.0
+        assert mae(x, x) == 0.0
+
+
+class TestTrailingMSE:
+    def test_window_mean_of_squares(self):
+        e = np.array([1.0, 2.0, 3.0, 4.0])
+        assert trailing_mse(e, 3, 2) == pytest.approx((9 + 16) / 2)
+
+    def test_window_shrinks_at_start(self):
+        e = np.array([2.0, 2.0, 2.0])
+        assert trailing_mse(e, 0, 10) == 4.0
+
+    def test_full_history(self):
+        e = np.array([1.0, 1.0, 1.0, 1.0])
+        assert trailing_mse(e, 3, 4) == 1.0
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ForecastError):
+            trailing_mse(np.ones(3), 5, 2)
+
+    def test_bad_period_raises(self):
+        with pytest.raises(ForecastError):
+            trailing_mse(np.ones(3), 1, 0)

@@ -1,0 +1,127 @@
+"""Dynamic model selection tests (Eq. 14)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ForecastError
+from repro.forecast.arima import ARIMA
+from repro.forecast.naive import NaiveLast, SeasonalNaive
+from repro.forecast.narnet import NARNET
+from repro.forecast.metrics import mse
+from repro.forecast.selection import DynamicModelSelector, rolling_one_step
+from repro.traces.nonlinear import mackey_glass
+from repro.traces.zoplecloud import mixed_trace, weekly_traffic_trace
+
+
+class TestRollingOneStep:
+    def test_alignment(self):
+        y = np.arange(100, dtype=float)  # perfect trend
+        p = rolling_one_step(lambda: ARIMA(0, 1, 0), y, 50, refit_every=25)
+        np.testing.assert_allclose(p, y[50:], atol=1e-6)
+
+    def test_naive_predicts_previous(self):
+        rng = np.random.default_rng(0)
+        y = rng.normal(size=60)
+        p = rolling_one_step(lambda: NaiveLast(), y, 30)
+        np.testing.assert_allclose(p, y[29:-1])
+
+    def test_max_history_bounds_refit(self):
+        y = np.arange(300, dtype=float)
+        p = rolling_one_step(
+            lambda: ARIMA(0, 1, 0), y, 200, refit_every=10, max_history=50
+        )
+        np.testing.assert_allclose(p, y[200:], atol=1e-6)
+
+    def test_bad_train_len(self):
+        with pytest.raises(ForecastError):
+            rolling_one_step(lambda: NaiveLast(), np.ones(10), 10)
+
+
+class TestSelector:
+    def pool(self):
+        return {
+            "arima": lambda: ARIMA(1, 1, 1),
+            "naive": lambda: NaiveLast(),
+        }
+
+    def test_requires_factories(self):
+        with pytest.raises(ForecastError):
+            DynamicModelSelector({})
+
+    def test_predict_before_fit_raises(self):
+        sel = DynamicModelSelector(self.pool())
+        with pytest.raises(ForecastError):
+            sel.predict_one()
+
+    def test_run_produces_aligned_trace(self):
+        y = weekly_traffic_trace(seed=1)[:400]
+        sel = DynamicModelSelector(self.pool(), period=20, refit_every=100)
+        tr = sel.run(y, 300)
+        assert tr.predictions.shape == (100,)
+        assert len(tr.chosen) == 100
+        assert set(tr.chosen) <= set(self.pool())
+
+    def test_combined_at_least_close_to_best(self):
+        """Selector MSE should approach the best member's MSE."""
+        y = mixed_trace(seed=2)[:600]
+        sel = DynamicModelSelector(
+            {
+                "arima": lambda: ARIMA(1, 1, 1),
+                "nar": lambda: NARNET(ni=8, nh=10, restarts=1, seed=3, maxiter=120),
+                "naive": lambda: NaiveLast(),
+            },
+            period=20,
+            refit_every=100,
+            max_history=300,
+        )
+        tr = sel.run(y, 400)
+        actual = y[400:]
+        combined = mse(actual, tr.predictions)
+        per_model = {}
+        for name, p in tr.per_model_predictions.items():
+            ok = ~np.isnan(p)
+            per_model[name] = mse(actual[ok], p[ok])
+        best = min(per_model.values())
+        worst = max(per_model.values())
+        assert combined <= worst
+        assert combined <= best * 1.5  # close to the best member
+
+    def test_selector_tracks_regime_change(self):
+        """Pool with one model per regime: the selector must switch."""
+        # first half: pure trend (ARIMA d=1 perfect); second: last-value ideal
+        rng = np.random.default_rng(4)
+        a = np.arange(200, dtype=float)
+        b = a[-1] + np.cumsum(rng.normal(0, 5.0, size=200))
+        y = np.concatenate([a, b])
+        sel = DynamicModelSelector(
+            {"trend": lambda: ARIMA(0, 1, 0), "naive": lambda: NaiveLast()},
+            period=10,
+            refit_every=50,
+        )
+        tr = sel.run(y, 100)
+        first_half = tr.chosen[: 80]
+        assert first_half.count("trend") > len(first_half) * 0.8
+
+    def test_observe_rejects_nan(self):
+        sel = DynamicModelSelector(self.pool()).fit(np.arange(50.0))
+        sel.predict_one()
+        with pytest.raises(ForecastError):
+            sel.observe(float("nan"))
+
+    def test_forecast_multi_step(self):
+        sel = DynamicModelSelector(self.pool()).fit(np.arange(80.0))
+        f = sel.forecast(5)
+        assert f.shape == (5,)
+        np.testing.assert_allclose(f, [80, 81, 82, 83, 84], atol=1e-5)
+
+
+class TestSeasonalNaive:
+    def test_repeats_last_season(self):
+        period = 10
+        y = np.tile(np.arange(10.0), 5)
+        m = SeasonalNaive(period=period).fit(y)
+        np.testing.assert_array_equal(m.forecast(10), np.arange(10.0))
+
+    def test_wraps_past_one_season(self):
+        m = SeasonalNaive(period=3).fit(np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_array_equal(m.forecast(5), [1, 2, 3, 1, 2])

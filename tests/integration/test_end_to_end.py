@@ -1,0 +1,165 @@
+"""End-to-end integration tests: the full Sheriff pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.alerts.monitor import VMMonitor
+from repro.alerts.threshold import AlertConfig
+from repro.cluster import build_cluster
+from repro.cluster.resources import ResourceKind
+from repro.costs.model import CostModel
+from repro.sim import (
+    SheriffSimulation,
+    centralized_migration_round,
+    forecast_alert_round,
+    inject_fraction_alerts,
+    regional_migration_round,
+)
+from repro.sim.reactive import DemandDrivenWorkload, ReactiveManager
+from repro.topology import build_bcube, build_fattree
+from repro.traces.workload import WorkloadStream
+
+
+class TestFullBalancingRun:
+    """Figs. 9/10 in miniature: std-dev falls over 24 rounds."""
+
+    @pytest.mark.parametrize("make_topo", [lambda: build_fattree(8), lambda: build_bcube(8)])
+    def test_workload_balancing(self, make_topo):
+        cluster = build_cluster(
+            make_topo(),
+            hosts_per_rack=4,
+            skew=0.8,
+            fill_fraction=0.55,
+            seed=7,
+            delay_sensitive_fraction=0.0,
+        )
+        sim = SheriffSimulation(cluster)
+        for r in range(24):
+            alerts, vma = inject_fraction_alerts(cluster, 0.05, time=r, seed=100 + r)
+            sim.run_round(alerts, vma)
+        series = sim.workload_std_series()
+        assert series[-1] < 0.66 * series[0]
+        cluster.placement.check_invariants()
+
+
+class TestRegionalVsCentralizedShape:
+    """Figs. 11/12 in miniature: comparable cost, far smaller search space."""
+
+    def test_shape_holds_across_sizes(self):
+        costs = []
+        for k in (8, 16):
+            cluster = build_cluster(
+                build_fattree(k),
+                hosts_per_rack=2,
+                fill_fraction=0.5,
+                skew=0.5,
+                seed=7,
+                delay_sensitive_fraction=0.0,
+            )
+            cm = CostModel(cluster)
+            _, vma = inject_fraction_alerts(cluster, 0.05, seed=5)
+            cands = sorted(vma)
+            reg = regional_migration_round(cluster, cm, cands)
+            cen = centralized_migration_round(cluster, cm, cands)
+            assert reg.search_space * 5 < cen.search_space
+            # per-placed-VM cost within 2x of the optimal manager
+            if reg.moves and cen.moves:
+                reg_per = reg.total_cost / len(reg.moves)
+                cen_per = cen.total_cost / len(cen.moves)
+                assert reg_per <= 2.0 * cen_per
+            costs.append((reg.total_cost, cen.total_cost))
+        # both costs grow with the fabric
+        assert costs[1][0] > costs[0][0]
+        assert costs[1][1] > costs[0][1]
+
+
+class TestPreAlertBeatsReactive:
+    """The paper's core claim: predicting avoids overload-rounds."""
+
+    def test_prealert_reduces_overload_exposure(self):
+        cluster_a = build_cluster(
+            build_fattree(4),
+            hosts_per_rack=2,
+            fill_fraction=0.45,
+            seed=3,
+            dependency_degree=0.0,
+            delay_sensitive_fraction=0.0,
+        )
+        threshold = 0.75
+        horizon = 110
+        warm = 60
+
+        def make_streams(cluster, seed0):
+            streams = {}
+            rng = np.random.default_rng(seed0)
+            pl = cluster.placement
+            for vm in range(cluster.num_vms):
+                ramps = []
+                if rng.random() < 0.25:
+                    start = int(rng.integers(warm + 5, 95))
+                    ramps = [(int(ResourceKind.CPU), start, 8, 0.7)]
+                streams[vm] = WorkloadStream.generate(
+                    horizon,
+                    base_level=0.4,
+                    burst_rate=0.0,
+                    wander_sigma=0.01,
+                    ramps=ramps,
+                    seed=int(rng.integers(0, 2**31)),
+                )
+            return streams
+
+        def overload_rounds(cluster, workload, policy):
+            sim = SheriffSimulation(cluster)
+            cfg = AlertConfig(threshold=threshold)
+            monitors = None
+            if policy == "prealert":
+                monitors = {
+                    vm: VMMonitor(workload.streams[vm].history(warm - 1, warm), cfg)
+                    for vm in range(cluster.num_vms)
+                }
+            reactive = ReactiveManager(workload, threshold=threshold)
+            total = 0
+            for t in range(warm, horizon):
+                total += int(workload.overloaded_hosts(t, threshold).size)
+                if policy == "prealert":
+                    alerts, vma = forecast_alert_round(cluster, monitors, time=t)
+                else:
+                    alerts, vma = reactive.alerts_at(t)
+                sim.run_round(alerts, vma)
+                if monitors is not None:
+                    for vm, mon in monitors.items():
+                        mon.observe(workload.streams[vm].at(t))
+            return total
+
+        # identical initial conditions for both policies
+        import copy
+
+        cluster_b = build_cluster(
+            build_fattree(4),
+            hosts_per_rack=2,
+            fill_fraction=0.45,
+            seed=3,
+            dependency_degree=0.0,
+            delay_sensitive_fraction=0.0,
+        )
+        wl_a = DemandDrivenWorkload(cluster_a, make_streams(cluster_a, 11))
+        wl_b = DemandDrivenWorkload(cluster_b, make_streams(cluster_b, 11))
+        pre = overload_rounds(cluster_a, wl_a, "prealert")
+        rea = overload_rounds(cluster_b, wl_b, "reactive")
+        # pre-alert should not be worse; typically strictly better
+        assert pre <= rea
+
+
+class TestPublicAPI:
+    def test_quickstart_docstring_flow(self):
+        """The README / __init__ quickstart must actually run."""
+        from repro.topology import build_fattree
+        from repro.cluster import build_cluster
+        from repro.sim import SheriffSimulation, inject_fraction_alerts
+
+        cluster = build_cluster(build_fattree(8), seed=1, skew=0.8)
+        sim = SheriffSimulation(cluster)
+        alerts, magnitudes = inject_fraction_alerts(cluster, 0.05, seed=2)
+        summary = sim.run_round(alerts, magnitudes)
+        assert summary.migrations >= 0
+        assert np.isfinite(summary.total_cost)

@@ -1,0 +1,92 @@
+"""Seed robustness: the reproduced shapes must not be one-seed artifacts.
+
+Benchmarks pin seed 2015 for bit-reproducibility; these tests re-run the
+headline claims over several other seeds at reduced scale and require the
+*qualitative* result to hold for (almost) all of them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import build_cluster
+from repro.costs.model import CostModel
+from repro.forecast import ARIMA, NARNET, mse
+from repro.forecast.selection import rolling_one_step
+from repro.sim import (
+    SheriffSimulation,
+    centralized_migration_round,
+    inject_fraction_alerts,
+    regional_migration_round,
+)
+from repro.topology import build_fattree
+from repro.traces import nonlinear_trace
+
+SEEDS = [1, 7, 42, 1234]
+
+
+class TestBalancingRobustness:
+    """Fig. 9's decline holds for every seed."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_std_declines(self, seed):
+        cluster = build_cluster(
+            build_fattree(4),
+            hosts_per_rack=3,
+            skew=1.0,
+            fill_fraction=0.5,
+            seed=seed,
+            delay_sensitive_fraction=0.0,
+        )
+        sim = SheriffSimulation(cluster)
+        for r in range(12):
+            alerts, vma = inject_fraction_alerts(cluster, 0.05, time=r, seed=seed + r)
+            sim.run_round(alerts, vma)
+        series = sim.workload_std_series()
+        assert series[-1] < 0.75 * series[0]
+        cluster.placement.check_invariants()
+
+
+class TestCostShapeRobustness:
+    """Figs. 11/12's shape holds for every seed."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_regional_close_and_smaller_space(self, seed):
+        cluster = build_cluster(
+            build_fattree(8),
+            hosts_per_rack=2,
+            fill_fraction=0.5,
+            skew=0.5,
+            seed=seed,
+            delay_sensitive_fraction=0.0,
+        )
+        cm = CostModel(cluster)
+        _, vma = inject_fraction_alerts(cluster, 0.05, seed=seed)
+        cands = sorted(vma)
+        reg = regional_migration_round(cluster, cm, cands)
+        cen = centralized_migration_round(cluster, cm, cands)
+        assert reg.search_space * 3 < cen.search_space
+        if reg.moves and cen.moves:
+            reg_per = reg.total_cost / len(reg.moves)
+            cen_per = cen.total_cost / len(cen.moves)
+            assert reg_per <= 2.0 * cen_per
+
+
+class TestForecastRobustness:
+    """Fig. 7's NARNET > ARIMA ordering holds for most seeds."""
+
+    def test_narnet_wins_majority_on_chaos(self):
+        wins = 0
+        for seed in SEEDS:
+            y = nonlinear_trace(700, seed=seed)
+            train = 500
+            nar = rolling_one_step(
+                lambda: NARNET(ni=8, nh=16, restarts=1, seed=seed, maxiter=200),
+                y,
+                train,
+                refit_every=120,
+            )
+            ar = rolling_one_step(lambda: ARIMA(2, 0, 1), y, train, refit_every=120)
+            actual = y[train:]
+            if mse(actual, nar) < mse(actual, ar):
+                wins += 1
+        assert wins >= len(SEEDS) - 1  # at most one adversarial seed

@@ -1,0 +1,147 @@
+"""k-median instance, local search, exact and greedy tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kmedian import (
+    KMedianInstance,
+    exact_kmedian,
+    greedy_kmedian,
+    local_search,
+)
+
+
+class TestInstance:
+    def test_cost_of_solution(self):
+        d = np.array([[1.0, 5.0], [4.0, 2.0]])
+        inst = KMedianInstance(d, k=1)
+        assert inst.cost([0]) == 5.0
+        assert inst.cost([1]) == 7.0
+
+    def test_weighted_cost(self):
+        d = np.array([[1.0, 5.0], [4.0, 2.0]])
+        inst = KMedianInstance(d, k=1, weights=np.array([2.0, 1.0]))
+        assert inst.cost([0]) == 2 * 1 + 4
+
+    def test_assignment(self):
+        d = np.array([[1.0, 5.0], [4.0, 2.0]])
+        inst = KMedianInstance(d, k=2)
+        np.testing.assert_array_equal(inst.assignment([0, 1]), [0, 1])
+
+    def test_solution_validation(self):
+        inst = KMedianInstance(np.ones((2, 3)), k=2)
+        with pytest.raises(ConfigurationError):
+            inst.cost([0])  # wrong size
+        with pytest.raises(ConfigurationError):
+            inst.cost([0, 9])  # out of range
+
+    def test_input_validation(self):
+        with pytest.raises(ConfigurationError):
+            KMedianInstance(np.ones((2, 2)) * -1, k=1)
+        with pytest.raises(ConfigurationError):
+            KMedianInstance(np.ones((2, 2)), k=3)
+        with pytest.raises(ConfigurationError):
+            KMedianInstance(np.full((2, 2), np.inf), k=1)
+
+    def test_from_points(self):
+        pts = np.array([[0.0, 0.0], [3.0, 4.0]])
+        inst = KMedianInstance.from_points(pts, k=1)
+        assert inst.distances[0, 1] == pytest.approx(5.0)
+
+
+class TestLocalSearch:
+    def test_single_swap_reaches_optimum_on_small(self, rng):
+        for trial in range(15):
+            pts = rng.random((10, 2))
+            inst = KMedianInstance.from_points(pts, k=3)
+            _, opt = exact_kmedian(inst)
+            res = local_search(inst, p=1, seed=trial)
+            assert res.cost <= opt * 5.0 + 1e-9  # theory bound 3 + 2/1
+            assert res.cost >= opt - 1e-9
+
+    def test_ratio_beats_bound(self, rng):
+        worst = 1.0
+        for trial in range(20):
+            pts = rng.random((12, 2))
+            inst = KMedianInstance.from_points(pts, k=4)
+            _, opt = exact_kmedian(inst)
+            res = local_search(inst, p=1, seed=trial)
+            if opt > 0:
+                worst = max(worst, res.cost / opt)
+        assert worst <= 1.2  # empirically near-optimal, far below 5
+
+    def test_p2_at_least_as_good_as_p1(self, rng):
+        pts = rng.random((14, 2))
+        inst = KMedianInstance.from_points(pts, k=4)
+        r1 = local_search(inst, p=1, seed=0)
+        r2 = local_search(inst, p=2, seed=0, initial=r1.solution)
+        assert r2.cost <= r1.cost + 1e-9
+
+    def test_converged_flag(self, rng):
+        pts = rng.random((10, 2))
+        inst = KMedianInstance.from_points(pts, k=2)
+        res = local_search(inst, p=1)
+        assert res.converged
+        capped = local_search(inst, p=1, max_iters=1)
+        assert capped.iterations == 1
+
+    def test_respects_initial_solution(self, rng):
+        pts = rng.random((8, 2))
+        inst = KMedianInstance.from_points(pts, k=3)
+        res = local_search(inst, initial=[0, 1, 2])
+        assert res.solution.shape == (3,)
+        assert res.cost <= inst.cost([0, 1, 2]) + 1e-9
+
+    def test_weighted_instance(self, rng):
+        pts = rng.random((12, 2))
+        w = rng.uniform(0.5, 3.0, 12)
+        inst = KMedianInstance.from_points(pts, k=3, weights=w)
+        _, opt = exact_kmedian(inst)
+        res = local_search(inst, p=1)
+        assert res.cost <= opt * 5 + 1e-9
+
+    def test_k_equals_n_is_free(self):
+        inst = KMedianInstance.from_points(np.random.default_rng(0).random((6, 2)), k=6)
+        res = local_search(inst)
+        assert res.cost == pytest.approx(0.0)
+
+    def test_invalid_p(self):
+        inst = KMedianInstance(np.ones((2, 2)), k=1)
+        with pytest.raises(ConfigurationError):
+            local_search(inst, p=0)
+
+    def test_invalid_initial(self):
+        inst = KMedianInstance(np.ones((2, 3)), k=2)
+        with pytest.raises(ConfigurationError):
+            local_search(inst, initial=[0])
+
+
+class TestExactAndGreedy:
+    def test_exact_beats_or_ties_everything(self, rng):
+        pts = rng.random((9, 2))
+        inst = KMedianInstance.from_points(pts, k=3)
+        _, opt = exact_kmedian(inst)
+        _, g = greedy_kmedian(inst)
+        ls = local_search(inst)
+        assert opt <= g + 1e-9
+        assert opt <= ls.cost + 1e-9
+
+    def test_exact_cap(self):
+        inst = KMedianInstance(np.ones((2, 60)), k=30)
+        with pytest.raises(ConfigurationError):
+            exact_kmedian(inst)
+
+    def test_greedy_opens_k(self, rng):
+        pts = rng.random((20, 2))
+        inst = KMedianInstance.from_points(pts, k=5)
+        sol, cost = greedy_kmedian(inst)
+        assert sol.shape == (5,)
+        assert cost == pytest.approx(inst.cost(sol))
+
+    def test_greedy_weighted(self, rng):
+        pts = rng.random((15, 2))
+        w = rng.uniform(0.1, 2.0, 15)
+        inst = KMedianInstance.from_points(pts, k=4, weights=w)
+        sol, cost = greedy_kmedian(inst)
+        assert cost == pytest.approx(inst.cost(sol))

@@ -1,0 +1,52 @@
+"""VMMIGRATION -> k-median transformation tests (Sec. V-A)."""
+
+import numpy as np
+import pytest
+
+from repro.costs.model import CostModel
+from repro.errors import ConfigurationError
+from repro.kmedian import local_search, vmmigration_to_kmedian
+
+
+class TestTransform:
+    def test_instance_shape(self, small_cluster, cost_model):
+        inst = vmmigration_to_kmedian(cost_model, [0, 2, 5], k=2)
+        assert inst.num_clients == 3
+        assert inst.num_facilities == small_cluster.num_racks
+        assert inst.k == 2
+
+    def test_client_rows_match_cost_matrix(self, cost_model):
+        inst = vmmigration_to_kmedian(cost_model, [1, 3], k=1, capacity=10.0)
+        full = cost_model.pairwise_rack_cost(10.0)
+        np.testing.assert_allclose(inst.distances[0], full[1])
+        np.testing.assert_allclose(inst.distances[1], full[3])
+
+    def test_own_rack_is_free_facility(self, cost_model):
+        """Opening the source ToR itself costs zero for that client."""
+        inst = vmmigration_to_kmedian(cost_model, [2], k=1)
+        assert inst.distances[0, 2] == 0.0
+        res = local_search(inst)
+        assert res.cost == 0.0
+        assert 2 in res.solution.tolist()
+
+    def test_weighted_sources(self, cost_model):
+        w = np.array([5.0, 1.0])
+        inst = vmmigration_to_kmedian(cost_model, [0, 4], k=1, weights=w)
+        # the heavy client should dominate the optimal facility choice
+        res = local_search(inst)
+        assert inst.distances[0, res.solution].min() <= inst.distances[1, res.solution].min() * 5
+
+    def test_solves_end_to_end(self, cost_model, small_cluster):
+        srcs = list(range(min(6, small_cluster.num_racks)))
+        inst = vmmigration_to_kmedian(cost_model, srcs, k=3)
+        res = local_search(inst, p=1)
+        assert res.solution.shape == (3,)
+        assert np.isfinite(res.cost)
+
+    def test_validation(self, cost_model):
+        with pytest.raises(ConfigurationError):
+            vmmigration_to_kmedian(cost_model, [], k=1)
+        with pytest.raises(ConfigurationError):
+            vmmigration_to_kmedian(cost_model, [0, 0], k=1)
+        with pytest.raises(ConfigurationError):
+            vmmigration_to_kmedian(cost_model, [10**6], k=1)

@@ -1,0 +1,101 @@
+"""Kuhn-Munkres matching tests, cross-validated against scipy."""
+
+import numpy as np
+import pytest
+from scipy.optimize import linear_sum_assignment
+
+from repro.errors import ConfigurationError, MigrationError
+from repro.migration.matching import hungarian
+
+
+class TestCorrectness:
+    def test_identity_matrix(self):
+        c = np.array([[0.0, 1.0], [1.0, 0.0]])
+        a, tot = hungarian(c)
+        np.testing.assert_array_equal(a, [0, 1])
+        assert tot == 0.0
+
+    def test_forces_expensive_choice(self):
+        c = np.array([[1.0, 2.0], [1.0, 10.0]])
+        a, tot = hungarian(c)
+        np.testing.assert_array_equal(a, [1, 0])
+        assert tot == 3.0
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_scipy_square(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 20))
+        c = rng.random((n, n)) * 100
+        _, tot = hungarian(c)
+        r, cc = linear_sum_assignment(c)
+        assert tot == pytest.approx(c[r, cc].sum())
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_scipy_rectangular(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        n = int(rng.integers(1, 10))
+        m = int(rng.integers(n, 18))
+        c = rng.random((n, m)) * 10
+        a, tot = hungarian(c)
+        r, cc = linear_sum_assignment(c)
+        assert tot == pytest.approx(c[r, cc].sum())
+        assert len(set(a.tolist())) == n  # distinct columns
+
+    def test_single_row(self):
+        c = np.array([[3.0, 1.0, 2.0]])
+        a, tot = hungarian(c)
+        assert a[0] == 1 and tot == 1.0
+
+    def test_empty(self):
+        a, tot = hungarian(np.empty((0, 5)))
+        assert a.shape == (0,) and tot == 0.0
+
+    def test_integer_costs(self):
+        c = np.array([[4, 1, 3], [2, 0, 5], [3, 2, 2]])
+        _, tot = hungarian(c)
+        r, cc = linear_sum_assignment(c)
+        assert tot == c[r, cc].sum()
+
+
+class TestForbiddenPairs:
+    def test_routes_around_inf(self):
+        c = np.array([[1.0, np.inf], [np.inf, 5.0]])
+        a, tot = hungarian(c)
+        np.testing.assert_array_equal(a, [0, 1])
+        assert tot == 6.0
+
+    def test_infeasible_raises(self):
+        c = np.array([[np.inf, np.inf], [1.0, 1.0]])
+        with pytest.raises(MigrationError):
+            hungarian(c)
+
+    def test_partially_forbidden_still_optimal(self):
+        rng = np.random.default_rng(7)
+        c = rng.random((6, 8)) * 10
+        c[c < 2] = np.inf
+        if not np.isfinite(c).any(axis=1).all():
+            pytest.skip("degenerate draw")
+        try:
+            a, tot = hungarian(c)
+        except MigrationError:
+            return  # genuinely infeasible is acceptable
+        sentinel = 1e6
+        filled = np.where(np.isfinite(c), c, sentinel)
+        r, cc = linear_sum_assignment(filled)
+        ref = filled[r, cc].sum()
+        if ref < sentinel:  # scipy found an all-finite matching too
+            assert tot == pytest.approx(ref)
+
+
+class TestValidation:
+    def test_more_rows_than_cols_rejected(self):
+        with pytest.raises(ConfigurationError):
+            hungarian(np.ones((3, 2)))
+
+    def test_nan_rejected(self):
+        with pytest.raises(ConfigurationError):
+            hungarian(np.array([[np.nan, 1.0]]))
+
+    def test_one_dim_rejected(self):
+        with pytest.raises(ConfigurationError):
+            hungarian(np.ones(4))

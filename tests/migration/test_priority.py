@@ -1,0 +1,95 @@
+"""PRIORITY (Alg. 2) selection tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.migration.priority import CandidateVM, PriorityFactor, priority_select
+
+
+def vm(i, cap, val, alert=0.95, sensitive=False):
+    return CandidateVM(vm_id=i, capacity=cap, value=val, alert=alert, delay_sensitive=sensitive)
+
+
+class TestFactorOne:
+    def test_picks_max_alert(self):
+        cands = [vm(0, 5, 1, alert=0.91), vm(1, 5, 1, alert=0.99), vm(2, 5, 1, alert=0.95)]
+        out = priority_select(cands, PriorityFactor.ONE)
+        assert [c.vm_id for c in out] == [1]
+
+    def test_tie_breaks_by_lower_value(self):
+        cands = [vm(0, 5, 9.0, alert=0.95), vm(1, 5, 1.0, alert=0.95)]
+        out = priority_select(cands, PriorityFactor.ONE)
+        assert out[0].vm_id == 1
+
+    def test_empty_input(self):
+        assert priority_select([], PriorityFactor.ONE) == []
+
+
+class TestKnapsack:
+    def test_exact_fill_min_value(self):
+        cands = [vm(0, 5, 1.0), vm(1, 3, 9.0), vm(2, 4, 2.0)]
+        out = priority_select(cands, PriorityFactor.BETA, budget=9)
+        assert sorted(c.vm_id for c in out) == [0, 2]  # cap 9, value 3
+
+    def test_max_relief_preferred_over_value(self):
+        # budget 10: {0,2} fills 9; {0,1} fills 8 with lower value.
+        # relief is maximized first, so {0,2} wins despite higher value.
+        cands = [vm(0, 5, 1.0), vm(1, 3, 0.5), vm(2, 4, 9.0)]
+        out = priority_select(cands, PriorityFactor.ALPHA, budget=10)
+        total_cap = sum(c.capacity for c in out)
+        assert total_cap == 9
+
+    def test_delay_sensitive_eliminated(self):
+        cands = [vm(0, 5, 1.0, sensitive=True), vm(1, 5, 5.0)]
+        out = priority_select(cands, PriorityFactor.BETA, budget=10)
+        assert [c.vm_id for c in out] == [1]
+
+    def test_all_sensitive_selects_nothing(self):
+        cands = [vm(0, 5, 1.0, sensitive=True)]
+        assert priority_select(cands, PriorityFactor.BETA, budget=10) == []
+
+    def test_budget_zero(self):
+        assert priority_select([vm(0, 5, 1.0)], PriorityFactor.BETA, budget=0) == []
+
+    def test_budget_exceeds_pool(self):
+        cands = [vm(0, 5, 1.0), vm(1, 3, 2.0)]
+        out = priority_select(cands, PriorityFactor.BETA, budget=1000)
+        assert sorted(c.vm_id for c in out) == [0, 1]
+
+    def test_single_item_too_big(self):
+        cands = [vm(0, 50, 1.0)]
+        assert priority_select(cands, PriorityFactor.BETA, budget=10) == []
+
+    def test_missing_budget_raises(self):
+        with pytest.raises(ConfigurationError):
+            priority_select([vm(0, 5, 1.0)], PriorityFactor.ALPHA)
+
+    def test_subset_reconstruction_consistent(self):
+        # regression: DP must reconstruct a subset matching its own optimum
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            n = int(rng.integers(1, 10))
+            cands = [
+                vm(i, int(rng.integers(1, 12)), float(rng.uniform(0.5, 9)))
+                for i in range(n)
+            ]
+            budget = int(rng.integers(1, 40))
+            out = priority_select(cands, PriorityFactor.BETA, budget=budget)
+            total = sum(c.capacity for c in out)
+            assert total <= budget
+            ids = [c.vm_id for c in out]
+            assert len(set(ids)) == len(ids)  # each VM at most once
+
+    def test_min_value_among_max_relief(self):
+        # two ways to fill capacity 8 exactly: {0,1} value 3, {2,3} value 10
+        cands = [vm(0, 4, 1.0), vm(1, 4, 2.0), vm(2, 4, 5.0), vm(3, 4, 5.0)]
+        out = priority_select(cands, PriorityFactor.BETA, budget=8)
+        assert sum(c.value for c in out) == pytest.approx(3.0)
+
+
+class TestCandidateValidation:
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CandidateVM(vm_id=0, capacity=0, value=1.0, alert=0.5)

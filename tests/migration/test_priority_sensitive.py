@@ -1,0 +1,17 @@
+"""Regression: delay-sensitive VMs excluded from every PRIORITY case."""
+
+from repro.migration.priority import CandidateVM, PriorityFactor, priority_select
+
+
+def vm(i, sensitive, alert=0.95):
+    return CandidateVM(vm_id=i, capacity=5, value=1.0, alert=alert, delay_sensitive=sensitive)
+
+
+class TestOneFiltersSensitive:
+    def test_sensitive_never_picked_by_one(self):
+        cands = [vm(0, True, alert=0.99), vm(1, False, alert=0.91)]
+        out = priority_select(cands, PriorityFactor.ONE)
+        assert [c.vm_id for c in out] == [1]
+
+    def test_all_sensitive_selects_nothing(self):
+        assert priority_select([vm(0, True)], PriorityFactor.ONE) == []

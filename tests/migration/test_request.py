@@ -1,0 +1,109 @@
+"""REQUEST/ACK/REJECT protocol tests (Alg. 4)."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.errors import ProtocolError
+from repro.migration.request import ReceiverRegistry, RequestOutcome
+from repro.topology import build_fattree
+
+
+@pytest.fixture
+def cluster():
+    return build_cluster(
+        build_fattree(4), hosts_per_rack=2, fill_fraction=0.4, seed=10,
+        dependency_degree=0.0,
+    )
+
+
+def pick_vm_and_free_host(cluster):
+    pl = cluster.placement
+    vm = 0
+    need = int(pl.vm_capacity[vm])
+    src = pl.host_of(vm)
+    for h in range(pl.num_hosts):
+        if h != src and pl.free_capacity(h) >= need:
+            return vm, h, int(pl.host_rack[h])
+    pytest.skip("no free host in fixture")
+
+
+class TestFCFS:
+    def test_ack_and_commit(self, cluster):
+        reg = ReceiverRegistry(cluster)
+        vm, host, rack = pick_vm_and_free_host(cluster)
+        assert reg.request(vm, host, rack) is RequestOutcome.ACK
+        assert reg.pending == 1
+        moved = reg.commit_round()
+        assert moved == [(vm, host)]
+        assert cluster.placement.host_of(vm) == host
+        cluster.placement.check_invariants()
+
+    def test_reject_when_promised_capacity_exhausted(self, cluster):
+        pl = cluster.placement
+        reg = ReceiverRegistry(cluster)
+        # fill one host's free capacity with promises until a reject occurs
+        target = None
+        for h in range(pl.num_hosts):
+            if pl.free_capacity(h) > 0:
+                target = h
+                break
+        assert target is not None
+        rack = int(pl.host_rack[target])
+        outcomes = []
+        for vm in range(pl.num_vms):
+            if pl.host_of(vm) == target:
+                continue
+            outcomes.append(reg.request(vm, target, rack))
+            if outcomes[-1] is RequestOutcome.REJECT:
+                break
+        assert RequestOutcome.REJECT in outcomes
+        # commits must still respect capacity
+        reg.commit_round()
+        pl.check_invariants()
+
+    def test_wrong_delegation_ignored(self, cluster):
+        reg = ReceiverRegistry(cluster)
+        vm, host, rack = pick_vm_and_free_host(cluster)
+        wrong = (rack + 1) % cluster.num_racks
+        assert reg.request(vm, host, wrong) is RequestOutcome.IGNORED
+        assert reg.pending == 0
+
+    def test_duplicate_reservation_raises(self, cluster):
+        reg = ReceiverRegistry(cluster)
+        vm, host, rack = pick_vm_and_free_host(cluster)
+        reg.request(vm, host, rack)
+        with pytest.raises(ProtocolError):
+            reg.request(vm, host, rack)
+
+    def test_reset_round_drops_promises(self, cluster):
+        reg = ReceiverRegistry(cluster)
+        vm, host, rack = pick_vm_and_free_host(cluster)
+        reg.request(vm, host, rack)
+        reg.reset_round()
+        assert reg.pending == 0
+        assert cluster.placement.host_of(vm) != host
+        # capacity promise released: the same request works again
+        assert reg.request(vm, host, rack) is RequestOutcome.ACK
+
+    def test_unknown_ids_raise(self, cluster):
+        reg = ReceiverRegistry(cluster)
+        with pytest.raises(ProtocolError):
+            reg.request(10**6, 0, 0)
+        with pytest.raises(ProtocolError):
+            reg.request(0, 10**6, 0)
+
+
+class TestDependencyConflicts:
+    def test_conflicting_destination_rejected(self, cluster):
+        pl = cluster.placement
+        reg = ReceiverRegistry(cluster)
+        # make vm0 dependent on some VM of another host, then aim vm0 there
+        for other in range(1, pl.num_vms):
+            if pl.host_of(other) != pl.host_of(0):
+                host = pl.host_of(other)
+                if pl.free_capacity(host) >= int(pl.vm_capacity[0]):
+                    cluster.dependencies.add_pair(0, other)
+                    rack = int(pl.host_rack[host])
+                    assert reg.request(0, host, rack) is RequestOutcome.REJECT
+                    return
+        pytest.skip("fixture too full for the conflict scenario")

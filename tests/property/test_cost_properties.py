@@ -1,0 +1,112 @@
+"""Property-based tests on the cost/routing substrate."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.costs.transmission import TransmissionCostTable
+from repro.errors import TopologyError
+from repro.migration.reroute import FlowTable
+from repro.topology.base import NodeKind, Topology
+from repro.topology.validate import is_connected
+
+common = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@st.composite
+def random_fabrics(draw):
+    """Connected random fabric: racks + switches with random links."""
+    n_racks = draw(st.integers(2, 5))
+    n_switch = draw(st.integers(1, 4))
+    kinds = [NodeKind.TOR] * n_racks + [NodeKind.AGG] * n_switch
+    topo = Topology("random", kinds)
+    n = n_racks + n_switch
+    # spanning chain through the switches guarantees connectivity
+    order = list(range(n))
+    rng_seed = draw(st.integers(0, 10**6))
+    rng = np.random.default_rng(rng_seed)
+    rng.shuffle(order)
+    for a, b in zip(order, order[1:]):
+        cap = float(rng.uniform(1.0, 10.0))
+        topo.add_link(a, b, cap, float(rng.uniform(0.5, 3.0)))
+    # extra random links
+    extras = draw(st.integers(0, 6))
+    for _ in range(extras):
+        a, b = rng.integers(0, n, size=2)
+        if a != b and not topo.has_edge(int(a), int(b)):
+            topo.add_link(int(a), int(b), float(rng.uniform(1.0, 10.0)), 1.0)
+    return topo
+
+
+@common
+@given(random_fabrics(), st.floats(0.5, 5.0))
+def test_transmission_weight_matches_networkx(topo, ref_cap):
+    """Selected path weights must equal networkx Dijkstra on same weights."""
+    assert is_connected(topo)
+    tab = TransmissionCostTable(topo, reference_capacity=ref_cap)
+    lt = topo.links
+    g = nx.Graph()
+    g.add_nodes_from(range(topo.num_nodes))
+    for i in range(len(lt)):
+        w = ref_cap / lt.capacity[i] + 1.0  # delta=eta=1, B=C
+        g.add_edge(int(lt.u[i]), int(lt.v[i]), weight=float(w))
+    for src in range(topo.num_racks):
+        dist = nx.single_source_dijkstra_path_length(g, src, weight="weight")
+        for dst in range(topo.num_racks):
+            assert tab.path_weight[src, dst] == pytest.approx(dist[dst], abs=1e-6)
+
+
+@common
+@given(random_fabrics())
+def test_transmission_component_sums_consistent(topo):
+    """δ·ref·Σ1/B + η·ΣB/C along selected paths == the path weight."""
+    tab = TransmissionCostTable(topo, reference_capacity=3.0)
+    comb = 3.0 * tab.sum_inv_b + tab.sum_util
+    finite = np.isfinite(comb)
+    np.testing.assert_allclose(
+        comb[finite], tab.path_weight[finite], atol=1e-5
+    )
+
+
+@common
+@given(random_fabrics())
+def test_path_reconstruction_consistent_with_sums(topo):
+    """Walking tab.path() and summing per-edge values reproduces the sums."""
+    tab = TransmissionCostTable(topo, reference_capacity=2.0)
+    lt = topo.links
+    inv_b = {}
+    for i in range(len(lt)):
+        key = (int(lt.u[i]), int(lt.v[i]))
+        inv_b[key] = inv_b[key[::-1]] = 1.0 / float(lt.capacity[i])
+    r = topo.num_racks
+    for src in range(r):
+        for dst in range(r):
+            if src == dst:
+                continue
+            p = tab.path(src, dst)
+            total = sum(inv_b[(a, b)] for a, b in zip(p, p[1:]))
+            assert total == pytest.approx(float(tab.sum_inv_b[src, dst]), abs=1e-5)
+
+
+@common
+@given(random_fabrics(), st.integers(0, 10**6))
+def test_flow_table_load_conservation(topo, seed):
+    """Total node load == Σ flows (rate × path length); removal restores 0."""
+    rng = np.random.default_rng(seed)
+    ft = FlowTable(topo)
+    fids = []
+    for _ in range(6):
+        a, b = rng.integers(0, topo.num_racks, size=2)
+        try:
+            fids.append(ft.add_flow(0, int(a), int(b), float(rng.uniform(0.5, 2.0))))
+        except TopologyError:
+            pass
+    expected = sum(f.rate * len(f.path) for f in ft.flows.values())
+    assert ft.node_load.sum() == pytest.approx(expected)
+    for fid in fids:
+        ft.remove_flow(fid)
+    np.testing.assert_allclose(ft.node_load, 0.0, atol=1e-12)

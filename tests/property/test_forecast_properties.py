@@ -1,0 +1,134 @@
+"""Property-based tests on the forecasting stack."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.forecast.arima import ARIMA, _css_residuals, _max_inverse_root
+from repro.forecast.naive import NaiveLast, SeasonalNaive
+from repro.forecast.sarima import seasonal_difference, seasonal_undifference
+
+common = settings(
+    max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@st.composite
+def stationary_arma(draw):
+    """Random stationary/invertible ARMA(≤2, ≤2) coefficients."""
+    p = draw(st.integers(0, 2))
+    q = draw(st.integers(0, 2))
+    # draw inverse roots inside the unit disc and expand to coefficients
+    def coeffs(k):
+        roots = [
+            draw(st.floats(-0.85, 0.85)) for _ in range(k)
+        ]
+        poly = np.array([1.0])
+        for r in roots:
+            poly = np.convolve(poly, [1.0, -r])
+        return -poly[1:]  # 1 - c1 z - c2 z^2 ...
+
+    phi = coeffs(p)
+    theta = -coeffs(q)  # MA polynomial uses + signs
+    return phi, theta
+
+
+@common
+@given(stationary_arma(), st.integers(0, 10**6))
+def test_arima_forecasts_finite_and_bounded(params, seed):
+    phi, theta = params
+    rng = np.random.default_rng(seed)
+    n = 300
+    e = rng.normal(size=n)
+    w = np.zeros(n)
+    for t in range(max(len(phi), len(theta), 1), n):
+        w[t] = e[t]
+        for i, c in enumerate(phi):
+            w[t] += c * w[t - 1 - i]
+        for j, c in enumerate(theta):
+            w[t] += c * e[t - 1 - j]
+    model = ARIMA(max(len(phi), 1), 0, max(len(theta), 1), maxiter=60).fit(w)
+    f = model.forecast(30)
+    assert np.isfinite(f).all()
+    # stationary-model forecasts stay within a generous envelope
+    assert np.abs(f).max() < 10 * (np.abs(w).max() + 1.0)
+    # fitted parameters stay stationary/invertible
+    assert _max_inverse_root(model.phi_, "ar") < 1.0
+    assert _max_inverse_root(model.theta_, "ma") < 1.0
+
+
+@common
+@given(stationary_arma(), st.integers(0, 10**6))
+def test_css_residuals_shrink_sse_vs_zero_model(params, seed):
+    """Fitted residual SSE never exceeds the raw (mean-only) SSE."""
+    phi, theta = params
+    if len(phi) + len(theta) == 0:
+        return
+    rng = np.random.default_rng(seed)
+    n = 240
+    e = rng.normal(size=n)
+    w = np.zeros(n)
+    for t in range(2, n):
+        w[t] = e[t]
+        for i, c in enumerate(phi):
+            w[t] += c * w[t - 1 - i]
+        for j, c in enumerate(theta):
+            w[t] += c * e[t - 1 - j]
+    model = ARIMA(max(len(phi), 1), 0, max(len(theta), 1), maxiter=60).fit(w)
+    fitted = model.residuals()
+    k = max(len(phi), 1)
+    raw = w[k:] - w.mean()
+    assert float(fitted @ fitted) <= float(raw @ raw) * 1.001
+
+
+@common
+@given(
+    st.lists(st.floats(-50, 50, allow_nan=False), min_size=30, max_size=80),
+    st.integers(2, 7),
+    st.integers(1, 2),
+)
+def test_seasonal_difference_roundtrip(values, period, order):
+    y = np.asarray(values)
+    if y.shape[0] <= order * period + 5:
+        return
+    # collect tails exactly as SeasonalARIMA.fit does
+    tails = []
+    work = y
+    for _ in range(order):
+        tails.append(work[-period:].copy())
+        work = seasonal_difference(work, period, 1)
+    # differencing the true continuation then integrating must round-trip
+    h = 4
+    rng = np.random.default_rng(0)
+    future = rng.normal(scale=5.0, size=h)
+    merged = np.concatenate([y, future])
+    diffed = merged
+    for _ in range(order):
+        diffed = seasonal_difference(diffed, period, 1)
+    rebuilt = seasonal_undifference(diffed[-h:], tails, period)
+    np.testing.assert_allclose(rebuilt, future, atol=1e-8)
+
+
+@common
+@given(st.lists(st.floats(-100, 100, allow_nan=False), min_size=3, max_size=60))
+def test_naive_last_repeats_final_value(values):
+    m = NaiveLast().fit(np.asarray(values))
+    f = m.forecast(5)
+    np.testing.assert_allclose(f, values[-1])
+
+
+@common
+@given(
+    st.lists(st.floats(-10, 10, allow_nan=False), min_size=12, max_size=48),
+    st.integers(2, 6),
+)
+def test_seasonal_naive_periodicity(values, period):
+    y = np.asarray(values)
+    if y.shape[0] < period:
+        return
+    m = SeasonalNaive(period=period).fit(y)
+    f = m.forecast(2 * period)
+    # the forecast repeats the last season with period `period`
+    np.testing.assert_allclose(f[:period], f[period:])
+    np.testing.assert_allclose(f[:period], y[-period:])

@@ -1,0 +1,75 @@
+"""Managed-run driver tests."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import build_cluster
+from repro.errors import ConfigurationError
+from repro.sim import SheriffSimulation, run_managed_simulation
+from repro.sim.reactive import DemandDrivenWorkload, PredictiveManager, ReactiveManager
+from repro.topology import build_fattree
+from repro.traces.workload import WorkloadStream
+
+
+def make_env(seed=5, horizon=80, surge=True):
+    cluster = build_cluster(
+        build_fattree(4), hosts_per_rack=2, fill_fraction=0.55, seed=seed,
+        dependency_degree=0.0, delay_sensitive_fraction=0.0,
+    )
+    rng = np.random.default_rng(seed)
+    pl = cluster.placement
+    streams = {}
+    for vm in range(cluster.num_vms):
+        ramps = []
+        if surge and int(pl.vm_host[vm]) == 0:
+            ramps = [(0, 50, 10, 0.9)]
+        streams[vm] = WorkloadStream.generate(
+            horizon, base_level=0.45, diurnal_amplitude=0.05,
+            burst_rate=0.0, wander_sigma=0.004, ramps=ramps,
+            seed=int(rng.integers(0, 2**31)),
+        )
+    return cluster, DemandDrivenWorkload(cluster, streams)
+
+
+class TestDriver:
+    def test_reports_rounds_and_score(self):
+        cluster, wl = make_env()
+        sim = SheriffSimulation(cluster)
+        mgr = ReactiveManager(wl, threshold=0.5)
+        rep = run_managed_simulation(
+            sim, wl, mgr, warm=30, horizon=80, overload_threshold=0.5
+        )
+        assert rep.rounds == 50
+        assert len(rep.peak_load_by_round) == 50
+        assert rep.overload_rounds == sum(rep.overload_by_round)
+
+    def test_predictive_manager_warmed(self):
+        cluster, wl = make_env()
+        sim = SheriffSimulation(cluster)
+        mgr = PredictiveManager(wl, threshold=0.5, horizon=3)
+        rep = run_managed_simulation(
+            sim, wl, mgr, warm=30, horizon=80, overload_threshold=0.5
+        )
+        # the surge at t=50 must be noticed
+        assert rep.first_alert_round is not None
+        assert rep.migrations >= 1
+
+    def test_quiet_run_no_alerts(self):
+        cluster, wl = make_env(surge=False)
+        sim = SheriffSimulation(cluster)
+        mgr = ReactiveManager(wl, threshold=0.99)
+        rep = run_managed_simulation(
+            sim, wl, mgr, warm=10, horizon=40, overload_threshold=0.99
+        )
+        assert rep.first_alert_round is None
+        assert rep.migrations == 0
+        assert rep.overload_rounds == 0
+
+    def test_validation(self):
+        cluster, wl = make_env()
+        sim = SheriffSimulation(cluster)
+        mgr = ReactiveManager(wl, threshold=0.5)
+        with pytest.raises(ConfigurationError):
+            run_managed_simulation(sim, wl, mgr, warm=50, horizon=40, overload_threshold=0.5)
+        with pytest.raises(ConfigurationError):
+            run_managed_simulation(sim, wl, mgr, warm=0, horizon=40, overload_threshold=0.0)

@@ -1,0 +1,105 @@
+"""Switch failure injection tests."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import build_cluster
+from repro.errors import TopologyError
+from repro.migration.reroute import FlowTable
+from repro.sim import FailureInjector
+from repro.topology import build_bcube, build_fattree
+from repro.topology.base import NodeKind
+
+
+@pytest.fixture
+def env():
+    cluster = build_cluster(
+        build_fattree(4), hosts_per_rack=2, seed=90, dependency_degree=0.0
+    )
+    ft = FlowTable(cluster.topology)
+    return cluster, ft
+
+
+class TestFail:
+    def test_rejects_rack_and_double_failures(self, env):
+        cluster, ft = env
+        inj = FailureInjector(cluster, flow_table=ft)
+        with pytest.raises(TopologyError):
+            inj.fail(0)  # rack, not a switch
+        sw = int(cluster.topology.switches()[0])
+        inj.fail(sw)
+        with pytest.raises(TopologyError):
+            inj.fail(sw)
+
+    def test_flows_rerouted_off_dead_switch(self, env):
+        cluster, ft = env
+        fid = ft.add_flow(vm=0, src_rack=0, dst_rack=1, rate=1.0)
+        dead = ft.flows[fid].path[1]
+        inj = FailureInjector(cluster, flow_table=ft)
+        report = inj.fail(dead)
+        assert report.flows_rerouted == 1
+        assert dead not in ft.flows[fid].path
+        assert report.flows_dropped == []
+
+    def test_flow_dropped_when_no_path(self):
+        cluster = build_cluster(build_bcube(2), hosts_per_rack=2, seed=1)
+        ft = FlowTable(cluster.topology)
+        fid = ft.add_flow(vm=0, src_rack=0, dst_rack=1, rate=1.0)
+        inj = FailureInjector(cluster, flow_table=ft)
+        inj.fail(2)
+        report = inj.fail(3)  # both BCube(2) switches dead
+        assert fid in report.flows_dropped
+        assert fid not in ft.flows
+        assert report.racks_disconnected  # fabric partitioned
+
+    def test_fattree_survives_one_agg(self, env):
+        cluster, ft = env
+        agg = int(cluster.topology.nodes_of_kind(NodeKind.AGG)[0])
+        inj = FailureInjector(cluster, flow_table=ft)
+        report = inj.fail(agg)
+        assert report.racks_disconnected == []
+
+    def test_cost_model_avoids_dead_switch(self, env):
+        cluster, ft = env
+        inj = FailureInjector(cluster)
+        cm_before = inj.rebuild_cost_model()
+        agg = int(cluster.topology.nodes_of_kind(NodeKind.AGG)[0])
+        inj.fail(agg)
+        cm_after = inj.rebuild_cost_model()
+        # all rack pairs still reachable
+        r = cluster.num_racks
+        assert np.isfinite(cm_after.table.path_weight[:, :r]).all()
+        # and no selected path crosses the dead switch
+        for a in range(r):
+            for b in range(r):
+                if a != b:
+                    assert agg not in cm_after.table.path(a, b)
+
+    def test_partition_blocks_replanning(self):
+        cluster = build_cluster(build_bcube(2), hosts_per_rack=2, seed=2)
+        inj = FailureInjector(cluster)
+        inj.fail(2)
+        inj.fail(3)
+        with pytest.raises(TopologyError, match="partitioned"):
+            inj.rebuild_cost_model()
+
+    def test_recover(self, env):
+        cluster, ft = env
+        inj = FailureInjector(cluster)
+        sw = int(cluster.topology.switches()[0])
+        inj.fail(sw)
+        inj.recover(sw)
+        assert inj.failed == set()
+        with pytest.raises(TopologyError):
+            inj.recover(sw)
+
+    def test_available_bandwidth_zeroed(self, env):
+        cluster, ft = env
+        inj = FailureInjector(cluster)
+        sw = int(cluster.topology.switches()[0])
+        inj.fail(sw)
+        bw = inj.available_bandwidth()
+        lt = cluster.topology.links
+        touched = (lt.u == sw) | (lt.v == sw)
+        assert (bw[touched] == 0).all()
+        assert (bw[~touched] == lt.capacity[~touched]).all()

@@ -1,0 +1,126 @@
+"""Centralized k-median planning round tests (Sec. V-A pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import build_cluster
+from repro.costs.model import CostModel
+from repro.errors import ConfigurationError
+from repro.sim import (
+    centralized_migration_round,
+    inject_fraction_alerts,
+    kmedian_migration_round,
+)
+from repro.topology import build_fattree
+
+
+@pytest.fixture
+def env():
+    cluster = build_cluster(
+        build_fattree(8),
+        hosts_per_rack=2,
+        fill_fraction=0.5,
+        seed=81,
+        delay_sensitive_fraction=0.0,
+        dependency_degree=0.0,
+    )
+    return cluster, CostModel(cluster)
+
+
+def candidates(cluster, seed=5):
+    _, vma = inject_fraction_alerts(cluster, 0.05, seed=seed)
+    return sorted(vma)
+
+
+class TestKMedianRound:
+    def test_places_everything_when_room_exists(self, env):
+        cluster, cm = env
+        cands = candidates(cluster)
+        plan = kmedian_migration_round(cluster, cm, cands)
+        assert len(plan.moves) + len(plan.unplaced) == len(cands)
+        assert plan.total_cost > 0
+
+    def test_consolidates_onto_k_racks(self, env):
+        cluster, cm = env
+        cands = candidates(cluster)
+        k = 3
+        plan = kmedian_migration_round(cluster, cm, cands, k=k)
+        pl = cluster.placement
+        dst_racks = {int(pl.host_rack[h]) for _, h, _ in plan.moves}
+        assert len(dst_racks) <= k
+
+    def test_apply_respects_capacity(self, env):
+        cluster, cm = env
+        cands = candidates(cluster)
+        plan = kmedian_migration_round(cluster, cm, cands, apply=True)
+        cluster.placement.check_invariants()
+        moved = {vm for vm, _, _ in plan.moves}
+        for vm, host, _ in plan.moves:
+            assert cluster.placement.host_of(vm) == host
+        assert moved.isdisjoint(set(plan.unplaced))
+
+    def test_cost_accounting_consistent(self, env):
+        cluster, cm = env
+        cands = candidates(cluster)
+        plan = kmedian_migration_round(cluster, cm, cands)
+        assert plan.total_cost == pytest.approx(sum(c for _, _, c in plan.moves))
+
+    def test_moves_leave_source_rack(self, env):
+        cluster, cm = env
+        cands = candidates(cluster)
+        pl = cluster.placement
+        src = {vm: pl.rack_of(vm) for vm in cands}
+        plan = kmedian_migration_round(cluster, cm, cands)
+        for vm, host, _ in plan.moves:
+            assert int(pl.host_rack[host]) != src[vm]
+
+    def test_search_space_is_kmedian_sized(self, env):
+        """The reduction's search space is ToRs x ToRs, not VMs x hosts."""
+        cluster, cm = env
+        cands = candidates(cluster)
+        plan = kmedian_migration_round(cluster, cm, cands)
+        matching = centralized_migration_round(cluster, cm, cands)
+        assert plan.search_space < matching.search_space
+
+    def test_cost_comparable_to_matching(self, env):
+        """Consolidation costs more per VM than free matching, boundedly."""
+        cluster, cm = env
+        cands = candidates(cluster)
+        km = kmedian_migration_round(cluster, cm, cands)
+        mt = centralized_migration_round(cluster, cm, cands)
+        if km.moves and mt.moves:
+            km_per = km.total_cost / len(km.moves)
+            mt_per = mt.total_cost / len(mt.moves)
+            assert km_per <= 3.0 * mt_per
+
+    def test_empty_candidates(self, env):
+        cluster, cm = env
+        plan = kmedian_migration_round(cluster, cm, [])
+        assert plan.moves == [] and plan.total_cost == 0.0
+
+    def test_k_validation(self, env):
+        cluster, cm = env
+        with pytest.raises(ConfigurationError):
+            kmedian_migration_round(cluster, cm, candidates(cluster), k=10**6)
+
+    def test_respects_dependency_conflicts(self):
+        cluster = build_cluster(
+            build_fattree(4),
+            hosts_per_rack=2,
+            fill_fraction=0.4,
+            seed=4,
+            dependency_degree=0.0,
+            delay_sensitive_fraction=0.0,
+        )
+        cm = CostModel(cluster)
+        pl = cluster.placement
+        vm = int(pl.vms_in_rack(0)[0])
+        # make vm depend on one VM of every other host -> nowhere to go
+        for host in range(pl.num_hosts):
+            if host == pl.host_of(vm):
+                continue
+            others = pl.vms_on_host(host)
+            if others.size:
+                cluster.dependencies.add_pair(vm, int(others[0]))
+        plan = kmedian_migration_round(cluster, cm, [vm])
+        assert vm in plan.unplaced

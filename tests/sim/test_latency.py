@@ -1,0 +1,93 @@
+"""Queueing latency model tests."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import build_cluster
+from repro.errors import ConfigurationError
+from repro.migration.reroute import FlowTable, flow_reroute
+from repro.sim import flow_latencies, latency_percentiles, switch_delay_factors
+from repro.topology import build_fattree
+
+
+@pytest.fixture
+def env():
+    topo = build_fattree(4)
+    return topo, FlowTable(topo)
+
+
+class TestDelayFactors:
+    def test_idle_fabric_unit_factors(self, env):
+        topo, ft = env
+        f = switch_delay_factors(topo, ft)
+        np.testing.assert_allclose(f, 1.0)
+
+    def test_loaded_switch_slows_down(self, env):
+        topo, ft = env
+        fid = ft.add_flow(0, 0, 1, rate=1.0)
+        hot = ft.flows[fid].path[1]
+        f = switch_delay_factors(topo, ft)
+        assert f[hot] > 1.0
+
+    def test_clamped_at_rho_cap(self, env):
+        topo, ft = env
+        for i in range(50):
+            ft.add_flow(i, 0, 1, rate=10.0)  # way past capacity
+        f = switch_delay_factors(topo, ft, rho_cap=0.95)
+        assert f.max() <= 1.0 / (1.0 - 0.95) + 1e-9
+
+    def test_rho_cap_validation(self, env):
+        topo, ft = env
+        with pytest.raises(ConfigurationError):
+            switch_delay_factors(topo, ft, rho_cap=1.0)
+
+
+class TestFlowLatencies:
+    def test_uncongested_latency_equals_hops(self, env):
+        topo, ft = env
+        fid = ft.add_flow(0, 0, 2, rate=0.001)  # negligible load
+        lat = flow_latencies(topo, ft)
+        hops = len(ft.flows[fid].path)
+        assert lat[fid] == pytest.approx(hops, rel=0.02)
+
+    def test_congestion_raises_latency(self, env):
+        topo, ft = env
+        probe = ft.add_flow(0, 0, 1, rate=0.001)
+        base = flow_latencies(topo, ft)[probe]
+        # pile load onto the probe's path
+        for i in range(6):
+            ft.add_flow(100 + i, 0, 1, rate=2.0)
+        loaded = flow_latencies(topo, ft)[probe]
+        assert loaded > base
+
+    def test_reroute_reduces_latency(self, env):
+        topo, ft = env
+        probe = ft.add_flow(0, 0, 1, rate=0.001)
+        for i in range(6):
+            ft.add_flow(100 + i, 0, 1, rate=2.0)
+        before = flow_latencies(topo, ft)[probe]
+        hot = ft.flows[probe].path[1]
+        flow_reroute(ft, [probe], {hot})
+        after = flow_latencies(topo, ft)[probe]
+        assert after < before
+
+
+class TestPercentiles:
+    def test_summary_fields(self, env):
+        topo, ft = env
+        for i in range(10):
+            ft.add_flow(i, i % 4, (i + 1) % 4, rate=0.5)
+        s = latency_percentiles(topo, ft)
+        assert set(s) == {"mean", "p50", "p95", "p99"}
+        assert s["p50"] <= s["p95"] <= s["p99"]
+
+    def test_empty_fleet_rejected(self, env):
+        topo, ft = env
+        with pytest.raises(ConfigurationError):
+            latency_percentiles(topo, ft)
+
+    def test_bad_percentile_rejected(self, env):
+        topo, ft = env
+        ft.add_flow(0, 0, 1, rate=0.5)
+        with pytest.raises(ConfigurationError):
+            latency_percentiles(topo, ft, percentiles=[150.0])

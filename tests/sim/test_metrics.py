@@ -1,0 +1,116 @@
+"""Balance/search-space metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import build_cluster
+from repro.errors import ConfigurationError
+from repro.sim import (
+    SheriffSimulation,
+    gini_coefficient,
+    inject_fraction_alerts,
+    jain_fairness,
+    time_above_threshold,
+)
+from repro.sim.metrics import BalanceSeries
+from repro.topology import build_fattree
+
+
+class TestJain:
+    def test_uniform_is_one(self):
+        assert jain_fairness(np.full(10, 0.4)) == pytest.approx(1.0)
+
+    def test_single_loaded_host_is_one_over_n(self):
+        x = np.zeros(8)
+        x[3] = 5.0
+        assert jain_fairness(x) == pytest.approx(1.0 / 8.0)
+
+    def test_scale_free(self):
+        rng = np.random.default_rng(0)
+        x = rng.random(20)
+        assert jain_fairness(x) == pytest.approx(jain_fairness(7.5 * x))
+
+    def test_all_zero_is_fair(self):
+        assert jain_fairness(np.zeros(5)) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            jain_fairness(np.array([]))
+        with pytest.raises(ConfigurationError):
+            jain_fairness(np.array([-1.0, 1.0]))
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini_coefficient(np.full(10, 2.0)) == pytest.approx(0.0)
+
+    def test_concentration_approaches_one(self):
+        x = np.zeros(100)
+        x[0] = 1.0
+        assert gini_coefficient(x) > 0.95
+
+    def test_known_value(self):
+        # two hosts, loads 0 and 1: Gini = 0.5
+        assert gini_coefficient(np.array([0.0, 1.0])) == pytest.approx(0.5)
+
+    def test_order_invariant(self):
+        rng = np.random.default_rng(1)
+        x = rng.random(15)
+        y = x.copy()
+        rng.shuffle(y)
+        assert gini_coefficient(x) == pytest.approx(gini_coefficient(y))
+
+    def test_all_zero(self):
+        assert gini_coefficient(np.zeros(4)) == 0.0
+
+
+class TestTimeAboveThreshold:
+    def test_per_host_counts(self):
+        series = [
+            np.array([0.2, 0.9]),
+            np.array([0.95, 0.9]),
+            np.array([0.95, 0.1]),
+        ]
+        out = time_above_threshold(series, 0.5)
+        np.testing.assert_array_equal(out, [2, 2])
+
+    def test_strict_comparison(self):
+        out = time_above_threshold([np.array([0.5])], 0.5)
+        np.testing.assert_array_equal(out, [0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            time_above_threshold([np.zeros(2), np.zeros(3)], 0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            time_above_threshold([], 0.5)
+
+
+class TestBalanceSeriesAndConsistency:
+    def test_fairness_improves_with_balancing(self):
+        cluster = build_cluster(
+            build_fattree(4),
+            hosts_per_rack=3,
+            skew=0.9,
+            seed=12,
+            delay_sensitive_fraction=0.0,
+        )
+        jain_before = jain_fairness(cluster.placement.host_load_fraction())
+        gini_before = gini_coefficient(cluster.placement.host_load_fraction())
+        sim = SheriffSimulation(cluster)
+        for r in range(8):
+            alerts, vma = inject_fraction_alerts(cluster, 0.08, time=r, seed=r)
+            sim.run_round(alerts, vma)
+        load = cluster.placement.host_load_fraction()
+        assert jain_fairness(load) > jain_before
+        assert gini_coefficient(load) < gini_before
+
+    def test_balance_series_records(self):
+        cluster = build_cluster(build_fattree(4), seed=1)
+        bs = BalanceSeries()
+        v = bs.record(cluster)
+        assert bs.values == [v]
+        bs.record(cluster)
+        assert bs.improvement == pytest.approx(0.0)
+        assert bs.as_array().shape == (2,)

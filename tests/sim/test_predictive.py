@@ -1,0 +1,170 @@
+"""PredictiveManager and engine cooldown/steering tests."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import build_cluster
+from repro.errors import ConfigurationError
+from repro.sim import SheriffSimulation
+from repro.sim.reactive import DemandDrivenWorkload, PredictiveManager
+from repro.sim.scenario import inject_fraction_alerts
+from repro.topology import build_fattree
+from repro.traces.workload import WorkloadStream
+
+
+def make_env(ramp_hosts=(), horizon=100, warm=40, seed=5):
+    cluster = build_cluster(
+        build_fattree(4),
+        hosts_per_rack=2,
+        fill_fraction=0.55,
+        seed=seed,
+        dependency_degree=0.0,
+        delay_sensitive_fraction=0.0,
+    )
+    rng = np.random.default_rng(seed)
+    pl = cluster.placement
+    streams = {}
+    for vm in range(cluster.num_vms):
+        host = int(pl.vm_host[vm])
+        ramps = [(0, warm + 15, 10, 0.9)] if host in ramp_hosts else []
+        streams[vm] = WorkloadStream.generate(
+            horizon,
+            base_level=0.45,
+            diurnal_amplitude=0.05,
+            burst_rate=0.0,
+            wander_sigma=0.004,
+            ramps=ramps,
+            seed=int(rng.integers(0, 2**31)),
+        )
+    return cluster, DemandDrivenWorkload(cluster, streams)
+
+
+class TestPredictiveManager:
+    def test_validation(self):
+        cluster, wl = make_env()
+        with pytest.raises(ConfigurationError):
+            PredictiveManager(wl, threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            PredictiveManager(wl, horizon=0)
+        with pytest.raises(ConfigurationError):
+            PredictiveManager(wl, min_history=2)
+
+    def test_quiet_fleet_never_alerts(self):
+        cluster, wl = make_env()
+        mgr = PredictiveManager(wl, threshold=0.9, horizon=2)
+        for t in range(40):
+            mgr.observe(t)
+        for t in range(40, 70):
+            alerts, _ = mgr.alerts_at(t)
+            assert alerts == []
+            mgr.observe(t)
+
+    def test_alerts_no_later_than_reactive_detection(self):
+        """max(pred, current) makes detection a superset of reactive."""
+        cluster, wl = make_env(ramp_hosts=(0,), warm=40)
+        threshold = 0.5
+        mgr = PredictiveManager(wl, threshold=threshold, horizon=3)
+        for t in range(40):
+            mgr.observe(t)
+        first_alert = None
+        first_cross = None
+        for t in range(40, 90):
+            if first_cross is None and wl.host_load(t)[0] > threshold:
+                first_cross = t
+            alerts, _ = mgr.alerts_at(t)
+            if first_alert is None and any(a.host == 0 for a in alerts):
+                first_alert = t
+            mgr.observe(t)  # no migrations here: pure detection timing
+        assert first_cross is not None, "scenario must actually overload"
+        assert first_alert is not None
+        assert first_alert <= first_cross
+
+    def test_reset_on_assignment_change(self):
+        cluster, wl = make_env()
+        mgr = PredictiveManager(wl, threshold=0.9)
+        for t in range(20):
+            mgr.observe(t)
+        pl = cluster.placement
+        vm = 0
+        src = pl.host_of(vm)
+        dst = next(
+            h
+            for h in range(pl.num_hosts)
+            if h != src and pl.free_capacity(h) >= int(pl.vm_capacity[vm])
+        )
+        pl.migrate(vm, dst)
+        mgr.observe(20)
+        assert len(mgr._history[src]) == 1  # reset then one fresh sample
+        assert len(mgr._history[dst]) == 1
+        other = next(h for h in range(pl.num_hosts) if h not in (src, dst))
+        assert len(mgr._history[other]) == 21
+
+
+class TestEngineCooldown:
+    def test_recently_moved_vm_not_remigrated(self):
+        cluster = build_cluster(
+            build_fattree(4),
+            hosts_per_rack=2,
+            fill_fraction=0.5,
+            skew=0.8,
+            seed=3,
+            delay_sensitive_fraction=0.0,
+        )
+        sim = SheriffSimulation(cluster, migration_cooldown=1000)
+        moved_rounds = {}
+        for r in range(6):
+            alerts, vma = inject_fraction_alerts(cluster, 0.1, time=r, seed=r)
+            s = sim.run_round(alerts, vma)
+            for rep in s.reports:
+                for vm, _, _ in rep.migration.moves:
+                    assert vm not in moved_rounds, f"vm {vm} re-migrated under cooldown"
+                    moved_rounds[vm] = r
+
+    def test_cooldown_expires(self):
+        cluster = build_cluster(
+            build_fattree(4),
+            hosts_per_rack=2,
+            fill_fraction=0.5,
+            skew=0.8,
+            seed=3,
+            delay_sensitive_fraction=0.0,
+        )
+        sim = SheriffSimulation(cluster, migration_cooldown=1)
+        # with cooldown 1, a VM may move again in the next round; just make
+        # sure rounds still run and invariants hold
+        for r in range(4):
+            alerts, vma = inject_fraction_alerts(cluster, 0.1, time=r, seed=r)
+            sim.run_round(alerts, vma)
+        cluster.placement.check_invariants()
+
+
+class TestHostLoadSteering:
+    def test_steering_prefers_cool_hosts(self):
+        from repro.cluster.shim import ShimView
+        from repro.costs.model import CostModel
+        from repro.migration.request import ReceiverRegistry
+        from repro.migration.vmmigration import vmmigration
+
+        cluster = build_cluster(
+            build_fattree(4),
+            hosts_per_rack=2,
+            fill_fraction=0.5,
+            seed=9,
+            dependency_degree=0.0,
+            delay_sensitive_fraction=0.0,
+        )
+        cm = CostModel(cluster)
+        pl = cluster.placement
+        shim = ShimView(cluster, 0)
+        hosts = shim.candidate_hosts()
+        # declare every destination hot except one
+        host_load = np.ones(pl.num_hosts)
+        cool = int(hosts[-1])
+        host_load[cool] = 0.0
+        vm = int(pl.vms_in_rack(0)[0])
+        reg = ReceiverRegistry(cluster)
+        stats = vmmigration(
+            cluster, cm, [vm], hosts.tolist(), reg,
+            balance_weight=1000.0, host_load=host_load,
+        )
+        assert stats.moves and stats.moves[0][1] == cool

@@ -1,0 +1,108 @@
+"""Demand-driven workload and reactive manager tests."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import build_cluster
+from repro.errors import ConfigurationError
+from repro.sim.reactive import DemandDrivenWorkload, ReactiveManager
+from repro.topology import build_fattree
+from repro.traces.workload import WorkloadStream
+
+
+@pytest.fixture
+def env():
+    cluster = build_cluster(
+        build_fattree(4), hosts_per_rack=2, fill_fraction=0.5, seed=60,
+        delay_sensitive_fraction=0.0,
+    )
+    streams = {
+        vm: WorkloadStream.generate(100, base_level=0.4, seed=vm)
+        for vm in range(cluster.num_vms)
+    }
+    return cluster, DemandDrivenWorkload(cluster, streams)
+
+
+class TestDemandDriven:
+    def test_host_load_in_unit_interval(self, env):
+        cluster, wl = env
+        load = wl.host_load(10)
+        assert load.shape == (cluster.num_hosts,)
+        assert (load >= 0).all() and (load <= 1.0 + 1e-9).all()
+
+    def test_load_follows_demand(self, env):
+        cluster, wl = env
+        pl = cluster.placement
+        # overwrite one host's VMs with a saturated stream
+        host = 0
+        vms = pl.vms_on_host(host)
+        for vm in vms:
+            wl.streams[int(vm)] = WorkloadStream(
+                profile=np.ones((100, 4)) * 0.99
+            )
+        load = wl.host_load(50)
+        expected = 0.99 * pl.host_used[host] / pl.host_capacity[host]
+        assert load[host] == pytest.approx(expected, rel=1e-6)
+
+    def test_overloaded_hosts_detection(self, env):
+        cluster, wl = env
+        pl = cluster.placement
+        host = 1
+        for vm in pl.vms_on_host(host):
+            wl.streams[int(vm)] = WorkloadStream(profile=np.ones((100, 4)))
+        thr = 0.9 * pl.host_used[host] / pl.host_capacity[host]
+        if thr <= 0:
+            pytest.skip("empty host in fixture")
+        hot = wl.overloaded_hosts(10, min(thr, 0.99))
+        assert host in hot
+
+    def test_migration_cools_host(self, env):
+        cluster, wl = env
+        pl = cluster.placement
+        host = 0
+        vms = pl.vms_on_host(host)
+        if vms.size == 0:
+            pytest.skip("empty host")
+        before = wl.host_load(5)[host]
+        # move the largest VM elsewhere
+        vm = int(vms[np.argmax(pl.vm_capacity[vms])])
+        for dst in range(pl.num_hosts):
+            if dst != host and pl.free_capacity(dst) >= int(pl.vm_capacity[vm]):
+                pl.migrate(vm, dst)
+                break
+        after = wl.host_load(5)[host]
+        assert after < before
+
+    def test_missing_stream_rejected(self):
+        cluster = build_cluster(build_fattree(4), seed=61)
+        with pytest.raises(ConfigurationError):
+            DemandDrivenWorkload(cluster, {0: WorkloadStream.generate(10, seed=0)})
+
+
+class TestReactiveManager:
+    def test_alerts_only_when_overloaded(self, env):
+        cluster, wl = env
+        mgr = ReactiveManager(wl, threshold=0.999)
+        alerts, vma = mgr.alerts_at(10)
+        assert alerts == []
+
+    def test_alert_shape_matches_scenario_contract(self, env):
+        cluster, wl = env
+        pl = cluster.placement
+        host = 0
+        for vm in pl.vms_on_host(host):
+            wl.streams[int(vm)] = WorkloadStream(profile=np.ones((100, 4)))
+        load = wl.host_load(10)[host]
+        mgr = ReactiveManager(wl, threshold=min(0.99, max(0.05, load * 0.9)))
+        alerts, vma = mgr.alerts_at(10)
+        hosts = {a.host for a in alerts}
+        assert host in hosts
+        for a in alerts:
+            assert a.rack == int(pl.host_rack[a.host])
+        for vm in vma:
+            assert not pl.vm_delay_sensitive[vm]
+
+    def test_threshold_validation(self, env):
+        _, wl = env
+        with pytest.raises(ConfigurationError):
+            ReactiveManager(wl, threshold=0.0)

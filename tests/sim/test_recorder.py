@@ -1,0 +1,79 @@
+"""Simulation recorder tests."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.cluster import build_cluster
+from repro.errors import ConfigurationError
+from repro.sim import SheriffSimulation, SimulationRecorder, inject_fraction_alerts
+from repro.topology import build_fattree
+
+
+@pytest.fixture
+def recorded_run():
+    cluster = build_cluster(
+        build_fattree(4), hosts_per_rack=2, skew=0.8, seed=17,
+        delay_sensitive_fraction=0.0,
+    )
+    sim = SheriffSimulation(cluster)
+    rec = SimulationRecorder(sim)
+    for r in range(6):
+        alerts, vma = inject_fraction_alerts(cluster, 0.08, time=r, seed=r)
+        rec.record(sim.run_round(alerts, vma))
+    return rec
+
+
+class TestRecording:
+    def test_columns_aligned(self, recorded_run):
+        rec = recorded_run
+        assert rec.num_rounds == 6
+        np.testing.assert_array_equal(rec.column("round"), np.arange(6))
+        assert rec.column("workload_std").shape == (6,)
+
+    def test_metrics_consistent_with_engine(self, recorded_run):
+        rec = recorded_run
+        engine_std = [s.workload_std_after for s in rec.sim.history]
+        np.testing.assert_allclose(rec.column("workload_std"), engine_std)
+
+    def test_summary(self, recorded_run):
+        s = recorded_run.summary()
+        assert s["rounds"] == 6
+        assert s["total_migrations"] == recorded_run.column("migrations").sum()
+        assert s["std_improvement"] > 0  # the skewed start improves
+
+    def test_unknown_column_rejected(self, recorded_run):
+        with pytest.raises(ConfigurationError):
+            recorded_run.column("latency")
+
+    def test_empty_recorder_rejects_export(self):
+        cluster = build_cluster(build_fattree(4), seed=1)
+        rec = SimulationRecorder(SheriffSimulation(cluster))
+        with pytest.raises(ConfigurationError):
+            rec.summary()
+        with pytest.raises(ConfigurationError):
+            rec.to_npz("/tmp/never.npz")
+
+
+class TestExport:
+    def test_npz_roundtrip(self, recorded_run, tmp_path):
+        path = tmp_path / "run.npz"
+        recorded_run.to_npz(path)
+        with np.load(path) as data:
+            np.testing.assert_allclose(
+                data["workload_std"], recorded_run.column("workload_std")
+            )
+            assert "jain_fairness" in data
+
+    def test_csv_roundtrip(self, recorded_run, tmp_path):
+        path = tmp_path / "run.csv"
+        recorded_run.to_csv(path)
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 6
+        assert float(rows[0]["round"]) == 0.0
+        assert abs(
+            float(rows[-1]["workload_std"])
+            - recorded_run.column("workload_std")[-1]
+        ) < 1e-9

@@ -1,0 +1,64 @@
+"""Plan timing (six-stage model integration) tests."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.costs.model import CostModel
+from repro.errors import ConfigurationError
+from repro.sim import inject_fraction_alerts, regional_migration_round, time_plan
+from repro.topology import build_fattree
+
+
+@pytest.fixture
+def plan_env():
+    cluster = build_cluster(
+        build_fattree(4), hosts_per_rack=2, seed=44,
+        delay_sensitive_fraction=0.0, dependency_degree=0.0,
+    )
+    cm = CostModel(cluster)
+    _, vma = inject_fraction_alerts(cluster, 0.1, seed=4)
+    plan = regional_migration_round(cluster, cm, sorted(vma))
+    assert plan.moves
+    return cluster, plan
+
+
+class TestTimePlan:
+    def test_counts_and_aggregates(self, plan_env):
+        cluster, plan = plan_env
+        timing = time_plan(cluster, plan.moves)
+        assert timing.count == len(plan.moves)
+        assert timing.total_transfer_mb > 0
+        assert timing.makespan_s >= max(t.total for t in timing.timelines) - 1e-9
+        assert timing.infeasible == ()
+
+    def test_downtime_respects_target(self, plan_env):
+        cluster, plan = plan_env
+        timing = time_plan(cluster, plan.moves, downtime_target=0.06)
+        assert timing.worst_downtime_s <= 0.06 + 1e-9
+
+    def test_memory_scales_with_capacity(self, plan_env):
+        cluster, plan = plan_env
+        small = time_plan(cluster, plan.moves, mem_per_capacity_mb=10.0)
+        big = time_plan(cluster, plan.moves, mem_per_capacity_mb=1000.0)
+        assert big.total_transfer_mb > 50 * small.total_transfer_mb
+
+    def test_infeasible_dirty_rate_reported(self, plan_env):
+        cluster, plan = plan_env
+        timing = time_plan(cluster, plan.moves, dirty_fraction=0.999999)
+        # ratio ~1: still feasible per precopy (ratio < 1), so force exact
+        timing2 = time_plan(cluster, plan.moves, dirty_fraction=0.0)
+        assert timing2.infeasible == ()
+        assert timing.count + len(timing.infeasible) == len(plan.moves)
+
+    def test_empty_plan(self, plan_env):
+        cluster, _ = plan_env
+        timing = time_plan(cluster, [])
+        assert timing.count == 0
+        assert timing.makespan_s == 0.0
+
+    def test_validation(self, plan_env):
+        cluster, plan = plan_env
+        with pytest.raises(ConfigurationError):
+            time_plan(cluster, plan.moves, mem_per_capacity_mb=0.0)
+        with pytest.raises(ConfigurationError):
+            time_plan(cluster, plan.moves, dirty_fraction=1.0)

@@ -1,0 +1,62 @@
+"""Benchmark table-formatting tests."""
+
+import pytest
+
+from repro.analysis import Series, format_series, format_table
+from repro.errors import ConfigurationError
+
+
+class TestSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Series("a", [1, 2], [1.0])
+
+    def test_format_contains_all_values(self):
+        s1 = Series("sheriff", [8, 16], [100.0, 200.0])
+        s2 = Series("optimal", [8, 16], [90.0, 180.0])
+        out = format_series("Fig 11", [s1, s2], x_label="pods")
+        assert "Fig 11" in out
+        assert "sheriff" in out and "optimal" in out
+        assert "100.000" in out and "180.000" in out
+
+    def test_mismatched_x_rejected(self):
+        s1 = Series("a", [1, 2], [0.0, 0.0])
+        s2 = Series("b", [1, 3], [0.0, 0.0])
+        with pytest.raises(ConfigurationError):
+            format_series("t", [s1, s2])
+
+    def test_empty_series_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_series("t", [])
+
+
+class TestTable:
+    def test_formats_rows(self):
+        rows = [{"k": 8, "cost": 1.5}, {"k": 16, "cost": 2.5}]
+        out = format_table("tbl", rows)
+        assert "cost" in out and "2.500" in out
+
+    def test_scientific_for_large(self):
+        out = format_table("t", [{"x": 1e9}])
+        assert "e+" in out
+
+    def test_inconsistent_columns_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table("t", [{"a": 1}, {"b": 2}])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table("t", [])
+
+
+class TestStringColumns:
+    def test_string_cells_right_aligned(self):
+        out = format_table("t", [{"model": "arima", "mse": 1.25}])
+        assert "arima" in out
+        line = out.splitlines()[-1]
+        assert line.endswith("1.250")
+
+    def test_mixed_rows_consistent(self):
+        rows = [{"name": "a", "v": 1}, {"name": "bb", "v": 2}]
+        out = format_table("t", rows)
+        assert out.count("\n") == 4

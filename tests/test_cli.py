@@ -1,0 +1,83 @@
+"""CLI smoke and contract tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["balance"])
+        assert args.topology == "fattree"
+        assert args.rounds == 24
+
+
+class TestCommands:
+    def test_traces(self, capsys):
+        assert main(["traces", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "CPU" in out and "burst_ratio" in out
+
+    def test_approx_within_bound(self, capsys):
+        assert main(["approx", "--trials", "5", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "max_ratio" in out
+
+    def test_balance_small(self, capsys):
+        code = main(
+            ["balance", "--size", "4", "--rounds", "4", "--seed", "9"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "std_dev_pct" in out
+        assert out.count("\n") >= 6  # header + 5 rounds
+
+    def test_sweep_small(self, capsys):
+        assert main(["sweep", "--sizes", "4,8", "--seed", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "sheriff_cost" in out and "central_space" in out
+
+    def test_sweep_bcube(self, capsys):
+        assert main(["sweep", "--topology", "bcube", "--sizes", "4", "--seed", "2"]) == 0
+        assert "bcube" in capsys.readouterr().out
+
+    def test_forecast_nonlinear(self, capsys):
+        assert main(["forecast", "--trace", "nonlinear", "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "narnet_mse" in out
+
+    def test_balance_bcube(self, capsys):
+        assert main(
+            ["balance", "--topology", "bcube", "--size", "4", "--rounds", "3"]
+        ) == 0
+        assert "bcube-4" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_report_to_stdout(self, capsys):
+        assert main(["report", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        for section in (
+            "Traces (Figs. 3-5)",
+            "Prediction (Figs. 6-8)",
+            "Balancing (Figs. 9-10)",
+            "Regional vs centralized",
+            "Approximation",
+        ):
+            assert section in out
+        assert "declining" in out
+
+    def test_report_to_file(self, capsys, tmp_path):
+        target = tmp_path / "report.md"
+        assert main(["report", "--seed", "7", "--output", str(target)]) == 0
+        text = target.read_text()
+        assert text.startswith("# Sheriff reproduction report")
+        assert "wrote" in capsys.readouterr().out

@@ -1,0 +1,27 @@
+"""Exception hierarchy contract tests."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in errors.__all__:
+            exc = getattr(errors, name)
+            assert issubclass(exc, errors.ReproError)
+
+    def test_configuration_error_is_value_error(self):
+        assert issubclass(errors.ConfigurationError, ValueError)
+
+    def test_specializations(self):
+        assert issubclass(errors.CapacityError, errors.PlacementError)
+        assert issubclass(errors.ConvergenceError, errors.ForecastError)
+        assert issubclass(errors.ProtocolError, errors.MigrationError)
+
+    def test_single_except_catches_library_errors(self):
+        """A caller can catch everything the library throws in one clause."""
+        from repro.topology import build_fattree
+
+        with pytest.raises(errors.ReproError):
+            build_fattree(3)  # odd k -> ConfigurationError -> ReproError

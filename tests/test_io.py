@@ -1,0 +1,91 @@
+"""Persistence round-trip tests."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import build_cluster
+from repro.errors import ConfigurationError
+from repro.io import load_cluster, load_topology, save_cluster, save_topology
+from repro.sim import SheriffSimulation, inject_fraction_alerts
+from repro.topology import build_bcube, build_fattree
+
+
+class TestTopologyRoundtrip:
+    @pytest.mark.parametrize("make", [lambda: build_fattree(4), lambda: build_bcube(3, 3)])
+    def test_roundtrip(self, make, tmp_path):
+        topo = make()
+        path = tmp_path / "topo.npz"
+        save_topology(topo, path)
+        back = load_topology(path)
+        assert back.name == topo.name
+        assert back.num_nodes == topo.num_nodes
+        assert back.num_racks == topo.num_racks
+        np.testing.assert_array_equal(back.kinds, topo.kinds)
+        np.testing.assert_array_equal(back.links.u, topo.links.u)
+        np.testing.assert_array_equal(back.links.capacity, topo.links.capacity)
+        assert back.meta == topo.meta
+
+
+class TestClusterRoundtrip:
+    def test_full_state_preserved(self, tmp_path):
+        cluster = build_cluster(
+            build_fattree(4), hosts_per_rack=3, seed=5, dependency_degree=1.5
+        )
+        path = tmp_path / "cluster.npz"
+        save_cluster(cluster, path)
+        back = load_cluster(path)
+        assert back.num_vms == cluster.num_vms
+        assert back.num_hosts == cluster.num_hosts
+        np.testing.assert_array_equal(back.placement.vm_host, cluster.placement.vm_host)
+        np.testing.assert_array_equal(
+            back.placement.vm_capacity, cluster.placement.vm_capacity
+        )
+        np.testing.assert_array_equal(
+            back.placement.vm_delay_sensitive, cluster.placement.vm_delay_sensitive
+        )
+        assert back.dependencies.num_pairs == cluster.dependencies.num_pairs
+        for vm in range(cluster.num_vms):
+            assert back.dependencies.neighbors(vm) == cluster.dependencies.neighbors(vm)
+        back.placement.check_invariants()
+
+    def test_mid_simulation_snapshot_resumes(self, tmp_path):
+        cluster = build_cluster(
+            build_fattree(4), hosts_per_rack=2, skew=0.8, seed=6,
+            delay_sensitive_fraction=0.0,
+        )
+        sim = SheriffSimulation(cluster)
+        for r in range(3):
+            alerts, vma = inject_fraction_alerts(cluster, 0.1, time=r, seed=r)
+            sim.run_round(alerts, vma)
+        path = tmp_path / "snap.npz"
+        save_cluster(cluster, path)
+        resumed = load_cluster(path)
+        np.testing.assert_array_equal(
+            resumed.placement.vm_host, cluster.placement.vm_host
+        )
+        # resumed cluster can keep simulating
+        sim2 = SheriffSimulation(resumed)
+        alerts, vma = inject_fraction_alerts(resumed, 0.1, time=9, seed=9)
+        sim2.run_round(alerts, vma)
+        resumed.placement.check_invariants()
+
+    def test_tampered_archive_fails_loudly(self, tmp_path):
+        cluster = build_cluster(build_fattree(4), hosts_per_rack=2, seed=7)
+        path = tmp_path / "c.npz"
+        save_cluster(cluster, path)
+        # corrupt: shrink a host capacity below its load
+        data = dict(np.load(path))
+        data["host_capacity"] = data["host_capacity"] * 0 + 1
+        np.savez_compressed(path, **data)
+        with pytest.raises(Exception):
+            load_cluster(path)
+
+    def test_version_check(self, tmp_path):
+        cluster = build_cluster(build_fattree(4), hosts_per_rack=2, seed=8)
+        path = tmp_path / "c.npz"
+        save_cluster(cluster, path)
+        data = dict(np.load(path))
+        data["format_version"] = np.asarray(99)
+        np.savez_compressed(path, **data)
+        with pytest.raises(ConfigurationError, match="format version"):
+            load_cluster(path)

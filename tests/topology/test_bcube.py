@@ -1,0 +1,79 @@
+"""Structural tests for the BCube builder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.topology import build_bcube, validate_topology
+from repro.topology.base import NodeKind
+from repro.topology.bcube import bcube_counts, _digits, _undigits
+
+
+class TestDigits:
+    @pytest.mark.parametrize("x,n,count", [(0, 2, 3), (7, 2, 3), (13, 4, 2), (99, 10, 2)])
+    def test_roundtrip(self, x, n, count):
+        assert _undigits(_digits(x, n, count), n) == x
+
+    def test_known_digits(self):
+        assert _digits(6, 2, 3) == [0, 1, 1]  # 6 = 110b, LSB first
+
+
+class TestCounts:
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_two_level_counts(self, n):
+        t = build_bcube(n)
+        c = bcube_counts(n)
+        assert t.num_racks == c["racks"] == n
+        assert len(t.nodes_of_kind(NodeKind.BCUBE)) == c["upper_switches"] == n
+        # complete bipartite between racks and level-1 switches
+        assert t.num_links == n * n
+
+    def test_three_level_counts(self):
+        n = 3
+        t = build_bcube(n, levels=3)
+        c = bcube_counts(n, 3)
+        assert t.num_racks == n**2
+        assert len(t.nodes_of_kind(NodeKind.BCUBE)) == 2 * n**2
+        assert c["servers"] == n**3
+
+    def test_rejects_small_n(self):
+        with pytest.raises(ConfigurationError):
+            build_bcube(1)
+
+    def test_rejects_single_level(self):
+        with pytest.raises(ConfigurationError):
+            build_bcube(4, levels=1)
+
+
+class TestStructure:
+    @pytest.mark.parametrize("n,levels", [(2, 2), (4, 2), (3, 3), (2, 4)])
+    def test_validates(self, n, levels):
+        validate_topology(build_bcube(n, levels))
+
+    def test_two_level_is_complete_bipartite(self):
+        n = 4
+        t = build_bcube(n)
+        for rack in range(n):
+            nbrs = t.neighbors(rack)
+            assert len(nbrs) == n
+            assert (nbrs >= t.num_racks).all()
+
+    def test_rack_reaches_n_switches_per_level(self):
+        n, levels = 3, 3
+        t = build_bcube(n, levels)
+        per_level = n ** (levels - 1)
+        for rack in range(t.num_racks):
+            nbrs = t.neighbors(rack)
+            lvl1 = [x for x in nbrs if t.num_racks <= x < t.num_racks + per_level]
+            lvl2 = [x for x in nbrs if x >= t.num_racks + per_level]
+            assert len(lvl1) == n
+            # level-2 switches shared by servers differing only in digit 0
+            assert len(lvl2) == n
+
+    def test_distinct_racks_share_limited_switches(self):
+        # in BCube(n,1) every pair of racks shares every switch (complete
+        # bipartite); in BCube(n,2) rack pairs share at most n switches
+        t = build_bcube(3, levels=3)
+        s0 = set(t.neighbors(0).tolist())
+        s1 = set(t.neighbors(1).tolist())
+        assert 0 < len(s0 & s1) <= 3

@@ -1,0 +1,84 @@
+"""Structural tests for the Fat-Tree builder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.topology import build_fattree, validate_topology
+from repro.topology.base import NodeKind
+from repro.topology.fattree import fattree_counts
+
+
+class TestCounts:
+    @pytest.mark.parametrize("k", [2, 4, 8, 16])
+    def test_element_counts(self, k):
+        t = build_fattree(k)
+        c = fattree_counts(k)
+        assert t.num_racks == c["tor"] == k * k // 2
+        assert len(t.nodes_of_kind(NodeKind.AGG)) == c["agg"]
+        assert len(t.nodes_of_kind(NodeKind.CORE)) == c["core"] == (k // 2) ** 2
+        assert t.num_links == c["links"]
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_fattree(5)
+
+    def test_k_below_two_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_fattree(0)
+
+
+class TestStructure:
+    @pytest.mark.parametrize("k", [4, 8])
+    def test_validates(self, k):
+        validate_topology(build_fattree(k))
+
+    def test_tor_degree_is_half_k(self):
+        k = 8
+        t = build_fattree(k)
+        deg = t.degree()
+        assert (deg[: t.num_racks] == k // 2).all()
+
+    def test_agg_degree_is_k(self):
+        k = 8
+        t = build_fattree(k)
+        deg = t.degree()
+        agg = t.nodes_of_kind(NodeKind.AGG)
+        assert (deg[agg] == k).all()
+
+    def test_core_degree_is_k(self):
+        k = 8
+        t = build_fattree(k)
+        core = t.nodes_of_kind(NodeKind.CORE)
+        assert (t.degree()[core] == k).all()
+
+    def test_tor_connects_only_to_own_pod_aggs(self):
+        k = 4
+        t = build_fattree(k)
+        half = k // 2
+        agg_base = t.num_racks
+        for tor in range(t.num_racks):
+            pod = tor // half
+            for nbr in t.neighbors(tor):
+                assert agg_base + pod * half <= nbr < agg_base + (pod + 1) * half
+
+    def test_link_capacities_follow_paper(self):
+        t = build_fattree(4)
+        lt = t.links
+        agg_base = t.num_racks
+        core_base = agg_base + len(t.nodes_of_kind(NodeKind.AGG))
+        for i in range(len(lt)):
+            u, v = int(lt.u[i]), int(lt.v[i])
+            if max(u, v) >= core_base:
+                assert lt.capacity[i] == 10.0  # agg-core
+            else:
+                assert lt.capacity[i] == 1.0  # tor-agg
+
+    def test_custom_capacities(self):
+        t = build_fattree(4, tor_agg_capacity=2.5, agg_core_capacity=40.0)
+        caps = set(t.links.capacity.tolist())
+        assert caps == {2.5, 40.0}
+
+    def test_meta_records_k(self):
+        t = build_fattree(6)
+        assert t.meta["k"] == 6.0

@@ -1,0 +1,54 @@
+"""Rack layout geometry tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.topology.layout import (
+    RACK_DEPTH_M,
+    RACK_WIDTH_M,
+    ROW_GAP_M,
+    rack_distance_matrix,
+    rack_positions,
+)
+
+
+class TestPositions:
+    def test_adjacent_racks_one_width_apart(self):
+        pos = rack_positions(5, racks_per_row=10)
+        assert pos[1, 0] - pos[0, 0] == pytest.approx(RACK_WIDTH_M)
+        assert pos[1, 1] == pos[0, 1]
+
+    def test_row_wrap(self):
+        pos = rack_positions(12, racks_per_row=10)
+        assert pos[10, 1] - pos[0, 1] == pytest.approx(RACK_DEPTH_M + ROW_GAP_M)
+        assert pos[10, 0] == pos[0, 0]
+
+    def test_rejects_zero_racks(self):
+        with pytest.raises(ConfigurationError):
+            rack_positions(0)
+
+    def test_rejects_bad_row_size(self):
+        with pytest.raises(ConfigurationError):
+            rack_positions(5, racks_per_row=0)
+
+
+class TestDistances:
+    def test_symmetric_zero_diagonal(self):
+        d = rack_distance_matrix(7, racks_per_row=3)
+        np.testing.assert_array_equal(d, d.T)
+        assert (np.diagonal(d) == 0).all()
+
+    def test_rectilinear_value(self):
+        d = rack_distance_matrix(12, racks_per_row=10)
+        # rack 0 and rack 11: one column over, one row down
+        expected = 1 * RACK_WIDTH_M + (RACK_DEPTH_M + ROW_GAP_M)
+        assert d[0, 11] == pytest.approx(expected)
+
+    def test_triangle_inequality(self):
+        d = rack_distance_matrix(9, racks_per_row=3)
+        n = d.shape[0]
+        for i in range(n):
+            for j in range(n):
+                for k in range(n):
+                    assert d[i, j] <= d[i, k] + d[k, j] + 1e-12

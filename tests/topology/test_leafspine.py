@@ -1,0 +1,41 @@
+"""Leaf-spine builder tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.topology import (
+    build_leaf_spine,
+    equal_cost_paths,
+    leaf_spine_counts,
+    validate_topology,
+)
+from repro.cluster.shim import neighbor_racks
+
+
+class TestBuild:
+    def test_counts_and_validation(self):
+        t = build_leaf_spine(8, 4)
+        c = leaf_spine_counts(8, 4)
+        assert t.num_racks == 8
+        assert t.num_links == c["links"] == 32
+        validate_topology(t)
+
+    def test_full_mesh_degree(self):
+        t = build_leaf_spine(6, 3)
+        deg = t.degree()
+        assert (deg[:6] == 3).all()   # each leaf hits every spine
+        assert (deg[6:] == 6).all()   # each spine hits every leaf
+
+    def test_ecmp_equals_spines(self):
+        t = build_leaf_spine(5, 4)
+        assert len(equal_cost_paths(t, 0, 3)) == 4
+
+    def test_everyone_is_a_neighbor(self):
+        t = build_leaf_spine(6, 2)
+        assert neighbor_racks(t, 0) == frozenset(range(1, 6))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            build_leaf_spine(1, 4)
+        with pytest.raises(ConfigurationError):
+            build_leaf_spine(4, 0)

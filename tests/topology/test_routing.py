@@ -1,0 +1,105 @@
+"""ECMP routing tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.topology import (
+    build_bcube,
+    build_fattree,
+    ecmp_path,
+    equal_cost_paths,
+    path_diversity,
+)
+
+
+class TestEqualCostPaths:
+    def test_fattree_intra_pod_count(self):
+        k = 4
+        t = build_fattree(k)
+        paths = equal_cost_paths(t, 0, 1)
+        assert len(paths) == k // 2  # one per pod agg
+
+    def test_fattree_inter_pod_count(self):
+        k = 4
+        t = build_fattree(k)
+        paths = equal_cost_paths(t, 0, 2)
+        assert len(paths) == (k // 2) ** 2  # one per core
+
+    def test_all_paths_optimal_and_distinct(self):
+        t = build_fattree(4)
+        paths = equal_cost_paths(t, 0, 7)
+        lengths = {len(p) for p in paths}
+        assert lengths == {5}  # 4 hops
+        assert len({tuple(p) for p in paths}) == len(paths)
+        for p in paths:
+            assert p[0] == 0 and p[-1] == 7
+            for a, b in zip(p, p[1:]):
+                assert t.has_edge(a, b)
+
+    def test_bcube_diversity(self):
+        n = 4
+        t = build_bcube(n)
+        # complete bipartite: n disjoint 2-hop paths between any rack pair
+        paths = equal_cost_paths(t, 0, 1)
+        assert len(paths) == n
+
+    def test_trivial_path(self):
+        t = build_fattree(4)
+        assert equal_cost_paths(t, 3, 3) == [[3]]
+
+    def test_cap_raises(self):
+        t = build_fattree(8)
+        with pytest.raises(ConfigurationError):
+            equal_cost_paths(t, 0, 16, max_paths=2)
+
+    def test_unreachable_raises(self):
+        from repro.topology import from_edge_list
+
+        t = from_edge_list(
+            ["tor", "tor", "agg", "agg"],
+            [(0, 2, 1.0, 1.0), (1, 3, 1.0, 1.0)],
+            validate=False,
+        )
+        with pytest.raises(TopologyError):
+            equal_cost_paths(t, 0, 1)
+
+    def test_weight_selects_different_sets(self):
+        # with inverse-capacity weights, the fat agg-core links are cheap,
+        # which can change which paths tie; just check both run
+        t = build_fattree(4)
+        by_hops = equal_cost_paths(t, 0, 2, weight="hops")
+        by_cap = equal_cost_paths(t, 0, 2, weight="inverse_capacity")
+        assert by_hops and by_cap
+
+    def test_unknown_weight(self):
+        t = build_fattree(4)
+        with pytest.raises(ConfigurationError):
+            equal_cost_paths(t, 0, 1, weight="latency")
+
+
+class TestEcmpPath:
+    def test_deterministic_per_key(self):
+        t = build_fattree(4)
+        assert ecmp_path(t, 0, 2, 42) == ecmp_path(t, 0, 2, 42)
+
+    def test_spreads_across_group(self):
+        t = build_fattree(4)
+        chosen = {tuple(ecmp_path(t, 0, 2, key)) for key in range(64)}
+        assert len(chosen) >= 3  # 4 paths available; hashing hits most
+
+    def test_valid_path(self):
+        t = build_fattree(4)
+        p = ecmp_path(t, 1, 6, 7)
+        assert p[0] == 1 and p[-1] == 6
+
+
+class TestPathDiversity:
+    def test_fattree_matrix(self):
+        k = 4
+        t = build_fattree(k)
+        d = path_diversity(t)
+        assert d[0, 1] == k // 2
+        assert d[0, 2] == (k // 2) ** 2
+        assert (np.diagonal(d) == 1).all()
+        np.testing.assert_array_equal(d, d.T)

@@ -1,0 +1,62 @@
+"""Topology validation tests."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import build_bcube, build_fattree, validate_topology
+from repro.topology.base import NodeKind, Topology
+from repro.topology.validate import connected_components, is_connected
+
+
+def two_island_topology():
+    t = Topology("islands", [NodeKind.TOR] * 2 + [NodeKind.AGG] * 2)
+    t.add_link(0, 2, 1.0, 1.0)
+    t.add_link(1, 3, 1.0, 1.0)
+    return t
+
+
+class TestConnectivity:
+    def test_fattree_connected(self):
+        assert is_connected(build_fattree(4))
+
+    def test_bcube_connected(self):
+        assert is_connected(build_bcube(4))
+
+    def test_islands_detected(self):
+        t = two_island_topology()
+        assert not is_connected(t)
+        comps = connected_components(t)
+        assert len(comps) == 2
+        assert sorted(len(c) for c in comps) == [2, 2]
+
+    def test_components_cover_all_nodes(self):
+        t = two_island_topology()
+        nodes = sorted(x for c in connected_components(t) for x in c.tolist())
+        assert nodes == list(range(t.num_nodes))
+
+
+class TestValidation:
+    def test_valid_fabrics_pass(self):
+        validate_topology(build_fattree(4))
+        validate_topology(build_bcube(3, 3))
+
+    def test_no_links_fails(self):
+        t = Topology("bare", [NodeKind.TOR, NodeKind.AGG])
+        with pytest.raises(TopologyError, match="no links"):
+            validate_topology(t)
+
+    def test_disconnected_fails(self):
+        with pytest.raises(TopologyError, match="disconnected"):
+            validate_topology(two_island_topology())
+
+    def test_isolated_node_fails(self):
+        t = Topology("iso", [NodeKind.TOR] * 2 + [NodeKind.AGG])
+        t.add_link(0, 2, 1.0, 1.0)
+        with pytest.raises(TopologyError, match="isolated"):
+            validate_topology(t)
+
+    def test_mutated_capacity_detected(self):
+        t = build_fattree(4)
+        t.links.capacity[0] = -1.0  # simulate corruption through the arrays
+        with pytest.raises(TopologyError, match="capacity"):
+            validate_topology(t)

@@ -1,0 +1,59 @@
+"""Seasonal pattern tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traces.diurnal import diurnal_pattern, weekly_pattern
+
+
+class TestDiurnal:
+    def test_periodicity(self):
+        period = 96
+        x = diurnal_pattern(3 * period, period)
+        np.testing.assert_allclose(x[:period], x[period : 2 * period], atol=1e-12)
+
+    def test_mean_near_base(self):
+        x = diurnal_pattern(960, 96, base=0.5, amplitude=0.3, sharpness=1.0)
+        assert abs(x.mean() - 0.5) < 0.05
+
+    def test_amplitude_zero_is_flat(self):
+        x = diurnal_pattern(100, 50, base=0.4, amplitude=0.0)
+        np.testing.assert_allclose(x, 0.4)
+
+    def test_peak_location(self):
+        period = 100
+        x = diurnal_pattern(period, period, peak_phase=0.58, sharpness=1.0)
+        assert abs(int(np.argmax(x)) - 58) <= 3
+
+    def test_sharpness_narrows_peaks(self):
+        period = 200
+        soft = diurnal_pattern(period, period, sharpness=1.0)
+        sharp = diurnal_pattern(period, period, sharpness=3.0)
+        # narrower peak = fewer samples above the midline
+        mid = 0.5
+        assert (sharp > soft.max() * 0.95).sum() <= (soft > soft.max() * 0.95).sum()
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ConfigurationError):
+            diurnal_pattern(10, 1)
+
+
+class TestWeekly:
+    def test_weekday_weekend_levels(self):
+        period = 24
+        x = weekly_pattern(14 * period, period, weekend_factor=0.5)
+        # mid-Wednesday (day 2) should be ~1.0; mid-Saturday (day 5) ~0.5
+        wed = x[2 * period + period // 2]
+        sat = x[5 * period + period // 2]
+        assert wed == pytest.approx(1.0, abs=0.05)
+        assert sat == pytest.approx(0.5, abs=0.05)
+
+    def test_smooth_transitions(self):
+        period = 24
+        x = weekly_pattern(14 * period, period, weekend_factor=0.5)
+        assert np.abs(np.diff(x)).max() < 0.1  # no step jumps
+
+    def test_rejects_zero_factor(self):
+        with pytest.raises(ConfigurationError):
+            weekly_pattern(100, 10, weekend_factor=0.0)

@@ -1,0 +1,77 @@
+"""Noise primitive tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traces.noise import ar1_noise, bursty_spikes, white_noise
+
+
+class TestWhiteNoise:
+    def test_moments(self):
+        x = white_noise(20000, sigma=2.0, seed=0)
+        assert abs(x.mean()) < 0.1
+        assert abs(x.std() - 2.0) < 0.1
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(white_noise(10, seed=3), white_noise(10, seed=3))
+
+    def test_zero_length(self):
+        assert white_noise(0).shape == (0,)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            white_noise(-1)
+        with pytest.raises(ConfigurationError):
+            white_noise(5, sigma=-1)
+
+
+class TestAR1:
+    def test_autocorrelation_matches_phi(self):
+        phi = 0.8
+        x = ar1_noise(50000, phi=phi, seed=1)
+        r1 = np.corrcoef(x[:-1], x[1:])[0, 1]
+        assert abs(r1 - phi) < 0.02
+
+    def test_stationary_variance(self):
+        phi, sigma = 0.7, 1.0
+        x = ar1_noise(50000, phi=phi, sigma=sigma, seed=2)
+        expected = sigma**2 / (1 - phi**2)
+        assert abs(x.var() / expected - 1.0) < 0.1
+
+    def test_rejects_unit_root(self):
+        with pytest.raises(ConfigurationError):
+            ar1_noise(10, phi=1.0)
+
+    def test_zero_sigma_is_zero(self):
+        x = ar1_noise(100, phi=0.5, sigma=0.0, seed=0)
+        np.testing.assert_allclose(x, 0.0)
+
+
+class TestBursts:
+    def test_nonnegative(self):
+        x = bursty_spikes(5000, seed=4)
+        assert (x >= 0).all()
+
+    def test_rate_zero_is_silent(self):
+        x = bursty_spikes(1000, rate=0.0, seed=5)
+        np.testing.assert_allclose(x, 0.0)
+
+    def test_mean_scales_with_rate(self):
+        lo = bursty_spikes(50000, rate=0.01, scale=5.0, seed=6).mean()
+        hi = bursty_spikes(50000, rate=0.05, scale=5.0, seed=6).mean()
+        assert hi > 3 * lo
+
+    def test_decay_stretches_bursts(self):
+        # higher decay keeps mass longer -> larger total sum for same starts
+        fast = bursty_spikes(20000, decay=0.1, seed=7).sum()
+        slow = bursty_spikes(20000, decay=0.9, seed=7).sum()
+        assert slow > fast
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            bursty_spikes(10, rate=1.5)
+        with pytest.raises(ConfigurationError):
+            bursty_spikes(10, decay=1.0)
+        with pytest.raises(ConfigurationError):
+            bursty_spikes(10, scale=-1.0)

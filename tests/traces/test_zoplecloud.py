@@ -1,0 +1,82 @@
+"""Synthetic ZopleCloud trace suite tests (Figs. 3-5 substitutes)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.forecast.acf import acf
+from repro.traces.zoplecloud import (
+    ZopleCloudTraces,
+    cpu_trace,
+    disk_io_trace,
+    mixed_trace,
+    nonlinear_trace,
+    weekly_traffic_trace,
+)
+
+
+class TestCpuTrace:
+    def test_range_and_length(self):
+        x = cpu_trace(hours=24, samples_per_hour=60, seed=0)
+        assert x.shape == (1440,)
+        assert (x >= 0).all() and (x <= 100).all()
+
+    def test_has_bursts(self):
+        x = cpu_trace(seed=1)
+        assert x.max() > x.mean() + 3 * x.std() * 0.8  # heavy upper tail
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            cpu_trace(hours=0)
+
+
+class TestDiskIO:
+    def test_nonnegative_and_bursty(self):
+        x = disk_io_trace(seed=2)
+        assert (x >= 0).all()
+        # Fig. 4: bursts reach several times the base level
+        assert x.max() > 4 * np.median(x)
+
+
+class TestWeeklyTraffic:
+    def test_daily_seasonality_dominates(self):
+        x = weekly_traffic_trace(seed=3)
+        r = acf(x, 300)
+        # strong autocorrelation at one day (144 samples)
+        assert r[144] > 0.5
+
+    def test_weekend_dip(self):
+        x = weekly_traffic_trace(seed=4, samples_per_day=144)
+        weekday = x[2 * 144 : 3 * 144].mean()  # Wednesday
+        weekend = x[5 * 144 : 6 * 144].mean()  # Saturday
+        assert weekend < weekday
+
+    def test_positive(self):
+        assert (weekly_traffic_trace(seed=5) >= 0).all()
+
+
+class TestNonlinearAndMixed:
+    def test_nonlinear_range(self):
+        x = nonlinear_trace(500, seed=6, scale=40.0, offset=50.0)
+        assert x.min() >= 50.0 - 1e-9
+        assert x.max() <= 90.0 + 1e-9
+
+    def test_mixed_combines_both(self):
+        x = mixed_trace(seed=7)
+        lin = weekly_traffic_trace(seed=7)
+        # mixture is not just the linear part
+        assert x.shape[0] == 1008
+        assert x.std() > 0
+
+    def test_suite_generation(self):
+        suite = ZopleCloudTraces.generate(seed=2015)
+        for name in ("cpu", "disk_io", "weekly_traffic", "nonlinear", "mixed"):
+            arr = getattr(suite, name)
+            assert np.isfinite(arr).all()
+            assert arr.std() > 0
+
+    def test_suite_deterministic(self):
+        a = ZopleCloudTraces.generate(seed=11)
+        b = ZopleCloudTraces.generate(seed=11)
+        np.testing.assert_array_equal(a.cpu, b.cpu)
+        np.testing.assert_array_equal(a.mixed, b.mixed)
