@@ -1,11 +1,15 @@
 # Convenience targets for the Sheriff reproduction.
 
-.PHONY: install test bench report examples all
+.PHONY: install lint test bench report examples all
 
 install:
 	pip install -e . --no-build-isolation
 
-test:
+lint:
+	python -m compileall -q src/repro
+	python tools/check_import_cycles.py src/repro
+
+test: lint
 	pytest tests/
 
 bench:
@@ -17,4 +21,4 @@ report:
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null || exit 1; done
 
-all: test bench
+all: lint test bench

@@ -12,18 +12,46 @@
 * ``approx``   — Sec. VI-C: empirical Local Search ratio vs the 3 + 2/p
   bound.
 
-Every command accepts ``--seed`` and prints plain aligned tables.
+Every command accepts ``--seed`` and prints plain aligned tables.  Two
+global flags hook into :mod:`repro.obs` on every subcommand:
+
+* ``--json`` emits the results as machine-readable JSON (including the
+  wall-clock timing breakdown where the command runs the simulator);
+* ``--trace PATH`` streams every structured trace event to *PATH* as
+  JSON-lines (see ``docs/observability.md`` for the event schema).
+
+Without either flag the plain-table output is unchanged.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from contextlib import contextmanager
 from typing import List, Optional
 
 import numpy as np
 
 __all__ = ["main", "build_parser"]
+
+
+def _common_flags() -> argparse.ArgumentParser:
+    """The per-subcommand global flags (``parents=`` share one definition)."""
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of the plain table",
+    )
+    common.add_argument(
+        "--trace",
+        metavar="PATH",
+        dest="trace_path",
+        default=None,
+        help="dump structured trace events to PATH as JSON-lines",
+    )
+    return common
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -32,15 +60,24 @@ def build_parser() -> argparse.ArgumentParser:
         description="Sheriff (ICPP 2015) reproduction experiments",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    common = _common_flags()
 
-    p = sub.add_parser("balance", help="workload balancing over rounds (Figs. 9/10)")
+    p = sub.add_parser(
+        "balance",
+        help="workload balancing over rounds (Figs. 9/10)",
+        parents=[common],
+    )
     p.add_argument("--topology", choices=["fattree", "bcube"], default="fattree")
     p.add_argument("--size", type=int, default=8, help="pods (fattree) / switches per level (bcube)")
     p.add_argument("--rounds", type=int, default=24)
     p.add_argument("--alert-fraction", type=float, default=0.05)
     p.add_argument("--seed", type=int, default=2015)
 
-    p = sub.add_parser("sweep", help="regional vs centralized sweep (Figs. 11-14)")
+    p = sub.add_parser(
+        "sweep",
+        help="regional vs centralized sweep (Figs. 11-14)",
+        parents=[common],
+    )
     p.add_argument("--topology", choices=["fattree", "bcube"], default="fattree")
     p.add_argument(
         "--sizes", type=str, default="8,16,24",
@@ -48,25 +85,69 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--seed", type=int, default=2015)
 
-    p = sub.add_parser("forecast", help="prediction accuracy (Figs. 6-8)")
-    p.add_argument("--trace", choices=["weekly", "nonlinear", "mixed"], default="mixed")
+    p = sub.add_parser(
+        "forecast", help="prediction accuracy (Figs. 6-8)", parents=[common]
+    )
+    p.add_argument(
+        "--series",
+        choices=["weekly", "nonlinear", "mixed"],
+        default="mixed",
+        help="trace regime to predict (was --trace before --trace meant events)",
+    )
     p.add_argument("--train-frac", type=float, default=0.6)
     p.add_argument("--seed", type=int, default=2015)
 
-    p = sub.add_parser("traces", help="synthetic trace suite statistics (Figs. 3-5)")
+    p = sub.add_parser(
+        "traces",
+        help="synthetic trace suite statistics (Figs. 3-5)",
+        parents=[common],
+    )
     p.add_argument("--seed", type=int, default=2015)
 
-    p = sub.add_parser("approx", help="Local Search ratio vs 3 + 2/p (Sec. VI-C)")
+    p = sub.add_parser(
+        "approx",
+        help="Local Search ratio vs 3 + 2/p (Sec. VI-C)",
+        parents=[common],
+    )
     p.add_argument("--trials", type=int, default=20)
     p.add_argument("--swap-size", type=int, default=1)
     p.add_argument("--seed", type=int, default=2015)
 
-    p = sub.add_parser("report", help="run every experiment family, emit markdown")
+    p = sub.add_parser(
+        "report",
+        help="run every experiment family, emit markdown",
+        parents=[common],
+    )
     p.add_argument("--seed", type=int, default=2015)
     p.add_argument("--full", action="store_true", help="benchmark-suite scales")
     p.add_argument("--output", type=str, default=None, help="write to file")
 
     return parser
+
+
+@contextmanager
+def _tracer_for(args: argparse.Namespace):
+    """The subcommand's tracer: JSONL when ``--trace PATH``, else disabled."""
+    from repro.obs.tracer import NULL_TRACER, JsonlTracer
+
+    if getattr(args, "trace_path", None):
+        try:
+            ctx = JsonlTracer.open(args.trace_path)
+        except OSError as exc:
+            print(f"error: cannot open trace file: {exc}", file=sys.stderr)
+            raise SystemExit(2) from None
+        with ctx as tracer:
+            yield tracer
+    else:
+        yield NULL_TRACER
+
+
+def _emit(args: argparse.Namespace, plain: str, payload: dict) -> None:
+    """Print the plain table, or the JSON payload under ``--json``."""
+    if getattr(args, "json", False):
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(plain)
 
 
 def _build_topology(kind: str, size: int):
@@ -91,61 +172,91 @@ def _cluster_for(kind: str, size: int, seed: int, skew: float = 0.8):
 
 def cmd_balance(args: argparse.Namespace) -> int:
     from repro.analysis import Series, format_series
+    from repro.config import SheriffConfig
     from repro.sim import SheriffSimulation, inject_fraction_alerts
 
     cluster = _cluster_for(args.topology, args.size, args.seed, skew=1.1)
-    sim = SheriffSimulation(cluster, balance_weight=25.0)
-    for r in range(args.rounds):
-        alerts, vma = inject_fraction_alerts(
-            cluster, args.alert_fraction, time=r, seed=args.seed + r
+    with _tracer_for(args) as tracer:
+        sim = SheriffSimulation(
+            cluster, SheriffConfig(balance_weight=25.0, tracer=tracer)
         )
-        sim.run_round(alerts, vma)
+        for r in range(args.rounds):
+            alerts, vma = inject_fraction_alerts(
+                cluster, args.alert_fraction, time=r, seed=args.seed + r
+            )
+            sim.run_round(alerts, vma)
     series = sim.workload_std_series()
-    print(
-        format_series(
-            f"Workload std-dev (%) on {args.topology}-{args.size}, "
-            f"{args.alert_fraction:.0%} alerting per round",
-            [Series("std_dev_pct", list(range(len(series))), series.tolist())],
-            x_label="round",
-        )
+    plain = format_series(
+        f"Workload std-dev (%) on {args.topology}-{args.size}, "
+        f"{args.alert_fraction:.0%} alerting per round",
+        [Series("std_dev_pct", list(range(len(series))), series.tolist())],
+        x_label="round",
     )
+    payload = {
+        "command": "balance",
+        "topology": args.topology,
+        "size": args.size,
+        "rounds": args.rounds,
+        "alert_fraction": args.alert_fraction,
+        "seed": args.seed,
+        "std_dev_pct": series.tolist(),
+        "migrations": sum(s.migrations for s in sim.history),
+        "requests": sum(s.requests for s in sim.history),
+        "rejects": sum(s.rejects for s in sim.history),
+        "total_cost": sum(s.total_cost for s in sim.history),
+        "timings": sim.timing_breakdown(),
+    }
+    _emit(args, plain, payload)
     return 0
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.analysis import format_table
     from repro.costs.model import CostModel
+    from repro.obs.profiling import Profiler
     from repro.sim import (
         centralized_migration_round,
         inject_fraction_alerts,
         regional_migration_round,
     )
 
+    profiler = Profiler()
     sizes = [int(x) for x in args.sizes.split(",") if x.strip()]
     rows = []
-    for size in sizes:
-        cluster = _cluster_for(args.topology, size, args.seed, skew=0.5)
-        cm = CostModel(cluster)
-        _, vma = inject_fraction_alerts(cluster, 0.05, seed=args.seed)
-        cands = sorted(vma)
-        reg = regional_migration_round(cluster, cm, cands)
-        cen = centralized_migration_round(cluster, cm, cands)
-        rows.append(
-            {
-                "size": size,
-                "sheriff_cost": reg.total_cost,
-                "optimal_cost": cen.total_cost,
-                "sheriff_space": reg.search_space,
-                "central_space": cen.search_space,
-            }
-        )
-    print(
-        format_table(
-            f"Sheriff vs centralized optimal on {args.topology} "
-            "(cost and search space)",
-            rows,
-        )
+    with _tracer_for(args) as tracer:
+        for size in sizes:
+            cluster = _cluster_for(args.topology, size, args.seed, skew=0.5)
+            cm = CostModel(cluster)
+            _, vma = inject_fraction_alerts(cluster, 0.05, seed=args.seed)
+            cands = sorted(vma)
+            reg = regional_migration_round(
+                cluster, cm, cands, tracer=tracer, profiler=profiler
+            )
+            cen = centralized_migration_round(
+                cluster, cm, cands, tracer=tracer, profiler=profiler
+            )
+            rows.append(
+                {
+                    "size": size,
+                    "sheriff_cost": reg.total_cost,
+                    "optimal_cost": cen.total_cost,
+                    "sheriff_space": reg.search_space,
+                    "central_space": cen.search_space,
+                }
+            )
+    plain = format_table(
+        f"Sheriff vs centralized optimal on {args.topology} "
+        "(cost and search space)",
+        rows,
     )
+    payload = {
+        "command": "sweep",
+        "topology": args.topology,
+        "seed": args.seed,
+        "rows": rows,
+        "timings": dict(profiler.totals),
+    }
+    _emit(args, plain, payload)
     return 0
 
 
@@ -160,38 +271,46 @@ def cmd_forecast(args: argparse.Namespace) -> int:
         "nonlinear": lambda: nonlinear_trace(1000, seed=args.seed),
         "mixed": lambda: mixed_trace(seed=args.seed),
     }
-    y = makers[args.trace]()
+    y = makers[args.series]()
     train = int(args.train_frac * len(y))
     actual = y[train:]
-    arima = rolling_one_step(lambda: ARIMA(1, 1, 1), y, train, refit_every=120)
-    narnet = rolling_one_step(
-        lambda: NARNET(ni=10, nh=16, restarts=1, seed=1, maxiter=150),
-        y,
-        train,
-        refit_every=120,
-    )
-    selector = DynamicModelSelector(
-        {
-            "arima": lambda: ARIMA(1, 1, 1),
-            "narnet": lambda: NARNET(ni=10, nh=16, restarts=1, seed=1, maxiter=150),
-        },
-        period=20,
-        refit_every=120,
-    )
-    combined = selector.run(y, train).predictions
-    print(
-        format_table(
-            f"One-step prediction MSE on the {args.trace} trace "
-            f"(train {train} / test {len(actual)})",
-            [
-                {
-                    "arima_mse": mse(actual, arima),
-                    "narnet_mse": mse(actual, narnet),
-                    "combined_mse": mse(actual, combined),
-                }
-            ],
+    with _tracer_for(args) as tracer:
+        arima = rolling_one_step(lambda: ARIMA(1, 1, 1), y, train, refit_every=120)
+        narnet = rolling_one_step(
+            lambda: NARNET(ni=10, nh=16, restarts=1, seed=1, maxiter=150),
+            y,
+            train,
+            refit_every=120,
         )
+        selector = DynamicModelSelector(
+            {
+                "arima": lambda: ARIMA(1, 1, 1),
+                "narnet": lambda: NARNET(ni=10, nh=16, restarts=1, seed=1, maxiter=150),
+            },
+            period=20,
+            refit_every=120,
+            tracer=tracer,
+        )
+        combined = selector.run(y, train).predictions
+    results = {
+        "arima_mse": mse(actual, arima),
+        "narnet_mse": mse(actual, narnet),
+        "combined_mse": mse(actual, combined),
+    }
+    plain = format_table(
+        f"One-step prediction MSE on the {args.series} trace "
+        f"(train {train} / test {len(actual)})",
+        [results],
     )
+    payload = {
+        "command": "forecast",
+        "series": args.series,
+        "seed": args.seed,
+        "train": train,
+        "test": len(actual),
+        **results,
+    }
+    _emit(args, plain, payload)
     return 0
 
 
@@ -200,6 +319,7 @@ def cmd_traces(args: argparse.Namespace) -> int:
     from repro.traces import ZopleCloudTraces
 
     suite = ZopleCloudTraces.generate(args.seed)
+    names = ["cpu_pct", "disk_io_mb", "weekly_traffic_mb"]
     rows = []
     for arr in (suite.cpu, suite.disk_io, suite.weekly_traffic):
         rows.append(
@@ -210,56 +330,79 @@ def cmd_traces(args: argparse.Namespace) -> int:
                 "burst_ratio": float(arr.max() / max(np.median(arr), 1e-9)),
             }
         )
-    print(
-        format_table(
-            "Synthetic ZopleCloud traces (rows: CPU %, disk I/O MB, weekly MB)",
-            rows,
-        )
+    plain = format_table(
+        "Synthetic ZopleCloud traces (rows: CPU %, disk I/O MB, weekly MB)",
+        rows,
     )
+    payload = {
+        "command": "traces",
+        "seed": args.seed,
+        "traces": dict(zip(names, rows)),
+    }
+    with _tracer_for(args):
+        pass  # no simulator events here; --trace yields an empty file
+    _emit(args, plain, payload)
     return 0
 
 
 def cmd_approx(args: argparse.Namespace) -> int:
     from repro.analysis import format_table
     from repro.kmedian import KMedianInstance, exact_kmedian, local_search
+    from repro.obs.profiling import Profiler
 
+    profiler = Profiler()
     rng = np.random.default_rng(args.seed)
     ratios = []
-    for trial in range(args.trials):
-        n = int(rng.integers(8, 14))
-        k = int(rng.integers(2, min(5, n - 1)))
-        inst = KMedianInstance.from_points(rng.random((n, 2)), k)
-        _, opt = exact_kmedian(inst)
-        res = local_search(inst, p=args.swap_size, seed=trial)
-        if opt > 1e-12:
-            ratios.append(res.cost / opt)
+    with _tracer_for(args):
+        for trial in range(args.trials):
+            n = int(rng.integers(8, 14))
+            k = int(rng.integers(2, min(5, n - 1)))
+            inst = KMedianInstance.from_points(rng.random((n, 2)), k)
+            _, opt = exact_kmedian(inst)
+            res = local_search(inst, p=args.swap_size, seed=trial, profiler=profiler)
+            if opt > 1e-12:
+                ratios.append(res.cost / opt)
     bound = 3.0 + 2.0 / args.swap_size
-    print(
-        format_table(
-            f"Local Search (p={args.swap_size}) vs exact optimum, "
-            f"{args.trials} instances",
-            [
-                {
-                    "max_ratio": float(np.max(ratios)),
-                    "mean_ratio": float(np.mean(ratios)),
-                    "bound": bound,
-                }
-            ],
-        )
+    results = {
+        "max_ratio": float(np.max(ratios)),
+        "mean_ratio": float(np.mean(ratios)),
+        "bound": bound,
+    }
+    plain = format_table(
+        f"Local Search (p={args.swap_size}) vs exact optimum, "
+        f"{args.trials} instances",
+        [results],
     )
+    payload = {
+        "command": "approx",
+        "trials": args.trials,
+        "swap_size": args.swap_size,
+        "seed": args.seed,
+        **results,
+        "timings": dict(profiler.totals),
+    }
+    _emit(args, plain, payload)
     return 0 if max(ratios) <= bound else 1
 
 
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.report import generate_report
 
-    text = generate_report(args.seed, fast=not args.full)
+    with _tracer_for(args) as tracer:
+        text = generate_report(args.seed, fast=not args.full, tracer=tracer)
     if args.output:
         with open(args.output, "w") as fh:
             fh.write(text)
-        print(f"wrote {args.output}")
+        if getattr(args, "json", False):
+            print(json.dumps({"command": "report", "output": args.output}))
+        else:
+            print(f"wrote {args.output}")
     else:
-        print(text)
+        _emit(
+            args,
+            text,
+            {"command": "report", "output": None, "markdown": text},
+        )
     return 0
 
 

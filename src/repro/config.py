@@ -1,0 +1,130 @@
+"""The :class:`SheriffConfig` bundle — one object for every simulator knob.
+
+Historically :class:`~repro.sim.engine.SheriffSimulation` (and the
+managed-run helpers around it) grew seven loose keyword arguments plus a
+cost-model handle.  ``SheriffConfig`` bundles them with the observability
+handles (``tracer``, ``metrics``, ``profile``) so a whole experiment's
+configuration travels as one value:
+
+    from repro import SheriffConfig, SheriffSimulation
+
+    cfg = SheriffConfig(balance_weight=25.0, with_flows=True)
+    sim = SheriffSimulation(cluster, cfg)
+
+The old keyword arguments still work on every accepting constructor but
+raise :class:`DeprecationWarning`; they are folded into a config via
+:func:`resolve_config`.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field, fields, replace
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import-cycle-free typing only
+    from repro.costs.model import CostParams
+    from repro.obs.metrics import MetricsRegistry
+    from repro.sim.inflight import MigrationTiming
+
+__all__ = ["SheriffConfig", "resolve_config", "LEGACY_SIM_KWARGS"]
+
+
+@dataclass
+class SheriffConfig:
+    """Every knob of a Sheriff simulation, in one place.
+
+    Parameters
+    ----------
+    cost_params:
+        Eq. (1) cost-model constants (``None`` = paper defaults).
+    alpha, beta:
+        PRIORITY capacity portions for switch- and ToR-triggered
+        selection (Alg. 2).
+    balance_weight:
+        Load-aware destination steering strength (Figs. 9/10 mechanism).
+    migration_cooldown:
+        Rounds a freshly-moved VM is frozen (anti-ping-pong).
+    migration_timing:
+        Live-migration window model; ``None`` = instant commits.
+    with_flows, flow_rate:
+        Build a dependency-derived :class:`~repro.migration.reroute.FlowTable`
+        so outer-switch alerts can exercise FLOWREROUTE.
+    tracer:
+        Structured event sink; defaults to the disabled
+        :data:`~repro.obs.tracer.NULL_TRACER` (zero cost).
+    metrics:
+        Shared :class:`~repro.obs.metrics.MetricsRegistry`; ``None`` lets
+        the simulation create a private one.
+    profile:
+        Record wall-clock section timings (``RoundSummary.timings``).
+    """
+
+    cost_params: Optional["CostParams"] = None
+    alpha: float = 0.1
+    beta: float = 0.1
+    balance_weight: float = 50.0
+    migration_cooldown: int = 3
+    migration_timing: Optional["MigrationTiming"] = None
+    with_flows: bool = False
+    flow_rate: float = 0.05
+    tracer: Tracer = field(default=NULL_TRACER)
+    metrics: Optional["MetricsRegistry"] = None
+    profile: bool = True
+
+    def replace(self, **changes: Any) -> "SheriffConfig":
+        """A copy of this config with *changes* applied."""
+        return replace(self, **changes)
+
+
+LEGACY_SIM_KWARGS = frozenset(
+    {
+        "cost_params",
+        "alpha",
+        "beta",
+        "balance_weight",
+        "migration_cooldown",
+        "migration_timing",
+        "with_flows",
+        "flow_rate",
+    }
+)
+"""Former ``SheriffSimulation`` keyword arguments, now deprecated aliases."""
+
+_CONFIG_FIELDS = frozenset(f.name for f in fields(SheriffConfig))
+
+
+def resolve_config(
+    config: Optional[SheriffConfig],
+    legacy: Dict[str, Any],
+    *,
+    owner: str = "SheriffSimulation",
+    stacklevel: int = 3,
+) -> SheriffConfig:
+    """Merge a config object with legacy keyword arguments.
+
+    ``tracer``/``metrics``/``profile`` pass through silently (they are
+    first-class keywords of the new API); every key in
+    :data:`LEGACY_SIM_KWARGS` works but warns; anything else raises
+    ``TypeError`` like a normal unexpected keyword.
+    """
+    unknown = sorted(set(legacy) - _CONFIG_FIELDS)
+    if unknown:
+        raise TypeError(
+            f"{owner}() got unexpected keyword argument(s): {', '.join(unknown)}"
+        )
+    deprecated = sorted(set(legacy) & LEGACY_SIM_KWARGS)
+    if deprecated:
+        warnings.warn(
+            f"passing {', '.join(deprecated)} to {owner}() directly is "
+            f"deprecated; build a SheriffConfig instead "
+            f"(e.g. SheriffConfig({deprecated[0]}=...))",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+    cfg = config if config is not None else SheriffConfig()
+    if legacy:
+        cfg = cfg.replace(**legacy)
+    return cfg

@@ -18,6 +18,7 @@ __all__ = [
     "MigrationError",
     "ProtocolError",
     "SimulationError",
+    "ObservabilityError",
 ]
 
 
@@ -59,3 +60,7 @@ class ProtocolError(MigrationError):
 
 class SimulationError(ReproError):
     """The round-based simulator reached an inconsistent state."""
+
+
+class ObservabilityError(ReproError):
+    """The tracing/metrics layer was misused (e.g. metric type clash)."""

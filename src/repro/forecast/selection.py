@@ -20,6 +20,9 @@ import numpy as np
 from repro.errors import ConvergenceError, ForecastError
 from repro.forecast.base import Forecaster
 from repro.forecast.metrics import trailing_mse
+from repro.obs.events import ModelSelected
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 __all__ = ["DynamicModelSelector", "rolling_one_step", "SelectionTrace"]
 
@@ -92,6 +95,13 @@ class DynamicModelSelector:
         Full refits happen every this many observed values.
     max_history:
         Bound on the history length used at refit (None = unbounded).
+    tracer:
+        Optional event sink; each :meth:`predict_one` emits a
+        :class:`~repro.obs.events.ModelSelected` naming the answering
+        pool member (Eq. 14 in action).
+    metrics:
+        Optional registry; :meth:`observe` keeps the per-member
+        ``sheriff_forecast_trailing_mse{model=...}`` gauges current.
     """
 
     def __init__(
@@ -101,6 +111,8 @@ class DynamicModelSelector:
         period: int = 20,
         refit_every: int = 50,
         max_history: Optional[int] = None,
+        tracer: Tracer = NULL_TRACER,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if not factories:
             raise ForecastError("selector needs at least one model factory")
@@ -113,6 +125,9 @@ class DynamicModelSelector:
         self.refit_every = refit_every
         self.max_history = max_history
         self.names = list(factories.keys())
+        self.tracer = tracer
+        self.metrics = metrics
+        self._step = 0
         self._models: Dict[str, Forecaster] = {}
         self._errors: Dict[str, List[float]] = {n: [] for n in self.names}
         self._last_pred: Dict[str, float] = {}
@@ -186,7 +201,12 @@ class DynamicModelSelector:
         best = self.best_model_name()
         if best not in self._last_pred:
             best = next(iter(self._last_pred))
-        return self._last_pred[best]
+        pred = self._last_pred[best]
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ModelSelected(model=best, step=self._step, prediction=float(pred))
+            )
+        return pred
 
     def forecast(self, h: int = 1) -> np.ndarray:
         """h-step forecast from the currently best model."""
@@ -205,7 +225,17 @@ class DynamicModelSelector:
             model.append(float(value))
         assert self._history is not None
         self._history = np.append(self._history, float(value))
+        self._step += 1
         self._since_fit += 1
+        if self.metrics is not None:
+            for name in self.names:
+                errs = self._errors[name]
+                if not errs:
+                    continue
+                e = np.asarray(errs)
+                self.metrics.gauge(
+                    "sheriff_forecast_trailing_mse", model=name
+                ).set(trailing_mse(e, e.shape[0] - 1, self.period))
         if self._since_fit >= self.refit_every:
             self._refit_all()
             self._since_fit = 0

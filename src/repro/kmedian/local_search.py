@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.kmedian.instance import KMedianInstance
+from repro.obs.profiling import NULL_PROFILER
 from repro.rng import SeedLike, as_generator
 
 __all__ = ["LocalSearchResult", "local_search"]
@@ -154,6 +155,7 @@ def local_search(
     max_iters: int = 10_000,
     tolerance: float = 1e-9,
     seed: SeedLike = 0,
+    profiler=NULL_PROFILER,
 ) -> LocalSearchResult:
     """Run Alg. 5 on *inst*.
 
@@ -169,6 +171,9 @@ def local_search(
         Safety bound on improving moves.
     tolerance:
         Minimum improvement accepted (guards float noise cycling).
+    profiler:
+        Optional :class:`~repro.obs.profiling.Profiler`; the whole search
+        is timed under the ``local_search`` section.
     """
     if p < 1:
         raise ConfigurationError(f"swap size p must be >= 1, got {p}")
@@ -188,23 +193,24 @@ def local_search(
     iters = 0
     swaps = 0
     converged = False
-    while iters < max_iters:
-        iters += 1
-        delta1, out1, in1 = _best_single_swap(inst, sol)
-        delta_m: Tuple[float, Tuple[int, ...], Tuple[int, ...]] = (0.0, (), ())
-        if p > 1:
-            delta_m = _best_multi_swap(inst, sol, p, rng)
-        if delta1 <= delta_m[0]:
-            delta, outs, ins = delta1, (out1,), (in1,)
-        else:
-            delta, outs, ins = delta_m
-        if delta >= -tolerance:
-            converged = True
-            break
-        keep = [f for f in sol.tolist() if f not in outs]
-        sol = np.asarray(sorted(keep + list(ins)), dtype=np.int64)
-        cost += delta
-        swaps += 1
+    with profiler.section("local_search"):
+        while iters < max_iters:
+            iters += 1
+            delta1, out1, in1 = _best_single_swap(inst, sol)
+            delta_m: Tuple[float, Tuple[int, ...], Tuple[int, ...]] = (0.0, (), ())
+            if p > 1:
+                delta_m = _best_multi_swap(inst, sol, p, rng)
+            if delta1 <= delta_m[0]:
+                delta, outs, ins = delta1, (out1,), (in1,)
+            else:
+                delta, outs, ins = delta_m
+            if delta >= -tolerance:
+                converged = True
+                break
+            keep = [f for f in sol.tolist() if f not in outs]
+            sol = np.asarray(sorted(keep + list(ins)), dtype=np.int64)
+            cost += delta
+            swaps += 1
     # re-derive the cost to shed accumulated float drift
     cost = inst.cost(sol)
     return LocalSearchResult(

@@ -31,6 +31,10 @@ from repro.migration.priority import CandidateVM, PriorityFactor, priority_selec
 from repro.migration.request import ReceiverRegistry
 from repro.migration.reroute import FlowTable, flow_reroute
 from repro.migration.vmmigration import MigrationStats, vmmigration
+from repro.obs.events import FlowRerouted, PrioritySelected
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiling import NULL_PROFILER
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 __all__ = ["RoundReport", "ShimManager"]
 
@@ -59,6 +63,9 @@ class ShimManager:
     flow_table:
         Shared flow registry; optional — without it, outer-switch alerts
         are counted but produce no reroutes.
+    tracer, metrics, profiler:
+        Observability handles (see :mod:`repro.obs`); all default to
+        disabled no-ops.
     """
 
     def __init__(
@@ -71,6 +78,9 @@ class ShimManager:
         beta: float = 0.1,
         balance_weight: float = 50.0,
         flow_table: Optional[FlowTable] = None,
+        tracer: Tracer = NULL_TRACER,
+        metrics: Optional[MetricsRegistry] = None,
+        profiler=NULL_PROFILER,
     ) -> None:
         if not (0.0 < alpha <= 1.0) or not (0.0 < beta <= 1.0):
             raise ConfigurationError(
@@ -83,6 +93,9 @@ class ShimManager:
         self.beta = beta
         self.balance_weight = balance_weight
         self.flow_table = flow_table
+        self.tracer = tracer
+        self.metrics = metrics
+        self.profiler = profiler
         self.shim = ShimView(cluster, rack)
 
     # ------------------------------------------------------------------ #
@@ -124,6 +137,7 @@ class ShimManager:
         """
         report = RoundReport(rack=self.rack)
         pl = self.cluster.placement
+        tracer = self.tracer
         migrate_set: List[int] = []
         reroute_flow_ids: List[int] = []
         hot_switches: Set[int] = set()
@@ -144,9 +158,11 @@ class ShimManager:
                     )
                     cands = [self._candidate(f.vm, vm_alerts) for f in flows]
                     budget = max(1, int(self.alpha * self.cluster.tor_capacity(self.rack)))
-                    chosen = priority_select(
-                        cands, PriorityFactor.ALPHA, budget=budget
-                    )
+                    with self.profiler.section("priority"):
+                        chosen = priority_select(
+                            cands, PriorityFactor.ALPHA, budget=budget
+                        )
+                    self._trace_priority(PriorityFactor.ALPHA, budget, cands, chosen)
                     chosen_vms = {c.vm_id for c in chosen}
                     reroute_flow_ids.extend(
                         f.flow_id for f in flows if f.vm in chosen_vms
@@ -158,21 +174,50 @@ class ShimManager:
                 vms = pl.vms_on_host(alert.host)
                 cands = [self._candidate(int(v), vm_alerts) for v in vms]
                 cands = [c for c in cands if c.alert > 0]
-                chosen = priority_select(cands, PriorityFactor.ONE)
+                with self.profiler.section("priority"):
+                    chosen = priority_select(cands, PriorityFactor.ONE)
+                self._trace_priority(PriorityFactor.ONE, 1, cands, chosen)
                 migrate_set.extend(c.vm_id for c in chosen)
 
         if tor_alerted:
             vms = pl.vms_in_rack(self.rack)
             cands = [self._candidate(int(v), vm_alerts) for v in vms]
             budget = max(1, int(self.beta * self.cluster.tor_capacity(self.rack)))
-            chosen = priority_select(cands, PriorityFactor.BETA, budget=budget)
+            with self.profiler.section("priority"):
+                chosen = priority_select(cands, PriorityFactor.BETA, budget=budget)
+            self._trace_priority(PriorityFactor.BETA, budget, cands, chosen)
             migrate_set.extend(c.vm_id for c in chosen)
+
+        if self.metrics is not None and report.alerts_processed:
+            self.metrics.counter(
+                "sheriff_shim_alerts_total", rack=self.rack
+            ).inc(report.alerts_processed)
 
         # rerouting first — cheaper and faster than migration (Sec. III-B)
         if reroute_flow_ids and self.flow_table is not None:
-            ok, failed = flow_reroute(self.flow_table, reroute_flow_ids, hot_switches)
+            with self.profiler.section("reroute"):
+                ok, failed = flow_reroute(
+                    self.flow_table, reroute_flow_ids, hot_switches
+                )
             report.rerouted_flows = ok
             report.reroute_failures = failed
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "sheriff_flows_rerouted_total", rack=self.rack
+                ).inc(ok)
+                self.metrics.counter(
+                    "sheriff_reroute_failures_total", rack=self.rack
+                ).inc(failed)
+            if tracer.enabled:
+                tracer.emit(
+                    FlowRerouted(
+                        rack=self.rack,
+                        rerouted=ok,
+                        failed=failed,
+                        flows=tuple(reroute_flow_ids),
+                        hot_switches=tuple(sorted(hot_switches)),
+                    )
+                )
 
         migrate_set = [v for v in dict.fromkeys(migrate_set) if v not in frozen]
         report.selected_for_migration = migrate_set
@@ -186,5 +231,27 @@ class ShimManager:
                 receivers,
                 balance_weight=self.balance_weight,
                 host_load=host_load,
+                tracer=tracer,
+                metrics=self.metrics,
+                profiler=self.profiler,
+                rack=self.rack,
             )
         return report
+
+    def _trace_priority(
+        self,
+        factor: PriorityFactor,
+        budget: int,
+        cands: Sequence[CandidateVM],
+        chosen: Sequence[CandidateVM],
+    ) -> None:
+        if self.tracer.enabled:
+            self.tracer.emit(
+                PrioritySelected(
+                    rack=self.rack,
+                    factor=factor.name,
+                    budget=budget,
+                    candidates=len(cands),
+                    selected=tuple(c.vm_id for c in chosen),
+                )
+            )

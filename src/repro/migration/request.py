@@ -6,6 +6,12 @@ the receiver checks that it really is the candidate delegation for the
 target host, that the host has room (accounting for capacity it has
 already promised this round), and that no dependency conflict would
 co-locate dependent VMs on one server (Sec. II-C's conflict graph).
+
+The receiver is also the natural tracing point for the protocol: with a
+tracer attached it emits :class:`~repro.obs.events.RequestAcked` /
+:class:`~repro.obs.events.RequestRejected` (with the Alg. 4 reason) for
+every verdict and :class:`~repro.obs.events.MigrationCommitted` when a
+reservation is applied.
 """
 
 from __future__ import annotations
@@ -16,6 +22,8 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.cluster import Cluster
 from repro.errors import ProtocolError
+from repro.obs.events import MigrationCommitted, RequestAcked, RequestRejected
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 __all__ = ["RequestOutcome", "ReceiverRegistry"]
 
@@ -44,13 +52,32 @@ class ReceiverRegistry:
     or :meth:`reset_round` drops them.
     """
 
-    def __init__(self, cluster: Cluster) -> None:
+    def __init__(self, cluster: Cluster, *, tracer: Tracer = NULL_TRACER) -> None:
         self.cluster = cluster
+        self.tracer = tracer
         self._promised: Dict[int, int] = {}  # host -> capacity promised
         self._reservations: List[_Reservation] = []
         self._reserved_vms: set[int] = set()
 
     # ------------------------------------------------------------------ #
+    def _verdict(
+        self, outcome: RequestOutcome, vm: int, dst_host: int, dst_rack: int,
+        reason: str = "",
+    ) -> RequestOutcome:
+        """Emit the receiver-side trace event for one verdict."""
+        if self.tracer.enabled:
+            if outcome is RequestOutcome.ACK:
+                self.tracer.emit(
+                    RequestAcked(vm=vm, dst_host=dst_host, dst_rack=dst_rack)
+                )
+            else:
+                self.tracer.emit(
+                    RequestRejected(
+                        vm=vm, dst_host=dst_host, dst_rack=dst_rack, reason=reason
+                    )
+                )
+        return outcome
+
     def request(self, vm: int, dst_host: int, dst_rack: int) -> RequestOutcome:
         """Alg. 4 for one REQUEST(vm → dst_host) addressed to *dst_rack*.
 
@@ -63,19 +90,25 @@ class ReceiverRegistry:
         if not (0 <= dst_host < pl.num_hosts):
             raise ProtocolError(f"unknown host {dst_host}")
         if int(pl.host_rack[dst_host]) != dst_rack:
-            return RequestOutcome.IGNORED
+            return self._verdict(
+                RequestOutcome.IGNORED, vm, dst_host, dst_rack, "wrong-delegation"
+            )
         if vm in self._reserved_vms:
             raise ProtocolError(f"vm {vm} already holds a reservation this round")
         need = int(pl.vm_capacity[vm])
         free = pl.free_capacity(dst_host) - self._promised.get(dst_host, 0)
         if free < need:
-            return RequestOutcome.REJECT
+            return self._verdict(
+                RequestOutcome.REJECT, vm, dst_host, dst_rack, "capacity"
+            )
         if self.cluster.dependencies.conflicts_on_host(pl, vm, dst_host):
-            return RequestOutcome.REJECT
+            return self._verdict(
+                RequestOutcome.REJECT, vm, dst_host, dst_rack, "dependency-conflict"
+            )
         self._promised[dst_host] = self._promised.get(dst_host, 0) + need
         self._reservations.append(_Reservation(vm=vm, host=dst_host, capacity=need))
         self._reserved_vms.add(vm)
-        return RequestOutcome.ACK
+        return self._verdict(RequestOutcome.ACK, vm, dst_host, dst_rack)
 
     # ------------------------------------------------------------------ #
     @property
@@ -89,6 +122,8 @@ class ReceiverRegistry:
         for res in self._reservations:
             self.cluster.placement.migrate(res.vm, res.host)
             moved.append((res.vm, res.host))
+            if self.tracer.enabled:
+                self.tracer.emit(MigrationCommitted(vm=res.vm, dst_host=res.host))
         self.reset_round()
         return moved
 

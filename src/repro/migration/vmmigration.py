@@ -11,6 +11,7 @@ the next iteration, exactly the paper's retry loop.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -20,6 +21,10 @@ from repro.costs.model import CostModel
 from repro.errors import MigrationError
 from repro.migration.matching import hungarian
 from repro.migration.request import ReceiverRegistry, RequestOutcome
+from repro.obs.events import MatchingSolved, RequestSent
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiling import NULL_PROFILER
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 __all__ = ["MigrationStats", "vmmigration"]
 
@@ -70,6 +75,10 @@ def vmmigration(
     max_iterations: int = 8,
     balance_weight: float = 50.0,
     host_load: Optional[np.ndarray] = None,
+    tracer: Tracer = NULL_TRACER,
+    metrics: Optional[MetricsRegistry] = None,
+    profiler=NULL_PROFILER,
+    rack: Optional[int] = None,
 ) -> MigrationStats:
     """Run Alg. 3 for one delegation's candidate set.
 
@@ -95,6 +104,16 @@ def vmmigration(
         monitoring actually sees).  When given, steering uses it instead of
         the placement fill fraction — a host packed with idle VMs is a fine
         destination, one running hot is not.
+    tracer, metrics, profiler:
+        Observability handles (see :mod:`repro.obs`): the tracer receives
+        :class:`~repro.obs.events.MatchingSolved` /
+        :class:`~repro.obs.events.RequestSent` events, the registry the
+        ``sheriff_requests_*`` / ``sheriff_migration_cost_total`` /
+        ``sheriff_search_space_total`` counter families (labeled by
+        *rack*), and the profiler the ``matching`` / ``request`` sections.
+        All default to disabled no-ops.
+    rack:
+        The calling shim's rack id, used only to label metrics/events.
 
     Notes
     -----
@@ -106,10 +125,22 @@ def vmmigration(
     stats = MigrationStats()
     remaining = [int(v) for v in dict.fromkeys(candidates)]
     hosts = np.asarray(sorted(set(int(h) for h in destination_hosts)), dtype=np.int64)
+    if metrics is not None:
+        lbl = {"rack": rack} if rack is not None else {}
+        c_sent = metrics.counter("sheriff_requests_sent_total", **lbl)
+        c_ack = metrics.counter("sheriff_requests_acked_total", **lbl)
+        c_rej = metrics.counter("sheriff_requests_rejected_total", **lbl)
+        c_cost = metrics.counter("sheriff_migration_cost_total", **lbl)
+        c_space = metrics.counter("sheriff_search_space_total", **lbl)
+        c_unplaced = metrics.counter("sheriff_unplaced_total", **lbl)
+        h_match = metrics.histogram("sheriff_matching_size", **lbl)
+        h_cost = metrics.histogram("sheriff_move_cost", **lbl)
     if not remaining:
         return stats
     if hosts.size == 0:
         stats.unplaced = remaining
+        if metrics is not None:
+            c_unplaced.inc(len(remaining))
         return stats
     pl = cluster.placement
     host_racks = pl.host_rack[hosts]
@@ -138,6 +169,8 @@ def vmmigration(
             # retries re-examine subsets of the same pairs; the search
             # space metric (Fig. 12/14) counts distinct (VM, host) pairs
             stats.search_space = cost.size
+            if metrics is not None:
+                c_space.inc(cost.size)
         # rows with no feasible destination cannot enter the matching
         has_dest = np.isfinite(cost).any(axis=1)
         rows = np.nonzero(has_dest)[0]
@@ -150,34 +183,74 @@ def vmmigration(
             order = np.argsort(best_per_row)[: hosts.size]
             rows = rows[order]
             sub = cost[rows]
-        try:
-            assignment, _ = hungarian(sub)
-        except MigrationError:
-            # no perfect matching (forbidden pairs funnel several VMs onto
-            # one host): fall back to greedy cheapest-first assignment so
-            # the placeable subset still moves
-            assignment = _greedy_assign(sub)
+        t_solve = perf_counter() if tracer.enabled else 0.0
+        fallback = False
+        with profiler.section("matching"):
+            try:
+                assignment, _ = hungarian(sub)
+            except MigrationError:
+                # no perfect matching (forbidden pairs funnel several VMs
+                # onto one host): fall back to greedy cheapest-first
+                # assignment so the placeable subset still moves
+                fallback = True
+                assignment = _greedy_assign(sub)
+        if metrics is not None:
+            h_match.observe(rows.size)
+        if tracer.enabled:
+            matched = sum(
+                1
+                for k, col in enumerate(assignment)
+                if col >= 0 and np.isfinite(sub[k, int(col)])
+            )
+            tracer.emit(
+                MatchingSolved(
+                    rack=rack,
+                    rows=int(rows.size),
+                    cols=int(hosts.size),
+                    matched=int(matched),
+                    iteration=stats.iterations,
+                    fallback=fallback,
+                    elapsed_s=perf_counter() - t_solve,
+                )
+            )
         progressed = False
         next_remaining = list(remaining)
-        for k, (rr, col) in enumerate(zip(rows, assignment)):
-            if col < 0 or not np.isfinite(sub[k, int(col)]):
-                continue
-            vm = remaining[int(rr)]
-            host = int(hosts[int(col)])
-            rack = int(host_racks[int(col)])
-            stats.requested += 1
-            outcome = receivers.request(vm, host, rack)
-            if outcome is RequestOutcome.ACK:
-                c = float(true_cost[int(rr), int(col)])
-                stats.acked += 1
-                stats.total_cost += c
-                stats.moves.append((vm, host, c))
-                next_remaining.remove(vm)
-                progressed = True
-            else:
-                stats.rejected += 1
+        with profiler.section("request"):
+            for k, (rr, col) in enumerate(zip(rows, assignment)):
+                if col < 0 or not np.isfinite(sub[k, int(col)]):
+                    continue
+                vm = remaining[int(rr)]
+                host = int(hosts[int(col)])
+                dst_rack = int(host_racks[int(col)])
+                stats.requested += 1
+                if metrics is not None:
+                    c_sent.inc()
+                if tracer.enabled:
+                    tracer.emit(
+                        RequestSent(
+                            vm=vm, dst_host=host, dst_rack=dst_rack, src_rack=rack
+                        )
+                    )
+                outcome = receivers.request(vm, host, dst_rack)
+                if outcome is RequestOutcome.ACK:
+                    c = float(true_cost[int(rr), int(col)])
+                    stats.acked += 1
+                    stats.total_cost += c
+                    stats.moves.append((vm, host, c))
+                    next_remaining.remove(vm)
+                    progressed = True
+                    if metrics is not None:
+                        c_ack.inc()
+                        c_cost.inc(c)
+                        h_cost.observe(c)
+                else:
+                    stats.rejected += 1
+                    if metrics is not None:
+                        c_rej.inc()
         remaining = next_remaining
         if not progressed:
             break
     stats.unplaced = remaining
+    if metrics is not None:
+        c_unplaced.inc(len(remaining))
     return stats

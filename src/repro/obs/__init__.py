@@ -1,0 +1,76 @@
+"""Observability: structured tracing, metrics and profiling hooks.
+
+Three independent, composable facilities:
+
+* :mod:`repro.obs.events` / :mod:`repro.obs.tracer` — a typed event
+  trace of every per-decision step (alert delivery, PRIORITY, matching,
+  REQUEST/ACK/REJECT, commits, landings, reroutes, model selection),
+  emitted through a zero-cost-when-disabled :class:`Tracer`;
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of labeled
+  counters/gauges/histograms that ``RoundSummary`` and the CLI read
+  round totals from;
+* :mod:`repro.obs.profiling` — wall-clock section timers around
+  PRIORITY, Kuhn–Munkres, REQUEST and Local Search, surfaced as the
+  per-round timing breakdown.
+
+See ``docs/observability.md`` for the event schema and metrics
+catalogue.
+"""
+
+from repro.obs.events import (
+    EVENT_TYPES,
+    AlertDelivered,
+    FlowRerouted,
+    MatchingSolved,
+    MigrationCommitted,
+    MigrationLanded,
+    ModelSelected,
+    PrioritySelected,
+    RequestAcked,
+    RequestRejected,
+    RequestSent,
+    TraceEvent,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsScope,
+)
+from repro.obs.profiling import NULL_PROFILER, NullProfiler, Profiler
+from repro.obs.tracer import (
+    NULL_TRACER,
+    JsonlTracer,
+    NullTracer,
+    RecordingTracer,
+    Tracer,
+)
+
+__all__ = [
+    "TraceEvent",
+    "AlertDelivered",
+    "PrioritySelected",
+    "MatchingSolved",
+    "RequestSent",
+    "RequestAcked",
+    "RequestRejected",
+    "MigrationCommitted",
+    "MigrationLanded",
+    "FlowRerouted",
+    "ModelSelected",
+    "EVENT_TYPES",
+    "Tracer",
+    "NullTracer",
+    "RecordingTracer",
+    "JsonlTracer",
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsScope",
+    "Profiler",
+    "NullProfiler",
+    "NULL_PROFILER",
+]

@@ -1,0 +1,175 @@
+"""Typed trace events — the vocabulary of the Sheriff decision story.
+
+Every observable decision the simulator takes maps to exactly one event
+class; the full schema (fields, emitting site, ordering guarantees) is
+documented in ``docs/observability.md``.  Events are plain dataclasses so
+they serialize to JSON with :meth:`TraceEvent.as_dict` and stay cheap to
+construct — they are only built when a tracer is enabled.
+
+The ``round`` field is stamped by the tracer (see
+:meth:`repro.obs.tracer.RecordingTracer.emit`) from the engine's
+``begin_round`` call, so emitting sites deep inside the migration
+machinery never need to thread the round index explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "TraceEvent",
+    "AlertDelivered",
+    "PrioritySelected",
+    "MatchingSolved",
+    "RequestSent",
+    "RequestAcked",
+    "RequestRejected",
+    "MigrationCommitted",
+    "MigrationLanded",
+    "FlowRerouted",
+    "ModelSelected",
+    "EVENT_TYPES",
+]
+
+
+@dataclass
+class TraceEvent:
+    """Base class for every trace event.
+
+    ``round`` is the management-round index the event belongs to; ``None``
+    means the event happened outside a round (e.g. offline forecasting).
+    """
+
+    round: Optional[int] = None
+
+    @property
+    def kind(self) -> str:
+        """Event type name, stable across refactors (the class name)."""
+        return type(self).__name__
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation: ``{"event": kind, ...fields}``."""
+        out = {"event": self.kind}
+        for f in fields(self):
+            v = getattr(self, f.name)
+            if isinstance(v, tuple):
+                v = list(v)
+            out[f.name] = v
+        return out
+
+
+@dataclass
+class AlertDelivered(TraceEvent):
+    """An ALERT message reached its shim (engine dispatch)."""
+
+    rack: int = -1
+    alert_kind: str = ""
+    magnitude: float = 0.0
+    host: Optional[int] = None
+    switch: Optional[int] = None
+
+
+@dataclass
+class PrioritySelected(TraceEvent):
+    """One PRIORITY (Alg. 2) invocation finished."""
+
+    rack: int = -1
+    factor: str = ""
+    budget: Optional[int] = None
+    candidates: int = 0
+    selected: Tuple[int, ...] = ()
+
+
+@dataclass
+class MatchingSolved(TraceEvent):
+    """One Kuhn–Munkres (or greedy-fallback) solve inside VMMIGRATION."""
+
+    rack: Optional[int] = None
+    rows: int = 0
+    cols: int = 0
+    matched: int = 0
+    iteration: int = 0
+    fallback: bool = False
+    elapsed_s: float = 0.0
+
+
+@dataclass
+class RequestSent(TraceEvent):
+    """Sender side: a REQUEST(vm → dst_host) left the shim."""
+
+    vm: int = -1
+    dst_host: int = -1
+    dst_rack: int = -1
+    src_rack: Optional[int] = None
+
+
+@dataclass
+class RequestAcked(TraceEvent):
+    """Receiver side: the destination delegation ACKed the REQUEST."""
+
+    vm: int = -1
+    dst_host: int = -1
+    dst_rack: int = -1
+
+
+@dataclass
+class RequestRejected(TraceEvent):
+    """Receiver side: REJECT (or IGNORED), with the Alg. 4 reason."""
+
+    vm: int = -1
+    dst_host: int = -1
+    dst_rack: int = -1
+    reason: str = ""
+
+
+@dataclass
+class MigrationCommitted(TraceEvent):
+    """A reserved migration was committed (instant engines: placement
+    mutated; timed engines: the live-migration window started)."""
+
+    vm: int = -1
+    dst_host: int = -1
+
+
+@dataclass
+class MigrationLanded(TraceEvent):
+    """The VM is running at its destination (instant commit or the end of
+    its Fig. 2 live-migration window)."""
+
+    vm: int = -1
+    dst_host: int = -1
+
+
+@dataclass
+class FlowRerouted(TraceEvent):
+    """A shim's FLOWREROUTE pass finished for one round."""
+
+    rack: int = -1
+    rerouted: int = 0
+    failed: int = 0
+    flows: Tuple[int, ...] = ()
+    hot_switches: Tuple[int, ...] = ()
+
+
+@dataclass
+class ModelSelected(TraceEvent):
+    """Dynamic model selection (Eq. 14) answered with a pool member."""
+
+    model: str = ""
+    step: int = 0
+    prediction: float = 0.0
+
+
+EVENT_TYPES: List[type] = [
+    AlertDelivered,
+    PrioritySelected,
+    MatchingSolved,
+    RequestSent,
+    RequestAcked,
+    RequestRejected,
+    MigrationCommitted,
+    MigrationLanded,
+    FlowRerouted,
+    ModelSelected,
+]

@@ -1,0 +1,116 @@
+"""Profiling hooks: wall-clock section timers with per-round breakdowns.
+
+The engine opens one round window per management round; the migration
+machinery wraps its hot stages (``priority``, ``matching``, ``request``,
+``commit``, ``reroute``, ``local_search``) in
+:meth:`Profiler.section`.  The accumulated seconds surface as
+``RoundSummary.timings`` and — via ``Profiler.totals`` — as the CLI's
+``--json`` timing breakdown.
+
+:data:`NULL_PROFILER` is the disabled singleton: its ``section`` returns
+a shared re-entrant no-op context manager, so a disabled profiler costs
+one method call and no timer reads.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict, Optional
+
+__all__ = ["Profiler", "NullProfiler", "NULL_PROFILER"]
+
+
+class _NullSection:
+    """Shared no-op context manager (re-entrant, stateless)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSection":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NULL_SECTION = _NullSection()
+
+
+class NullProfiler:
+    """Disabled profiler: sections cost one call, rounds record nothing."""
+
+    enabled: bool = False
+
+    def section(self, name: str) -> _NullSection:
+        return _NULL_SECTION
+
+    def begin_round(self) -> None:
+        pass
+
+    def round_timings(self) -> Dict[str, float]:
+        return {}
+
+    @property
+    def totals(self) -> Dict[str, float]:
+        return {}
+
+
+NULL_PROFILER = NullProfiler()
+"""Shared module-level disabled profiler."""
+
+
+class _Section:
+    __slots__ = ("_profiler", "_name", "_t0")
+
+    def __init__(self, profiler: "Profiler", name: str) -> None:
+        self._profiler = profiler
+        self._name = name
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Section":
+        self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._profiler._add(self._name, perf_counter() - self._t0)
+
+
+class Profiler:
+    """Accumulating wall-clock section timer.
+
+    ``totals`` holds seconds per section since construction; the
+    per-round window (``begin_round`` / ``round_timings``) holds the same
+    breakdown for the current round only.
+    """
+
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self.totals: Dict[str, float] = {}
+        self.counts: Dict[str, int] = {}
+        self._round: Optional[Dict[str, float]] = None
+
+    def _add(self, name: str, elapsed: float) -> None:
+        self.totals[name] = self.totals.get(name, 0.0) + elapsed
+        self.counts[name] = self.counts.get(name, 0) + 1
+        if self._round is not None:
+            self._round[name] = self._round.get(name, 0.0) + elapsed
+
+    def section(self, name: str) -> _Section:
+        """Context manager timing one block under *name*."""
+        return _Section(self, name)
+
+    # ------------------------------------------------------------------ #
+    def begin_round(self) -> None:
+        """Reset the per-round window (engine calls this at round start)."""
+        self._round = {}
+
+    def round_timings(self) -> Dict[str, float]:
+        """Seconds per section accumulated since ``begin_round``."""
+        return dict(self._round) if self._round is not None else {}
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready lifetime breakdown."""
+        return {
+            name: {"seconds": self.totals[name], "calls": self.counts[name]}
+            for name in self.totals
+        }

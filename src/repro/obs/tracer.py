@@ -1,0 +1,141 @@
+"""Tracer protocol and implementations.
+
+The tracer contract is deliberately tiny so it can be threaded through
+every layer without coupling:
+
+* ``enabled`` — emitting sites guard event *construction* behind this
+  flag, so a disabled tracer costs one attribute read per site and zero
+  allocations (the zero-cost-when-disabled property);
+* ``emit(event)`` — record one :class:`~repro.obs.events.TraceEvent`;
+* ``begin_round(index)`` — round boundary; implementations stamp every
+  subsequent event's ``round`` field with *index*.
+
+:data:`NULL_TRACER` is the shared disabled singleton every constructor
+defaults to; :class:`RecordingTracer` keeps events in memory (tests,
+notebooks); :class:`JsonlTracer` streams them to a JSON-lines file (the
+CLI's ``--trace PATH``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, List, Optional, Protocol, runtime_checkable
+
+from repro.obs.events import TraceEvent
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "RecordingTracer",
+    "JsonlTracer",
+    "NULL_TRACER",
+]
+
+
+@runtime_checkable
+class Tracer(Protocol):
+    """Structural type every tracer implementation satisfies."""
+
+    enabled: bool
+
+    def emit(self, event: TraceEvent) -> None:  # pragma: no cover - protocol
+        ...
+
+    def begin_round(self, index: int) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class NullTracer:
+    """Disabled tracer: every operation is a no-op.
+
+    Emitting sites check ``tracer.enabled`` before building an event, so
+    the per-site cost of the null tracer is one attribute read.
+    """
+
+    enabled: bool = False
+
+    def emit(self, event: TraceEvent) -> None:
+        pass
+
+    def begin_round(self, index: int) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()
+"""Shared module-level disabled tracer (the default everywhere)."""
+
+
+class RecordingTracer:
+    """In-memory tracer: events accumulate on :attr:`events`."""
+
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+        self.current_round: Optional[int] = None
+
+    def begin_round(self, index: int) -> None:
+        self.current_round = index
+
+    def emit(self, event: TraceEvent) -> None:
+        if event.round is None:
+            event.round = self.current_round
+        self.events.append(event)
+
+    # ------------------------------------------------------------------ #
+    def kinds(self) -> List[str]:
+        """Event type names in emission order."""
+        return [e.kind for e in self.events]
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        """All events of one type, in emission order."""
+        return [e for e in self.events if e.kind == kind]
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+class JsonlTracer:
+    """Streaming tracer: one JSON object per line on *stream*.
+
+    Parameters
+    ----------
+    stream:
+        Open text file object; the caller owns it unless this tracer was
+        built with :meth:`open`, in which case :meth:`close` closes it.
+    """
+
+    enabled: bool = True
+
+    def __init__(self, stream: IO[str]) -> None:
+        self.stream = stream
+        self.current_round: Optional[int] = None
+        self._owns_stream = False
+        self.emitted = 0
+
+    @classmethod
+    def open(cls, path: str) -> "JsonlTracer":
+        """Create a tracer writing to *path* (truncates; close with
+        :meth:`close` or use as a context manager)."""
+        tracer = cls(open(path, "w"))
+        tracer._owns_stream = True
+        return tracer
+
+    def begin_round(self, index: int) -> None:
+        self.current_round = index
+
+    def emit(self, event: TraceEvent) -> None:
+        if event.round is None:
+            event.round = self.current_round
+        self.stream.write(json.dumps(event.as_dict()) + "\n")
+        self.emitted += 1
+
+    def close(self) -> None:
+        if self._owns_stream:
+            self.stream.close()
+
+    def __enter__(self) -> "JsonlTracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -22,22 +22,35 @@ def _h(out: io.StringIO, title: str) -> None:
     out.write(f"\n## {title}\n\n")
 
 
-def generate_report(seed: int = 2015, *, fast: bool = True) -> str:
-    """Run every experiment family; return the markdown report."""
+def generate_report(seed: int = 2015, *, fast: bool = True, tracer=None) -> str:
+    """Run every experiment family; return the markdown report.
+
+    ``tracer`` optionally receives the structured events of the balancing
+    and comparison sections (the CLI's ``--trace`` plumbs through here).
+    """
+    from repro.alerts.alert import Alert, AlertKind
     from repro.analysis import format_table
     from repro.cluster import build_cluster
+    from repro.config import SheriffConfig
     from repro.costs.model import CostModel
     from repro.forecast import ARIMA, NARNET, mse
     from repro.forecast.evaluation import compare_models
+    from repro.forecast.naive import NaiveLast, SeasonalNaive
+    from repro.forecast.selection import DynamicModelSelector
     from repro.kmedian import KMedianInstance, exact_kmedian, local_search
+    from repro.obs.tracer import NULL_TRACER
     from repro.sim import (
         SheriffSimulation,
         centralized_migration_round,
         inject_fraction_alerts,
         regional_migration_round,
     )
+    from repro.sim.inflight import MigrationTiming
     from repro.topology import build_fattree
     from repro.traces import ZopleCloudTraces, mixed_trace
+
+    if tracer is None:
+        tracer = NULL_TRACER
 
     t0 = time.perf_counter()
     out = io.StringIO()
@@ -84,7 +97,9 @@ def generate_report(seed: int = 2015, *, fast: bool = True) -> str:
         seed=seed,
         delay_sensitive_fraction=0.0,
     )
-    sim = SheriffSimulation(cluster, balance_weight=25.0)
+    sim = SheriffSimulation(
+        cluster, SheriffConfig(balance_weight=25.0, tracer=tracer)
+    )
     rounds = 12 if fast else 24
     for r in range(rounds):
         alerts, vma = inject_fraction_alerts(cluster, 0.05, time=r, seed=seed + r)
@@ -94,6 +109,61 @@ def generate_report(seed: int = 2015, *, fast: bool = True) -> str:
         f"Fat-Tree k=8: workload std-dev {series[0]:.1f} % -> "
         f"{series[-1]:.1f} % over {rounds} rounds "
         f"({'declining' if series[-1] < series[0] else 'NOT declining'})\n"
+    )
+
+    # ------------------------------------------------------------------ #
+    _h(out, "Rerouting and model selection")
+    # a hot, dependency-rich pod: timed migrations + congested aggregation
+    # switches exercise FLOWREROUTE and the full reject vocabulary
+    c3 = build_cluster(
+        build_fattree(4),
+        hosts_per_rack=3,
+        fill_fraction=0.85,
+        skew=1.2,
+        seed=seed,
+        delay_sensitive_fraction=0.0,
+        dependency_degree=2.0,
+    )
+    fsim = SheriffSimulation(
+        c3,
+        SheriffConfig(
+            with_flows=True, migration_timing=MigrationTiming(), tracer=tracer
+        ),
+    )
+    for r in range(6):
+        alerts, vma = inject_fraction_alerts(c3, 0.25, time=r, seed=seed + 100 + r)
+        alerts = list(alerts)
+        if fsim.flow_table is not None and fsim.flow_table.flows:
+            flow = next(iter(fsim.flow_table.flows.values()))
+            mid = [n for n in flow.path if n not in (flow.src_rack, flow.dst_rack)]
+            if mid:
+                alerts.append(
+                    Alert(
+                        kind=AlertKind.OUTER_SWITCH,
+                        rack=flow.src_rack,
+                        magnitude=0.9,
+                        switch=int(mid[0]),
+                        time=r,
+                    )
+                )
+                vma.setdefault(flow.vm, 0.9)
+        fsim.run_round(alerts, vma)
+    rerouted = int(fsim.metrics.total("sheriff_flows_rerouted_total"))
+    reroute_failed = int(fsim.metrics.total("sheriff_reroute_failures_total"))
+    selector = DynamicModelSelector(
+        {"naive": NaiveLast, "seasonal": lambda: SeasonalNaive(period=24)},
+        period=12,
+        tracer=tracer,
+    )
+    ys = mixed_trace(seed=seed)[:230]
+    selector.fit(ys[:200])
+    for value in ys[200:]:
+        selector.predict_one()
+        selector.observe(float(value))
+    out.write(
+        f"Hot pod (Fat-Tree k=4): {rerouted} flows rerouted, "
+        f"{reroute_failed} reroute failures over 6 rounds; dynamic selection "
+        f"(Eq. 14) settled on {selector.best_model_name()} after 30 steps\n"
     )
 
     # ------------------------------------------------------------------ #
@@ -111,8 +181,8 @@ def generate_report(seed: int = 2015, *, fast: bool = True) -> str:
         cm = CostModel(c2)
         _, vma = inject_fraction_alerts(c2, 0.05, seed=seed)
         cands = sorted(vma)
-        reg = regional_migration_round(c2, cm, cands)
-        cen = centralized_migration_round(c2, cm, cands)
+        reg = regional_migration_round(c2, cm, cands, tracer=tracer)
+        cen = centralized_migration_round(c2, cm, cands, tracer=tracer)
         rows.append(
             {
                 "pods": k,

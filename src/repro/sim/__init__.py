@@ -17,6 +17,7 @@ all three alert paths), `inflight` (live-migration windows),
 (switch death), `metrics`/`recorder`/`timing` (measurement).
 """
 
+from repro.config import SheriffConfig
 from repro.sim.engine import RoundSummary, SheriffSimulation
 from repro.sim.scenario import (
     forecast_alert_round,
@@ -53,6 +54,7 @@ from repro.sim.scenarios import (
 
 __all__ = [
     "SheriffSimulation",
+    "SheriffConfig",
     "RoundSummary",
     "inject_fraction_alerts",
     "overloaded_host_alerts",

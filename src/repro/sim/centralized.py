@@ -15,6 +15,7 @@ baseline also exercises the library's own kernel.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -24,6 +25,9 @@ from repro.cluster.cluster import Cluster
 from repro.costs.model import CostModel
 from repro.errors import ConfigurationError
 from repro.migration.matching import hungarian
+from repro.obs.events import MatchingSolved
+from repro.obs.profiling import NULL_PROFILER
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 __all__ = ["CentralizedPlan", "centralized_migration_round"]
 
@@ -52,6 +56,8 @@ def centralized_migration_round(
     apply: bool = False,
     forbid_same_host: bool = True,
     balance_weight: float = 0.0,
+    tracer: Tracer = NULL_TRACER,
+    profiler=NULL_PROFILER,
 ) -> CentralizedPlan:
     """Plan (and optionally apply) the globally optimal migration round.
 
@@ -70,6 +76,10 @@ def centralized_migration_round(
         :func:`repro.migration.vmmigration.vmmigration`.  Defaults to 0 so
         the manager stays the pure cost-optimal oracle of Figs. 11/13;
         plan costs always report the true Eq. (1) value.
+    tracer, profiler:
+        Optional observability handles: the global matching solve emits
+        one :class:`~repro.obs.events.MatchingSolved` and is timed under
+        the ``matching`` profiler section.
     """
     plan = CentralizedPlan()
     vms = [int(v) for v in dict.fromkeys(candidates)]
@@ -103,24 +113,39 @@ def centralized_migration_round(
     sub = cost[rows]
     # replace inf with a large sentinel for the scipy oracle, then drop any
     # matched-forbidden pairs afterwards
-    if rows.size > _OWN_KERNEL_LIMIT:
-        finite_max = sub[np.isfinite(sub)].max() if np.isfinite(sub).any() else 1.0
-        sentinel = finite_max * len(vms) * 10 + 1.0
-        filled = np.where(np.isfinite(sub), sub, sentinel)
-        rr, cc = linear_sum_assignment(filled)
-        pairs = [(int(r), int(c)) for r, c in zip(rr, cc) if np.isfinite(sub[r, c])]
-    else:
-        try:
-            assignment, _ = hungarian(sub)
-            pairs = [
-                (k, int(c)) for k, c in enumerate(assignment) if np.isfinite(sub[k, c])
-            ]
-        except Exception:
+    t_solve = perf_counter() if tracer.enabled else 0.0
+    fallback = False
+    with profiler.section("matching"):
+        if rows.size > _OWN_KERNEL_LIMIT:
             finite_max = sub[np.isfinite(sub)].max() if np.isfinite(sub).any() else 1.0
             sentinel = finite_max * len(vms) * 10 + 1.0
             filled = np.where(np.isfinite(sub), sub, sentinel)
             rr, cc = linear_sum_assignment(filled)
             pairs = [(int(r), int(c)) for r, c in zip(rr, cc) if np.isfinite(sub[r, c])]
+        else:
+            try:
+                assignment, _ = hungarian(sub)
+                pairs = [
+                    (k, int(c)) for k, c in enumerate(assignment) if np.isfinite(sub[k, c])
+                ]
+            except Exception:
+                fallback = True
+                finite_max = sub[np.isfinite(sub)].max() if np.isfinite(sub).any() else 1.0
+                sentinel = finite_max * len(vms) * 10 + 1.0
+                filled = np.where(np.isfinite(sub), sub, sentinel)
+                rr, cc = linear_sum_assignment(filled)
+                pairs = [(int(r), int(c)) for r, c in zip(rr, cc) if np.isfinite(sub[r, c])]
+    if tracer.enabled:
+        tracer.emit(
+            MatchingSolved(
+                rows=int(rows.size),
+                cols=int(n_hosts),
+                matched=len(pairs),
+                iteration=1,
+                fallback=fallback,
+                elapsed_s=perf_counter() - t_solve,
+            )
+        )
 
     for k, host in pairs:
         vm = vms[int(rows[k])]

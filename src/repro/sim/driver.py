@@ -10,10 +10,12 @@ examples, benchmarks and downstream users stop re-implementing it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Protocol, Tuple
+from typing import Dict, List, Optional, Protocol, Tuple, Union
 
 import numpy as np
 
+from repro.cluster.cluster import Cluster
+from repro.config import SheriffConfig
 from repro.errors import ConfigurationError
 from repro.sim.engine import SheriffSimulation
 from repro.sim.reactive import DemandDrivenWorkload, PredictiveManager
@@ -38,6 +40,8 @@ class ManagedRunReport:
     first_alert_round: Optional[int] = None
     overload_by_round: List[int] = field(default_factory=list)
     peak_load_by_round: List[float] = field(default_factory=list)
+    timings: Dict[str, float] = field(default_factory=dict)
+    """Cumulative wall-clock seconds per profiled section over the run."""
 
     @property
     def rounds(self) -> int:
@@ -45,20 +49,33 @@ class ManagedRunReport:
 
 
 def run_managed_simulation(
-    sim: SheriffSimulation,
+    sim: Union[SheriffSimulation, Cluster],
     workload: DemandDrivenWorkload,
     manager: AlertSource,
     *,
     warm: int,
     horizon: int,
     overload_threshold: float,
+    config: Optional[SheriffConfig] = None,
 ) -> ManagedRunReport:
     """Drive *sim* from round ``warm`` to ``horizon`` under *manager*.
 
     Predictive managers (anything with ``observe``) are warmed on rounds
     ``0..warm-1`` first, then fed each round's realized loads after the
     management action — the same protocol a real shim follows.
+
+    ``sim`` may be a ready :class:`SheriffSimulation` or a bare
+    :class:`~repro.cluster.cluster.Cluster`; in the latter case one is
+    built from *config* (or the defaults).  Passing *config* alongside a
+    ready simulation is ambiguous and rejected.
     """
+    if isinstance(sim, Cluster):
+        sim = SheriffSimulation(sim, config)
+    elif config is not None:
+        raise ConfigurationError(
+            "pass config only with a Cluster; a ready SheriffSimulation "
+            "already carries its own"
+        )
     if not (0 <= warm < horizon):
         raise ConfigurationError(f"need 0 <= warm < horizon, got {warm}/{horizon}")
     if not (0.0 < overload_threshold <= 1.0):
@@ -86,4 +103,5 @@ def run_managed_simulation(
         report.total_cost += summary.total_cost
         if observes:
             manager.observe(t)  # type: ignore[attr-defined]
+    report.timings = sim.timing_breakdown()
     return report

@@ -7,6 +7,16 @@ Alg. 1 (selection + matching + REQUEST) → commit accepted migrations →
 record metrics.  Shims run logically in parallel; the FCFS receiver
 protocol (Alg. 4) is what keeps their concurrent reservations conflict-
 free, exactly as in the paper.
+
+Observability: the engine threads one :class:`~repro.obs.tracer.Tracer`,
+one :class:`~repro.obs.metrics.MetricsRegistry` and one
+:class:`~repro.obs.profiling.Profiler` through every shim, the receiver
+protocol and VMMIGRATION.  Decision sites increment labeled counters;
+:class:`RoundSummary` reads its totals back from the round's metrics
+scope, and ``RoundSummary.timings`` carries the per-round wall-clock
+breakdown (``priority`` / ``matching`` / ``request`` / ``commit`` ...).
+Configuration arrives as one :class:`~repro.config.SheriffConfig`; the
+historical loose keyword arguments still work but are deprecated.
 """
 
 from __future__ import annotations
@@ -18,11 +28,15 @@ import numpy as np
 
 from repro.alerts.alert import Alert
 from repro.cluster.cluster import Cluster
-from repro.costs.model import CostModel, CostParams
+from repro.config import SheriffConfig, resolve_config
+from repro.costs.model import CostModel
 from repro.errors import SimulationError
 from repro.migration.manager import RoundReport, ShimManager
 from repro.migration.request import ReceiverRegistry
 from repro.migration.reroute import FlowTable
+from repro.obs.events import AlertDelivered, MigrationLanded
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiling import NULL_PROFILER, Profiler
 from repro.sim.inflight import InFlightTracker, MigrationTiming, TimedReceiverRegistry
 
 __all__ = ["RoundSummary", "SheriffSimulation"]
@@ -44,6 +58,8 @@ class RoundSummary:
     workload_std_before: float
     workload_std_after: float
     reports: List[RoundReport] = field(default_factory=list)
+    timings: Dict[str, float] = field(default_factory=dict)
+    """Per-round wall-clock seconds by section (empty when profiling off)."""
 
 
 class SheriffSimulation:
@@ -53,58 +69,61 @@ class SheriffSimulation:
     ----------
     cluster:
         Shared cluster state (mutated by committed migrations).
-    cost_params:
-        Eq. (1) knobs; defaults are the paper's simulation settings.
-    alpha, beta:
-        PRIORITY portions handed to every shim.
-    with_flows:
-        Build a :class:`FlowTable` from the dependency graph so that
-        outer-switch alerts can exercise FLOWREROUTE.
+    config:
+        One :class:`~repro.config.SheriffConfig` bundling every knob plus
+        the ``tracer``/``metrics`` observability handles.  The historical
+        keyword arguments (``alpha``, ``beta``, ``balance_weight``,
+        ``migration_cooldown``, ``migration_timing``, ``with_flows``,
+        ``flow_rate``, ``cost_params``) are accepted as deprecated
+        aliases and fold into the config.
     """
 
     def __init__(
         self,
         cluster: Cluster,
-        *,
-        cost_params: Optional[CostParams] = None,
-        alpha: float = 0.1,
-        beta: float = 0.1,
-        balance_weight: float = 50.0,
-        migration_cooldown: int = 3,
-        migration_timing: Optional[MigrationTiming] = None,
-        with_flows: bool = False,
-        flow_rate: float = 0.05,
+        config: Optional[SheriffConfig] = None,
+        **kwargs,
     ) -> None:
+        cfg = resolve_config(config, kwargs, owner="SheriffSimulation")
+        self.config = cfg
+        self.tracer = cfg.tracer
+        self.metrics: MetricsRegistry = (
+            cfg.metrics if cfg.metrics is not None else MetricsRegistry()
+        )
+        self.profiler = Profiler() if cfg.profile else NULL_PROFILER
         self.cluster = cluster
-        self.cost_model = CostModel(cluster, cost_params)
+        self.cost_model = CostModel(cluster, cfg.cost_params)
         self.inflight: Optional[InFlightTracker] = None
-        if migration_timing is not None:
+        if cfg.migration_timing is not None:
             # live-migration windows: accepted moves reserve the destination
             # now and land after the Fig. 2 timeline elapses
-            self.inflight = InFlightTracker(cluster, migration_timing)
+            self.inflight = InFlightTracker(cluster, cfg.migration_timing)
             self.receivers: ReceiverRegistry = TimedReceiverRegistry(
-                cluster, self.inflight
+                cluster, self.inflight, tracer=self.tracer
             )
         else:
-            self.receivers = ReceiverRegistry(cluster)
+            self.receivers = ReceiverRegistry(cluster, tracer=self.tracer)
         self.flow_table: Optional[FlowTable] = None
-        if with_flows:
+        if cfg.with_flows:
             self.flow_table = FlowTable(cluster.topology)
-            self._populate_flows(flow_rate)
+            self._populate_flows(cfg.flow_rate)
         self.managers: Dict[int, ShimManager] = {
             r: ShimManager(
                 cluster,
                 self.cost_model,
                 r,
-                alpha=alpha,
-                beta=beta,
-                balance_weight=balance_weight,
+                alpha=cfg.alpha,
+                beta=cfg.beta,
+                balance_weight=cfg.balance_weight,
                 flow_table=self.flow_table,
+                tracer=self.tracer,
+                metrics=self.metrics,
+                profiler=self.profiler,
             )
             for r in range(cluster.num_racks)
         }
         self.history: List[RoundSummary] = []
-        self.migration_cooldown = migration_cooldown
+        self.migration_cooldown = cfg.migration_cooldown
         self._last_move: Dict[int, int] = {}
 
     def _populate_flows(self, rate: float) -> None:
@@ -142,51 +161,80 @@ class SheriffSimulation:
         """
         if self.receivers.pending:
             raise SimulationError("uncommitted reservations from a previous round")
-        std_before = self.cluster.workload_std()
-        by_rack: Dict[int, List[Alert]] = {}
-        for alert in alerts:
-            by_rack.setdefault(alert.rack, []).append(alert)
+        tracer = self.tracer
+        # the round index: computed once, shared by the timed-migration
+        # bookkeeping below and the summary record (they can never disagree)
         now = len(self.history)
-        if self.inflight is not None:
-            assert isinstance(self.receivers, TimedReceiverRegistry)
-            self.receivers.set_round(now)
-            for vm, _host in self.inflight.complete_due(now):
-                # landing starts the post-migration cooldown
-                self._last_move[vm] = now
-        frozen = frozenset(
-            vm
-            for vm, moved_at in self._last_move.items()
-            if now - moved_at < self.migration_cooldown
-        )
-        if self.inflight is not None:
-            frozen = frozen | self.inflight.vms_in_flight
-        reports: List[RoundReport] = []
-        for rack in sorted(by_rack):
-            mgr = self.managers.get(rack)
-            if mgr is None:
-                raise SimulationError(f"alert addressed to unknown rack {rack}")
-            reports.append(
-                mgr.process_round(
-                    by_rack[rack], vm_alerts, self.receivers, frozen, host_load
-                )
+        tracer.begin_round(now)
+        self.profiler.begin_round()
+        m = self.metrics
+        with self.profiler.section("round"), m.scope() as scope:
+            m.counter("sheriff_rounds_total").inc()
+            m.counter("sheriff_alerts_total").inc(len(alerts))
+            std_before = self.cluster.workload_std()
+            by_rack: Dict[int, List[Alert]] = {}
+            for alert in alerts:
+                by_rack.setdefault(alert.rack, []).append(alert)
+                if tracer.enabled:
+                    tracer.emit(
+                        AlertDelivered(
+                            rack=alert.rack,
+                            alert_kind=alert.kind.name,
+                            magnitude=float(alert.magnitude),
+                            host=alert.host,
+                            switch=alert.switch,
+                        )
+                    )
+            if self.inflight is not None:
+                assert isinstance(self.receivers, TimedReceiverRegistry)
+                self.receivers.set_round(now)
+                for vm, host in self.inflight.complete_due(now):
+                    # landing starts the post-migration cooldown
+                    self._last_move[vm] = now
+                    m.counter("sheriff_migrations_landed_total").inc()
+                    if tracer.enabled:
+                        tracer.emit(MigrationLanded(vm=vm, dst_host=host))
+            frozen = frozenset(
+                vm
+                for vm, moved_at in self._last_move.items()
+                if now - moved_at < self.migration_cooldown
             )
-        moved = self.receivers.commit_round()
-        if self.inflight is None:
-            for vm, _host in moved:
-                self._last_move[vm] = now
-        std_after = self.cluster.workload_std()
+            if self.inflight is not None:
+                frozen = frozen | self.inflight.vms_in_flight
+            reports: List[RoundReport] = []
+            for rack in sorted(by_rack):
+                mgr = self.managers.get(rack)
+                if mgr is None:
+                    raise SimulationError(f"alert addressed to unknown rack {rack}")
+                reports.append(
+                    mgr.process_round(
+                        by_rack[rack], vm_alerts, self.receivers, frozen, host_load
+                    )
+                )
+            with self.profiler.section("commit"):
+                moved = self.receivers.commit_round()
+            m.counter("sheriff_migrations_committed_total").inc(len(moved))
+            if self.inflight is None:
+                for vm, host in moved:
+                    self._last_move[vm] = now
+                    m.counter("sheriff_migrations_landed_total").inc()
+                    if tracer.enabled:
+                        tracer.emit(MigrationLanded(vm=vm, dst_host=host))
+            std_after = self.cluster.workload_std()
+            m.gauge("sheriff_workload_std").set(std_after)
         summary = RoundSummary(
-            round_index=len(self.history),
+            round_index=now,
             alerts=len(alerts),
-            migrations=sum(r.migration.acked for r in reports),
-            requests=sum(r.migration.requested for r in reports),
-            rejects=sum(r.migration.rejected for r in reports),
-            total_cost=sum(r.migration.total_cost for r in reports),
-            search_space=sum(r.migration.search_space for r in reports),
-            unplaced=sum(len(r.migration.unplaced) for r in reports),
+            migrations=int(scope.total("sheriff_requests_acked_total")),
+            requests=int(scope.total("sheriff_requests_sent_total")),
+            rejects=int(scope.total("sheriff_requests_rejected_total")),
+            total_cost=scope.total("sheriff_migration_cost_total"),
+            search_space=int(scope.total("sheriff_search_space_total")),
+            unplaced=int(scope.total("sheriff_unplaced_total")),
             workload_std_before=std_before,
             workload_std_after=std_after,
             reports=reports,
+            timings=self.profiler.round_timings(),
         )
         self.history.append(summary)
         return summary
@@ -198,3 +246,7 @@ class SheriffSimulation:
             return np.asarray([self.cluster.workload_std()])
         first = self.history[0].workload_std_before
         return np.asarray([first] + [s.workload_std_after for s in self.history])
+
+    def timing_breakdown(self) -> Dict[str, float]:
+        """Cumulative wall-clock seconds per profiled section."""
+        return dict(self.profiler.totals)

@@ -23,6 +23,7 @@ from repro.alerts.alert import Alert, AlertKind
 from repro.alerts.qcn import SwitchQueue, ToRUplinkMonitor
 from repro.cluster.cluster import Cluster
 from repro.cluster.resources import ResourceKind
+from repro.config import SheriffConfig
 from repro.errors import ConfigurationError
 from repro.migration.reroute import FlowTable
 from repro.sim.congestion import congestion_alerts
@@ -67,6 +68,11 @@ class FullStackSimulation:
         "monitors the uplink flow rate of its local ToR proactively").
     ecmp:
         Spread dependency flows across equal-cost paths.
+    config:
+        Optional :class:`~repro.config.SheriffConfig` for the embedded
+        :class:`~repro.sim.engine.SheriffSimulation` (tracer/metrics
+        handles included); its flow-related knobs are ignored because the
+        closed loop owns the flow table.
     """
 
     def __init__(
@@ -80,6 +86,7 @@ class FullStackSimulation:
         tor_queue_threshold: float = 0.8,
         ecmp: bool = True,
         predictive_horizon: int = 3,
+        config: Optional[SheriffConfig] = None,
     ) -> None:
         if base_rate <= 0:
             raise ConfigurationError(f"base_rate must be positive, got {base_rate}")
@@ -88,7 +95,10 @@ class FullStackSimulation:
         self.base_rate = base_rate
         self.switch_threshold = switch_threshold
         self.flow_table = FlowTable(cluster.topology, ecmp=ecmp)
-        self.sim = SheriffSimulation(cluster)
+        if config is not None and config.with_flows:
+            # the closed loop builds and owns its own demand-driven flows
+            config = config.replace(with_flows=False)
+        self.sim = SheriffSimulation(cluster, config)
         for mgr in self.sim.managers.values():
             mgr.flow_table = self.flow_table
         self.manager = PredictiveManager(

@@ -28,6 +28,8 @@ from repro.cluster.cluster import Cluster
 from repro.costs.precopy import MigrationTimeline, precopy_timeline
 from repro.errors import ConfigurationError, MigrationError
 from repro.migration.request import ReceiverRegistry
+from repro.obs.events import MigrationCommitted, RequestRejected
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 __all__ = ["MigrationTiming", "InFlightTracker", "TimedReceiverRegistry"]
 
@@ -137,8 +139,14 @@ class TimedReceiverRegistry(ReceiverRegistry):
     reservations to the :class:`InFlightTracker` rather than migrating.
     """
 
-    def __init__(self, cluster: Cluster, tracker: InFlightTracker) -> None:
-        super().__init__(cluster)
+    def __init__(
+        self,
+        cluster: Cluster,
+        tracker: InFlightTracker,
+        *,
+        tracer: Tracer = NULL_TRACER,
+    ) -> None:
+        super().__init__(cluster, tracer=tracer)
         self.tracker = tracker
         self._now = 0
 
@@ -149,6 +157,13 @@ class TimedReceiverRegistry(ReceiverRegistry):
         from repro.migration.request import RequestOutcome
 
         if vm in self.tracker.vms_in_flight:
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    RequestRejected(
+                        vm=vm, dst_host=dst_host, dst_rack=dst_rack,
+                        reason="in-flight",
+                    )
+                )
             return RequestOutcome.REJECT
         pl = self.cluster.placement
         if 0 <= dst_host < pl.num_hosts:
@@ -162,6 +177,13 @@ class TimedReceiverRegistry(ReceiverRegistry):
                     - extra
                 )
                 if 0 <= vm < pl.num_vms and free < int(pl.vm_capacity[vm]):
+                    if self.tracer.enabled:
+                        self.tracer.emit(
+                            RequestRejected(
+                                vm=vm, dst_host=dst_host, dst_rack=dst_rack,
+                                reason="capacity-hold",
+                            )
+                        )
                     return RequestOutcome.REJECT
         return super().request(vm, dst_host, dst_rack)
 
@@ -171,5 +193,7 @@ class TimedReceiverRegistry(ReceiverRegistry):
         for res in self._reservations:
             self.tracker.start(res.vm, res.host, self._now)
             started.append((res.vm, res.host))
+            if self.tracer.enabled:
+                self.tracer.emit(MigrationCommitted(vm=res.vm, dst_host=res.host))
         self.reset_round()
         return started

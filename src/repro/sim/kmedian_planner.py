@@ -31,6 +31,7 @@ from repro.costs.model import CostModel
 from repro.errors import ConfigurationError
 from repro.kmedian.local_search import local_search
 from repro.kmedian.transform import vmmigration_to_kmedian
+from repro.obs.profiling import NULL_PROFILER
 from repro.sim.centralized import CentralizedPlan
 
 __all__ = ["kmedian_migration_round"]
@@ -45,6 +46,7 @@ def kmedian_migration_round(
     p: int = 1,
     apply: bool = False,
     seed: int = 0,
+    profiler=NULL_PROFILER,
 ) -> CentralizedPlan:
     """Plan one centralized round through the k-median reduction.
 
@@ -57,6 +59,9 @@ def kmedian_migration_round(
         (consolidate onto half as many destinations).
     p:
         Local Search swap size (approximation ``3 + 2/p``).
+    profiler:
+        Optional :class:`~repro.obs.profiling.Profiler`; the Alg. 5 solve
+        shows up under its ``local_search`` section.
     """
     plan = CentralizedPlan()
     vms = [int(v) for v in dict.fromkeys(candidates)]
@@ -77,7 +82,7 @@ def kmedian_migration_round(
         [float(pl.vm_capacity[by_rack[r]].sum()) for r in sources]
     )
     inst = vmmigration_to_kmedian(cost_model, sources, k=k, weights=weights)
-    result = local_search(inst, p=p, seed=seed)
+    result = local_search(inst, p=p, seed=seed, profiler=profiler)
     assignment = inst.assignment(result.solution)  # facility (rack) per source
     plan.search_space = inst.num_clients * inst.num_facilities
 

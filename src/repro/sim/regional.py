@@ -20,6 +20,9 @@ from repro.cluster.shim import ShimView
 from repro.costs.model import CostModel
 from repro.migration.request import ReceiverRegistry
 from repro.migration.vmmigration import vmmigration
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiling import NULL_PROFILER
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.centralized import CentralizedPlan
 
 __all__ = ["regional_migration_round"]
@@ -32,12 +35,17 @@ def regional_migration_round(
     *,
     apply: bool = False,
     balance_weight: float = 0.0,
+    tracer: Tracer = NULL_TRACER,
+    metrics: "MetricsRegistry | None" = None,
+    profiler=NULL_PROFILER,
 ) -> CentralizedPlan:
     """Plan one regional migration round over the same candidate set.
 
     Returns the same :class:`CentralizedPlan` record type so benchmark
     code treats both managers uniformly.  ``apply=False`` plans against
-    the live placement but rolls the reservations back.
+    the live placement but rolls the reservations back.  The optional
+    observability handles flow into the receiver protocol and each
+    per-rack VMMIGRATION call.
     """
     plan = CentralizedPlan()
     vms = [int(v) for v in dict.fromkeys(candidates)]
@@ -49,7 +57,7 @@ def regional_migration_round(
         rack = int(pl.host_rack[pl.vm_host[vm]])
         by_rack.setdefault(rack, []).append(vm)
 
-    receivers = ReceiverRegistry(cluster)
+    receivers = ReceiverRegistry(cluster, tracer=tracer)
     for rack in sorted(by_rack):
         shim = ShimView(cluster, rack)
         stats = vmmigration(
@@ -59,6 +67,10 @@ def regional_migration_round(
             shim.candidate_hosts().tolist(),
             receivers,
             balance_weight=balance_weight,
+            tracer=tracer,
+            metrics=metrics,
+            profiler=profiler,
+            rack=rack,
         )
         plan.search_space += stats.search_space
         plan.total_cost += stats.total_cost

@@ -1,0 +1,155 @@
+"""Metrics registry semantics: counters, gauges, histograms, scopes."""
+
+import math
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("m")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ObservabilityError):
+            reg.counter("m").inc(-1)
+
+    def test_get_or_create_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("m", rack=3) is reg.counter("m", rack=3)
+        assert reg.counter("m", rack=3) is not reg.counter("m", rack=4)
+
+    def test_label_order_irrelevant(self):
+        reg = MetricsRegistry()
+        assert reg.counter("m", a=1, b=2) is reg.counter("m", b=2, a=1)
+
+    def test_family_total_across_labels(self):
+        reg = MetricsRegistry()
+        reg.counter("m", rack=0).inc(2)
+        reg.counter("m", rack=1).inc(3)
+        assert reg.total("m") == 5.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("g")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7.0
+
+    def test_can_go_negative(self):
+        g = MetricsRegistry().gauge("g")
+        g.dec(3)
+        assert g.value == -3.0
+
+
+class TestHistogram:
+    def test_streaming_stats(self):
+        h = MetricsRegistry().histogram("h")
+        for v in (1.0, 5.0, 3.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == 9.0
+        assert h.mean == 3.0
+        assert h.min == 1.0
+        assert h.max == 5.0
+
+    def test_empty_histogram(self):
+        h = MetricsRegistry().histogram("h")
+        assert h.count == 0
+        assert h.mean == 0.0
+        assert math.isinf(h.min)
+
+    def test_buckets(self):
+        h = MetricsRegistry().histogram("h", buckets=[1.0, 10.0])
+        for v in (0.5, 1.0, 2.0, 100.0):
+            h.observe(v)
+        # <=1, <=10, +inf
+        assert h.bucket_counts == [2, 1, 1]
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ObservabilityError):
+            MetricsRegistry().histogram("h", buckets=[10.0, 1.0])
+
+
+class TestRegistry:
+    def test_type_clash_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(ObservabilityError):
+            reg.gauge("m")
+        with pytest.raises(ObservabilityError):
+            reg.histogram("m")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ObservabilityError):
+            MetricsRegistry().counter("")
+
+    def test_as_dict_formats_labels(self):
+        reg = MetricsRegistry()
+        reg.counter("m", rack=3).inc()
+        reg.gauge("g").set(2.0)
+        snap = reg.as_dict()
+        assert snap["m{rack=3}"] == 1.0
+        assert snap["g"] == 2.0
+
+    def test_instruments_enumerates(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        reg.gauge("b")
+        kinds = {type(m) for m in reg.instruments()}
+        assert kinds == {Counter, Gauge}
+
+
+class TestScope:
+    def test_scope_window_accumulates_from_zero(self):
+        reg = MetricsRegistry()
+        reg.counter("m").inc(100)  # before the window: invisible to it
+        with reg.scope() as scope:
+            reg.counter("m").inc(2)
+            reg.counter("m").inc(3)
+        assert scope.total("m") == 5.0
+        assert reg.counter("m").value == 105.0
+
+    def test_scope_total_spans_labels(self):
+        reg = MetricsRegistry()
+        with reg.scope() as scope:
+            reg.counter("m", rack=0).inc(1)
+            reg.counter("m", rack=1).inc(2)
+        assert scope.total("m") == 3.0
+        assert scope.value("m", rack=1) == 2.0
+        assert scope.value("m", rack=9) == 0.0
+        assert scope.by_label("m", "rack") == {"0": 1.0, "1": 2.0}
+
+    def test_scope_counts_recordings(self):
+        reg = MetricsRegistry()
+        with reg.scope() as scope:
+            reg.histogram("h").observe(4.0)
+            reg.histogram("h").observe(6.0)
+        assert scope.count("h") == 2
+        assert scope.total("h") == 10.0
+
+    def test_nested_scopes_both_see_increments(self):
+        reg = MetricsRegistry()
+        with reg.scope() as outer:
+            reg.counter("m").inc()
+            with reg.scope() as inner:
+                reg.counter("m").inc()
+        assert outer.total("m") == 2.0
+        assert inner.total("m") == 1.0
+
+    def test_closed_scope_stops_recording(self):
+        reg = MetricsRegistry()
+        with reg.scope() as scope:
+            pass
+        reg.counter("m").inc()
+        assert scope.total("m") == 0.0

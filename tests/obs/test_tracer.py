@@ -1,0 +1,103 @@
+"""Tracer implementations and event payload shapes."""
+
+import json
+
+from repro.obs.events import (
+    EVENT_TYPES,
+    AlertDelivered,
+    MatchingSolved,
+    PrioritySelected,
+    RequestRejected,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    JsonlTracer,
+    NullTracer,
+    RecordingTracer,
+    Tracer,
+)
+
+
+class TestNullTracer:
+    def test_disabled_singleton(self):
+        assert NULL_TRACER.enabled is False
+        assert isinstance(NULL_TRACER, NullTracer)
+        assert isinstance(NULL_TRACER, Tracer)
+
+    def test_emit_is_noop(self):
+        NULL_TRACER.emit(AlertDelivered(rack=0, alert_kind="SERVER", magnitude=0.5))
+        NULL_TRACER.begin_round(3)
+
+
+class TestRecordingTracer:
+    def test_records_in_order(self):
+        t = RecordingTracer()
+        assert t.enabled is True
+        a = AlertDelivered(rack=0, alert_kind="SERVER", magnitude=0.5)
+        b = RequestRejected(vm=1, dst_host=4, dst_rack=1, reason="capacity")
+        t.emit(a)
+        t.emit(b)
+        assert t.events == [a, b]
+        assert t.kinds() == ["AlertDelivered", "RequestRejected"]
+        assert t.of_kind("RequestRejected") == [b]
+
+    def test_begin_round_stamps_events(self):
+        t = RecordingTracer()
+        t.begin_round(0)
+        t.emit(AlertDelivered(rack=0, alert_kind="SERVER", magnitude=0.5))
+        t.begin_round(1)
+        t.emit(AlertDelivered(rack=1, alert_kind="SERVER", magnitude=0.6))
+        assert [e.round for e in t.events] == [0, 1]
+
+    def test_clear(self):
+        t = RecordingTracer()
+        t.emit(AlertDelivered(rack=0, alert_kind="SERVER", magnitude=0.5))
+        t.clear()
+        assert t.events == []
+
+
+class TestJsonlTracer:
+    def test_writes_one_json_object_per_event(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTracer.open(path) as t:
+            t.begin_round(7)
+            t.emit(
+                PrioritySelected(
+                    rack=2, factor="ALPHA", budget=3, candidates=5, selected=(1, 4)
+                )
+            )
+            t.emit(
+                MatchingSolved(
+                    rack=2,
+                    rows=3,
+                    cols=9,
+                    matched=3,
+                    iteration=1,
+                    fallback=False,
+                    elapsed_s=0.001,
+                )
+            )
+            assert t.emitted == 2
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["event"] == "PrioritySelected"
+        assert first["round"] == 7
+        assert first["selected"] == [1, 4]  # tuples serialize as lists
+        second = json.loads(lines[1])
+        assert second["event"] == "MatchingSolved"
+        assert second["fallback"] is False
+
+
+class TestEventShapes:
+    def test_every_event_type_round_trips_through_as_dict(self):
+        # every documented type constructs, has a stable kind and a
+        # JSON-serializable payload
+        kinds = set()
+        for cls in EVENT_TYPES:
+            event = cls()
+            d = event.as_dict()
+            assert d["event"] == event.kind == cls.__name__
+            json.dumps(d)  # must not raise
+            kinds.add(event.kind)
+        assert len(kinds) == len(EVENT_TYPES) == 10

@@ -1,5 +1,7 @@
 """CLI smoke and contract tests."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -50,7 +52,7 @@ class TestCommands:
         assert "bcube" in capsys.readouterr().out
 
     def test_forecast_nonlinear(self, capsys):
-        assert main(["forecast", "--trace", "nonlinear", "--seed", "4"]) == 0
+        assert main(["forecast", "--series", "nonlinear", "--seed", "4"]) == 0
         out = capsys.readouterr().out
         assert "narnet_mse" in out
 
@@ -59,6 +61,67 @@ class TestCommands:
             ["balance", "--topology", "bcube", "--size", "4", "--rounds", "3"]
         ) == 0
         assert "bcube-4" in capsys.readouterr().out
+
+
+class TestMachineOutput:
+    def test_balance_json_payload(self, capsys):
+        code = main(
+            ["balance", "--size", "4", "--rounds", "4", "--seed", "9", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "balance"
+        assert payload["rounds"] == 4
+        assert len(payload["std_dev_pct"]) == 5  # initial + 4 rounds
+        assert isinstance(payload["migrations"], int)
+        assert "timings" in payload and "round" in payload["timings"]
+
+    def test_traces_json_payload(self, capsys):
+        assert main(["traces", "--seed", "1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "traces"
+        assert "cpu_pct" in payload["traces"]
+        assert "burst_ratio" in payload["traces"]["cpu_pct"]
+
+    def test_sweep_json_payload(self, capsys):
+        assert main(["sweep", "--sizes", "4", "--seed", "9", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "sweep"
+        assert payload["rows"][0]["size"] == 4
+        assert "timings" in payload
+
+    def test_json_flag_on_every_subcommand(self):
+        parser = build_parser()
+        for cmd in ("traces", "forecast", "balance", "sweep", "approx", "report"):
+            args = parser.parse_args([cmd, "--json"])
+            assert args.json is True
+            assert args.trace_path is None
+
+    def test_trace_writes_jsonl(self, capsys, tmp_path):
+        trace = tmp_path / "balance.jsonl"
+        code = main(
+            [
+                "balance",
+                "--size", "4",
+                "--rounds", "4",
+                "--seed", "9",
+                "--trace", str(trace),
+            ]
+        )
+        assert code == 0
+        events = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert events, "trace file must not be empty"
+        kinds = {e["event"] for e in events}
+        assert "AlertDelivered" in kinds
+        assert "PrioritySelected" in kinds
+        assert all("round" in e for e in events)
+
+    def test_plain_output_unchanged_by_trace(self, capsys, tmp_path):
+        argv = ["balance", "--size", "4", "--rounds", "4", "--seed", "9"]
+        assert main(argv) == 0
+        plain = capsys.readouterr().out
+        assert main(argv + ["--trace", str(tmp_path / "t.jsonl")]) == 0
+        assert capsys.readouterr().out == plain
 
 
 class TestReport:
@@ -81,3 +144,16 @@ class TestReport:
         text = target.read_text()
         assert text.startswith("# Sheriff reproduction report")
         assert "wrote" in capsys.readouterr().out
+
+    def test_report_trace_covers_every_event_kind(self, capsys, tmp_path):
+        # the acceptance bar for the observability subsystem: one traced
+        # run exercising migrations, rejects and reroutes emits at least
+        # one event of every documented type
+        from repro.obs.events import EVENT_TYPES
+
+        trace = tmp_path / "report.jsonl"
+        assert main(["report", "--seed", "7", "--trace", str(trace)]) == 0
+        kinds = {
+            json.loads(line)["event"] for line in trace.read_text().splitlines()
+        }
+        assert kinds == {cls.__name__ for cls in EVENT_TYPES}

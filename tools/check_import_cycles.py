@@ -1,0 +1,185 @@
+#!/usr/bin/env python
+"""Detect import cycles inside a package by static AST analysis.
+
+Usage: ``python tools/check_import_cycles.py src/repro``
+
+Builds the intra-package import graph (``import x`` / ``from x import y``
+statements, resolved against the package root; importing a submodule also
+counts as importing every ancestor package, because Python executes the
+parent ``__init__`` first — except ancestors the importing module itself
+lives under, since re-entering a partially-initialized parent package is
+well-defined) and reports every strongly connected component with more
+than one module.  Exit code 1 when a cycle exists.
+
+Only imports that actually execute at module-import time count: bodies
+of ``if TYPE_CHECKING:`` blocks and of function definitions are skipped
+(they run never / later), as are imports built with ``importlib`` at
+runtime (a lazy facade's ``__getattr__``) — laziness is precisely how a
+facade stays cycle-free.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Dict, Iterator, List, Set, Tuple
+
+
+def module_name(root: Path, path: Path, pkg: str) -> str:
+    # *root* is the directory containing the package dir, so the relative
+    # parts already start with *pkg* (e.g. ("repro", "sim", "engine"))
+    rel = path.relative_to(root).with_suffix("")
+    parts = list(rel.parts)
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) if parts else pkg
+
+
+def _is_type_checking_guard(node: ast.If) -> bool:
+    t = node.test
+    return (isinstance(t, ast.Name) and t.id == "TYPE_CHECKING") or (
+        isinstance(t, ast.Attribute) and t.attr == "TYPE_CHECKING"
+    )
+
+
+def _import_time_nodes(tree: ast.AST) -> Iterator[ast.AST]:
+    """Statements that execute when the module is imported.
+
+    Descends into conditionals and class bodies but not into function
+    bodies (run later) or ``if TYPE_CHECKING:`` blocks (run never).
+    """
+    stack: List[ast.AST] = [tree]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            if isinstance(child, ast.If) and _is_type_checking_guard(child):
+                stack.extend(child.orelse)  # the else branch does run
+                continue
+            stack.append(child)
+
+
+def iter_imports(tree: ast.AST, current: str, pkg: str) -> Iterator[str]:
+    """Imported module names (absolute, package-internal only)."""
+    for node in _import_time_nodes(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == pkg or alias.name.startswith(pkg + "."):
+                    yield alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative import: resolve against current
+                base = current.split(".")
+                # level 1 = current package; drop one extra per level
+                base = base[: len(base) - node.level + (0 if node.module else 0)]
+                target = ".".join(base + ([node.module] if node.module else []))
+            else:
+                target = node.module or ""
+            if target == pkg or target.startswith(pkg + "."):
+                yield target
+
+
+def ancestors(mod: str, pkg: str) -> Iterator[str]:
+    """The module plus every enclosing package down to (incl.) *pkg*."""
+    parts = mod.split(".")
+    for i in range(1, len(parts) + 1):
+        candidate = ".".join(parts[:i])
+        if candidate == pkg or candidate.startswith(pkg):
+            yield candidate
+
+
+def build_graph(root: Path) -> Dict[str, Set[str]]:
+    pkg = root.name
+    graph: Dict[str, Set[str]] = {}
+    for path in sorted(root.rglob("*.py")):
+        mod = module_name(root.parent, path, pkg)
+        tree = ast.parse(path.read_text(), filename=str(path))
+        edges: Set[str] = set()
+        for target in iter_imports(tree, mod, pkg):
+            # importing a.b.c executes a/__init__ and a.b/__init__ too —
+            # but a parent package of *mod* itself re-enters harmlessly
+            for anc in ancestors(target, pkg):
+                if anc == mod or mod == anc or mod.startswith(anc + "."):
+                    continue
+                edges.add(anc)
+        graph.setdefault(mod, set()).update(edges)
+    # keep edges only to modules that exist in the scanned tree
+    known = set(graph)
+    return {m: {e for e in edges if e in known} for m, edges in graph.items()}
+
+
+def strongly_connected(graph: Dict[str, Set[str]]) -> List[List[str]]:
+    """Tarjan's algorithm, iterative (no recursion-limit surprises)."""
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    result: List[List[str]] = []
+    counter = 0
+
+    for start in graph:
+        if start in index:
+            continue
+        work: List[Tuple[str, Iterator[str]]] = [(start, iter(graph[start]))]
+        index[start] = lowlink[start] = counter
+        counter += 1
+        stack.append(start)
+        on_stack.add(start)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in index:
+                    index[nxt] = lowlink[nxt] = counter
+                    counter += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(graph[nxt])))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    lowlink[node] = min(lowlink[node], index[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                comp = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    comp.append(w)
+                    if w == node:
+                        break
+                result.append(comp)
+    return result
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    root = Path(argv[1]).resolve()
+    if not (root / "__init__.py").exists():
+        print(f"error: {root} is not a package (no __init__.py)")
+        return 2
+    graph = build_graph(root)
+    cycles = [sorted(c) for c in strongly_connected(graph) if len(c) > 1]
+    if cycles:
+        print(f"import cycles in {root.name}:")
+        for comp in sorted(cycles):
+            print("  " + " <-> ".join(comp))
+        return 1
+    print(
+        f"{root.name}: {len(graph)} modules, "
+        f"{sum(len(e) for e in graph.values())} intra-package edges, no cycles"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
