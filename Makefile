@@ -1,6 +1,6 @@
 # Convenience targets for the Sheriff reproduction.
 
-.PHONY: install lint test bench report examples all
+.PHONY: install lint test bench bench-all report examples all
 
 install:
 	pip install -e . --no-build-isolation
@@ -13,6 +13,9 @@ test: lint
 	pytest tests/
 
 bench:
+	pytest benchmarks/test_perf_parallel.py --benchmark-only
+
+bench-all:
 	pytest benchmarks/ --benchmark-only
 
 report:
@@ -21,4 +24,4 @@ report:
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null || exit 1; done
 
-all: lint test bench
+all: lint test bench-all

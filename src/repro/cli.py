@@ -72,6 +72,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rounds", type=int, default=24)
     p.add_argument("--alert-fraction", type=float, default=0.05)
     p.add_argument("--seed", type=int, default=2015)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="shim plan workers: 0 = legacy serial loop, 1 = plan/execute "
+        "split inline, >= 2 = thread pool, -1 = one per CPU (results are "
+        "identical either way; see docs/performance.md)",
+    )
 
     p = sub.add_parser(
         "sweep",
@@ -96,6 +104,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--train-frac", type=float, default=0.6)
     p.add_argument("--seed", type=int, default=2015)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="refit the selector's pool members concurrently "
+        "(<= 1 = inline, -1 = one per CPU)",
+    )
 
     p = sub.add_parser(
         "traces",
@@ -178,7 +193,10 @@ def cmd_balance(args: argparse.Namespace) -> int:
     cluster = _cluster_for(args.topology, args.size, args.seed, skew=1.1)
     with _tracer_for(args) as tracer:
         sim = SheriffSimulation(
-            cluster, SheriffConfig(balance_weight=25.0, tracer=tracer)
+            cluster,
+            SheriffConfig(
+                balance_weight=25.0, workers=args.workers, tracer=tracer
+            ),
         )
         for r in range(args.rounds):
             alerts, vma = inject_fraction_alerts(
@@ -289,6 +307,7 @@ def cmd_forecast(args: argparse.Namespace) -> int:
             },
             period=20,
             refit_every=120,
+            workers=args.workers,
             tracer=tracer,
         )
         combined = selector.run(y, train).predictions

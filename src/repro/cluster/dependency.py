@@ -39,6 +39,7 @@ class DependencyGraph:
             raise PlacementError(f"num_vms must be non-negative, got {num_vms}")
         self.num_vms = num_vms
         self._nbrs: List[Set[int]] = [set() for _ in range(num_vms)]
+        self._pairs_cache: np.ndarray = None  # type: ignore[assignment]
         for a, b in pairs:
             self.add_pair(a, b)
 
@@ -50,6 +51,26 @@ class DependencyGraph:
             raise PlacementError(f"VM {a} cannot depend on itself")
         self._nbrs[a].add(b)
         self._nbrs[b].add(a)
+        self._pairs_cache = None
+
+    def pairs(self) -> np.ndarray:
+        """``(P, 2)`` array of dependent pairs with ``a < b``, lexicographic.
+
+        The row order matches iterating VMs ascending and each VM's
+        neighbors ascending, so consumers that assign ids per pair (e.g.
+        flow tables) stay deterministic.  Cached until the next
+        :meth:`add_pair`.
+        """
+        if self._pairs_cache is None:
+            rows: List[Tuple[int, int]] = []
+            for a in range(self.num_vms):
+                rows.extend((a, b) for b in sorted(self._nbrs[a]) if b > a)
+            self._pairs_cache = (
+                np.asarray(rows, dtype=np.int64)
+                if rows
+                else np.empty((0, 2), dtype=np.int64)
+            )
+        return self._pairs_cache
 
     def neighbors(self, vm: int) -> Set[int]:
         """VMs dependent on *vm* (live view; do not mutate)."""

@@ -79,6 +79,8 @@ class Placement:
                 f"capacity {self.host_capacity[over[:5]].tolist()})"
             )
         self._migrations = 0
+        self._generation = 0
+        self._move_log: List[int] = []  # vm id per successful migrate()
 
     # ------------------------------------------------------------------ #
     # queries
@@ -119,6 +121,22 @@ class Placement:
         """Count of successful :meth:`migrate` calls since construction."""
         return self._migrations
 
+    @property
+    def generation(self) -> int:
+        """Monotone mutation counter: +1 per successful :meth:`migrate`.
+
+        Cost-kernel caches key their per-VM entries on this value; a cache
+        holding entries computed at generation ``g`` only needs to drop the
+        VMs named by ``moved_since(g)`` (plus their dependency neighbors).
+        """
+        return self._generation
+
+    def moved_since(self, generation: int) -> List[int]:
+        """VM ids moved after *generation* (one entry per move, in order)."""
+        if generation < 0:
+            return list(self._move_log)
+        return self._move_log[generation:]
+
     # ------------------------------------------------------------------ #
     # mutation
     # ------------------------------------------------------------------ #
@@ -146,6 +164,8 @@ class Placement:
         self.host_used[src] -= need
         self.host_used[dst_host] += need
         self._migrations += 1
+        self._generation += 1
+        self._move_log.append(vm)
 
     def clone(self) -> "Placement":
         """Deep copy (used by the centralized baseline to explore plans)."""
@@ -161,6 +181,8 @@ class Placement:
         new.vm_host = self.vm_host.copy()
         new.host_used = self.host_used.copy()
         new._migrations = self._migrations
+        new._generation = self._generation
+        new._move_log = list(self._move_log)
         return new
 
     # ------------------------------------------------------------------ #

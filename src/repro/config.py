@@ -52,6 +52,19 @@ class SheriffConfig:
     with_flows, flow_rate:
         Build a dependency-derived :class:`~repro.migration.reroute.FlowTable`
         so outer-switch alerts can exercise FLOWREROUTE.
+    workers:
+        Per-round shim fan-out.  ``0`` (default) keeps the historical
+        fully-interleaved serial loop; ``1`` runs the same plan/execute
+        split as the parallel path but inline (useful for testing the
+        equivalence); ``>= 2`` plans racks concurrently on a thread pool
+        of that size and ``-1`` sizes the pool to the machine.  All
+        settings produce byte-identical results — only wall-clock and the
+        timing breakdown change.
+    cache_cost_kernels:
+        Memoize the shortest-path table per (topology, knobs) and per-VM
+        Eq. (1) cost vectors per placement generation (invalidated for
+        moved VMs and their dependency neighbors).  Results are identical
+        with the cache on or off.
     tracer:
         Structured event sink; defaults to the disabled
         :data:`~repro.obs.tracer.NULL_TRACER` (zero cost).
@@ -70,6 +83,8 @@ class SheriffConfig:
     migration_timing: Optional["MigrationTiming"] = None
     with_flows: bool = False
     flow_rate: float = 0.05
+    workers: int = 0
+    cache_cost_kernels: bool = True
     tracer: Tracer = field(default=NULL_TRACER)
     metrics: Optional["MetricsRegistry"] = None
     profile: bool = True

@@ -17,13 +17,13 @@ are apples-to-apples by construction.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
 from repro.cluster.cluster import Cluster
 from repro.costs.dependency import dependency_cost
-from repro.costs.transmission import TransmissionCostTable
+from repro.costs.transmission import TransmissionCostTable, cached_transmission_table
 from repro.errors import ConfigurationError
 
 __all__ = ["CostParams", "CostModel"]
@@ -56,6 +56,19 @@ class CostModel:
 
     Construction runs the (cached) shortest-path precomputation once;
     queries afterwards are O(1) per pair / O(racks) per vector.
+
+    Parameters
+    ----------
+    cache:
+        Enable the cost-kernel cache: the shortest-path table is memoized
+        per (topology, knobs) — the paper's Floyd–Warshall step runs once
+        per fabric instead of once per manager — and per-VM Eq. (1) cost
+        vectors are cached keyed on the placement generation, invalidated
+        precisely for moved VMs and their dependency neighbors.  Cached
+        answers are computed by the same code as uncached ones, so results
+        are bit-identical either way; vectors returned from the cache are
+        shared and must be treated as read-only (every in-tree consumer
+        only indexes them).
     """
 
     def __init__(
@@ -64,18 +77,32 @@ class CostModel:
         params: Optional[CostParams] = None,
         *,
         available_bandwidth: Optional[np.ndarray] = None,
+        cache: bool = True,
     ) -> None:
         self.cluster = cluster
         self.params = params or CostParams()
-        self.table = TransmissionCostTable(
-            cluster.topology,
-            delta=self.params.delta,
-            eta=self.params.eta,
-            reference_capacity=self.params.reference_capacity,
-            available_bandwidth=available_bandwidth,
-            bandwidth_threshold=self.params.bandwidth_threshold,
-        )
+        if cache and available_bandwidth is None:
+            self.table = cached_transmission_table(
+                cluster.topology,
+                delta=self.params.delta,
+                eta=self.params.eta,
+                reference_capacity=self.params.reference_capacity,
+                bandwidth_threshold=self.params.bandwidth_threshold,
+            )
+        else:
+            self.table = TransmissionCostTable(
+                cluster.topology,
+                delta=self.params.delta,
+                eta=self.params.eta,
+                reference_capacity=self.params.reference_capacity,
+                available_bandwidth=available_bandwidth,
+                bandwidth_threshold=self.params.bandwidth_threshold,
+            )
         self._rack_dist = self.table.rack_distance_matrix()
+        self._cache_enabled = bool(cache)
+        self._vec_cache: Dict[int, np.ndarray] = {}
+        self._cache_gen = cluster.placement.generation
+        self.cache_stats = {"hits": 0, "misses": 0, "invalidations": 0}
 
     # ------------------------------------------------------------------ #
     @property
@@ -104,8 +131,55 @@ class CostModel:
         )
         return self.params.migration_constant + dep + trans
 
+    def sync_cache(self) -> None:
+        """Drop per-VM vectors staled by migrations since the last sync.
+
+        A move changes the moved VM's own vector (new source rack) and its
+        dependency neighbors' vectors (a dependent changed racks); nothing
+        else.  Called automatically by :meth:`migration_cost_vector`; the
+        engine also calls it once at round start so that worker threads
+        planning concurrently only ever *read* the synced cache.
+        """
+        if not self._cache_enabled:
+            return
+        pl = self.cluster.placement
+        gen = pl.generation
+        if gen == self._cache_gen:
+            return
+        moved = pl.moved_since(self._cache_gen)
+        deps = self.cluster.dependencies
+        # wholesale clear when targeted invalidation would touch most entries
+        if len(moved) * 4 >= max(len(self._vec_cache), 1):
+            self.cache_stats["invalidations"] += len(self._vec_cache)
+            self._vec_cache.clear()
+        else:
+            for vm in moved:
+                if self._vec_cache.pop(vm, None) is not None:
+                    self.cache_stats["invalidations"] += 1
+                for n in deps.neighbors(vm):
+                    if self._vec_cache.pop(int(n), None) is not None:
+                        self.cache_stats["invalidations"] += 1
+        self._cache_gen = gen
+
     def migration_cost_vector(self, vm: int) -> np.ndarray:
-        """Eq. (1) cost of *vm* against every destination rack (vectorized)."""
+        """Eq. (1) cost of *vm* against every destination rack (vectorized).
+
+        With the cache enabled the returned array is shared — read-only by
+        convention (consumers only index it).
+        """
+        if self._cache_enabled:
+            self.sync_cache()
+            out = self._vec_cache.get(vm)
+            if out is not None:
+                self.cache_stats["hits"] += 1
+                return out
+            out = self._compute_cost_vector(vm)
+            self.cache_stats["misses"] += 1
+            self._vec_cache[vm] = out
+            return out
+        return self._compute_cost_vector(vm)
+
+    def _compute_cost_vector(self, vm: int) -> np.ndarray:
         pl = self.cluster.placement
         src_rack = int(pl.host_rack[pl.vm_host[vm]])
         cap = float(pl.vm_capacity[vm])

@@ -25,7 +25,8 @@ pairs.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
+from weakref import WeakKeyDictionary
 
 import numpy as np
 from scipy.sparse import csr_matrix
@@ -34,7 +35,11 @@ from scipy.sparse.csgraph import dijkstra
 from repro.errors import ConfigurationError, TopologyError
 from repro.topology.base import Topology
 
-__all__ = ["TransmissionCostTable"]
+__all__ = [
+    "TransmissionCostTable",
+    "cached_transmission_table",
+    "transmission_table_cache_stats",
+]
 
 
 def _fold_path_sums(
@@ -231,3 +236,63 @@ class TransmissionCostTable:
         r = self.num_racks
         if not (0 <= a < r and 0 <= b < r):
             raise TopologyError(f"rack pair ({a}, {b}) out of range 0..{r - 1}")
+
+
+# ---------------------------------------------------------------------- #
+# topology-keyed memoization (the cost-kernel cache, part 1)
+# ---------------------------------------------------------------------- #
+# The shortest-path precomputation (the paper's Floyd–Warshall step) only
+# depends on the topology and the scalar path-selection knobs, yet every
+# CostModel construction used to redo it.  Experiments that build several
+# managers over one fabric (Sheriff vs. baselines, multi-round sweeps) now
+# share one table per (topology, knobs).  Entries die with their topology
+# (weak keys), so clusters built in a loop do not accumulate tables.
+_TABLE_MEMO: "WeakKeyDictionary[Topology, Dict[Tuple[float, float, float, float], TransmissionCostTable]]" = (
+    WeakKeyDictionary()
+)
+_TABLE_STATS = {"builds": 0, "hits": 0}
+
+
+def cached_transmission_table(
+    topology: Topology,
+    *,
+    delta: float = 1.0,
+    eta: float = 1.0,
+    reference_capacity: float = 10.0,
+    bandwidth_threshold: float = 0.0,
+) -> TransmissionCostTable:
+    """Memoized :class:`TransmissionCostTable` for full-capacity fabrics.
+
+    Only the ``available_bandwidth=None`` case is cacheable — a dynamic
+    bandwidth snapshot is per-round state, not a topology property; callers
+    with one must build an uncached table.
+    """
+    key = (
+        float(delta),
+        float(eta),
+        float(reference_capacity),
+        float(bandwidth_threshold),
+    )
+    per_topo = _TABLE_MEMO.get(topology)
+    if per_topo is None:
+        per_topo = {}
+        _TABLE_MEMO[topology] = per_topo
+    table = per_topo.get(key)
+    if table is not None:
+        _TABLE_STATS["hits"] += 1
+        return table
+    table = TransmissionCostTable(
+        topology,
+        delta=delta,
+        eta=eta,
+        reference_capacity=reference_capacity,
+        bandwidth_threshold=bandwidth_threshold,
+    )
+    _TABLE_STATS["builds"] += 1
+    per_topo[key] = table
+    return table
+
+
+def transmission_table_cache_stats() -> Dict[str, int]:
+    """Copy of the lifetime ``{"builds": ..., "hits": ...}`` counters."""
+    return dict(_TABLE_STATS)

@@ -35,13 +35,15 @@ _ROOT_PENALTY = 1e4
 _ROOT_MARGIN = 1.001
 
 
-def _css_residuals(
+def _css_residuals_ref(
     w: np.ndarray, c: float, phi: np.ndarray, theta: np.ndarray
 ) -> np.ndarray:
     """Conditional residuals of an ARMA(p, q) on *w* (first p samples condition).
 
     Vectorized: the AR part is a correlation, the MA inversion is an IIR
     filter with zero initial state (the CSS convention ``e_t = 0, t <= p``).
+    General-order reference: :func:`_css_residuals` shortcuts the common
+    low orders and the property suite asserts bitwise agreement with this.
     """
     p = phi.shape[0]
     q = theta.shape[0]
@@ -60,9 +62,37 @@ def _css_residuals(
     return e
 
 
-def _max_inverse_root(coeffs: np.ndarray, kind: str) -> float:
+def _css_residuals(
+    w: np.ndarray, c: float, phi: np.ndarray, theta: np.ndarray
+) -> np.ndarray:
+    """CSS residuals; fast path for ``p <= 1`` (the fleet-monitor orders).
+
+    For a single AR lag the FIR "filter" is one scalar-vector product —
+    dispatching it through ``lfilter`` costs two orders of magnitude more
+    than the arithmetic itself and dominates paper-scale managed runs.
+    The product performs the same multiply-add per sample, so residuals
+    are bit-identical to the reference path.
+    """
+    p = phi.shape[0]
+    if p > 1:
+        return _css_residuals_ref(w, c, phi, theta)
+    m = w.shape[0]
+    if m <= p:
+        raise ForecastError(f"need more than p={p} differenced samples, got {m}")
+    z = w[p:] - c
+    if p:
+        z = z - phi[0] * w[:-1]
+    if theta.shape[0]:
+        e = signal.lfilter([1.0], np.concatenate(([1.0], theta)), z)
+    else:
+        e = z
+    return e
+
+
+def _max_inverse_root_ref(coeffs: np.ndarray, kind: str) -> float:
     """Largest modulus of the inverse roots of ``1 - Σ c_i z^i`` (AR) or
-    ``1 + Σ c_i z^i`` (MA).  Stationary/invertible iff < 1."""
+    ``1 + Σ c_i z^i`` (MA).  Stationary/invertible iff < 1.  General-order
+    reference for :func:`_max_inverse_root`."""
     if coeffs.shape[0] == 0:
         return 0.0
     sign = -1.0 if kind == "ar" else 1.0
@@ -74,6 +104,29 @@ def _max_inverse_root(coeffs: np.ndarray, kind: str) -> float:
     if inv.size == 0:
         return 0.0
     return float(np.abs(inv).max())
+
+
+def _max_inverse_root(coeffs: np.ndarray, kind: str) -> float:
+    """Largest inverse-root modulus; closed form for orders 0 and 1.
+
+    The degree-1 polynomial ``1 ∓ c z`` has the single inverse root
+    ``±c``, so its modulus is ``|c|`` — the eigenvalue route through
+    ``np.roots`` returns exactly that value (the 1×1 companion matrix's
+    only entry), just ~50× slower.  This sits inside the CSS objective,
+    so it runs twice per optimizer evaluation.
+
+    Exception: below LAPACK's scaling threshold (|c| < sqrt(safmin)/eps,
+    ~6.7e-139) dgeev rescales the matrix and may round the last ULP, so
+    ``np.roots`` is 1 ULP off the exact ``|c|`` there.  Every consumer
+    only compares the result against thresholds near 1, so the closed
+    form (which is exact) changes no fit at any magnitude.
+    """
+    n = coeffs.shape[0]
+    if n == 0:
+        return 0.0
+    if n == 1:
+        return float(abs(coeffs[0]))
+    return _max_inverse_root_ref(coeffs, kind)
 
 
 @dataclass
@@ -95,6 +148,8 @@ class ARIMA(Forecaster):
     q: int = 1
     include_constant: bool = True
     maxiter: int = 200
+
+    supports_warm_start = True
 
     # fitted state (populated by :meth:`fit`)
     const_: float = field(default=0.0, init=False, repr=False)
@@ -121,7 +176,36 @@ class ARIMA(Forecaster):
     def _min_samples(self) -> int:
         return self.d + max(self.p + self.q + 2, 8) + self.p
 
-    def fit(self, y: np.ndarray) -> "ARIMA":
+    def start_hint(self) -> Optional[np.ndarray]:
+        """Packed ``(c, φ, θ)`` of the current fit (warm-start payload)."""
+        if not self._fitted or self.phi_ is None or self.theta_ is None:
+            return None
+        head = [self.const_] if self.include_constant else []
+        return np.concatenate([np.asarray(head), self.phi_, self.theta_])
+
+    def _feasible_start(self, start: np.ndarray) -> Optional[np.ndarray]:
+        """Validate a warm start: right shape, finite, shrunk into the
+        stationarity/invertibility region (same 0.98 target as the
+        Hannan–Rissanen init).  ``None`` means "fall back to cold init"."""
+        out = np.asarray(start, dtype=np.float64).ravel().copy()
+        if out.shape != (self.num_params,) or not np.all(np.isfinite(out)):
+            return None
+        i = 1 if self.include_constant else 0
+        for _ in range(40):
+            r = max(
+                _max_inverse_root(out[i : i + self.p], "ar"),
+                _max_inverse_root(out[i + self.p :], "ma"),
+            )
+            if r < 0.98:
+                return out
+            out[i:] *= 0.7
+        return None
+
+    def fit(self, y: np.ndarray, start: Optional[np.ndarray] = None) -> "ARIMA":
+        """Estimate by CSS.  *start* optionally warm-starts the optimizer
+        with a previous fit's packed parameters (see :meth:`start_hint`);
+        invalid or infeasible starts silently fall back to the
+        Hannan–Rissanen initialization."""
         arr = self._check_series(y, self._min_samples())
         w = difference(arr, self.d)
         if np.std(w) < 1e-12:
@@ -135,7 +219,9 @@ class ARIMA(Forecaster):
             self._init_state()
             return self
 
-        x0 = self._hannan_rissanen_init(w)
+        x0 = self._feasible_start(start) if start is not None else None
+        if x0 is None:
+            x0 = self._hannan_rissanen_init(w)
         wc = w - w.mean()
         _WALL_BASE = 1e6 * (float(np.dot(wc, wc)) + 1.0)
 

@@ -21,17 +21,54 @@ import numpy as np
 
 from repro.errors import ForecastError
 
-__all__ = ["Forecaster"]
+__all__ = ["Forecaster", "warm_fit"]
+
+
+def warm_fit(
+    model: "Forecaster",
+    window: np.ndarray,
+    previous: Optional["Forecaster"],
+) -> "Forecaster":
+    """Fit *model* on *window*, warm-started from *previous* when possible.
+
+    The hint is only consulted when the previous model is the same class
+    and advertises warm-start support; a ``None`` or shape-mismatched hint
+    degrades to the normal cold fit inside ``fit`` itself.  Returns
+    *model*.
+    """
+    hint = None
+    if (
+        previous is not None
+        and type(previous) is type(model)
+        and getattr(previous, "supports_warm_start", False)
+    ):
+        hint = previous.start_hint()
+    if hint is not None:
+        model.fit(window, start=hint)
+    else:
+        model.fit(window)
+    return model
 
 
 class Forecaster(ABC):
     """Abstract base for one-dimensional time-series forecasters."""
 
     _fitted: bool = False
+    supports_warm_start: bool = False
+    """Whether :meth:`fit` accepts ``start=`` (a prior fit's packed
+    parameters as the optimizer's initial guess) and :meth:`start_hint`
+    produces one.  Warm starts change wall-clock, not the model class —
+    the optimizer may land in a (usually better) nearby optimum."""
 
     @abstractmethod
     def fit(self, y: np.ndarray) -> "Forecaster":
         """Estimate parameters from series *y*; returns ``self``."""
+
+    def start_hint(self) -> Optional[np.ndarray]:
+        """Packed parameters of the current fit, usable as a warm ``start=``
+        for the next ``fit`` of a same-shaped model; ``None`` when unfitted
+        or unsupported."""
+        return None
 
     @abstractmethod
     def forecast(self, h: int = 1) -> np.ndarray:

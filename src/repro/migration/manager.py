@@ -18,6 +18,7 @@ one-hop neighbor racks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 import numpy as np
@@ -35,8 +36,13 @@ from repro.obs.events import FlowRerouted, PrioritySelected
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiling import NULL_PROFILER
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.parallel.costblock import (
+    RackCostBlock,
+    build_cost_block,
+    run_planned_migration,
+)
 
-__all__ = ["RoundReport", "ShimManager"]
+__all__ = ["RoundReport", "ShimPlan", "ShimManager"]
 
 
 @dataclass
@@ -49,6 +55,28 @@ class RoundReport:
     rerouted_flows: int = 0
     reroute_failures: int = 0
     alerts_processed: int = 0
+
+
+@dataclass
+class ShimPlan:
+    """Pure output of one shim's plan phase (no shared state touched yet).
+
+    Produced by :meth:`ShimManager.plan_round` — possibly in a worker
+    thread — and consumed by :meth:`ShimManager.execute_plan` in the main
+    thread, in deterministic rack order.  ``events`` holds tracer events
+    queued during planning (emission is deferred so the trace stream stays
+    single-threaded and ordered); ``timings`` holds locally measured
+    profiler sections to be folded in at execute time.
+    """
+
+    rack: int
+    alerts_processed: int = 0
+    migrate_set: List[int] = field(default_factory=list)
+    reroute_flow_ids: List[int] = field(default_factory=list)
+    hot_switches: Set[int] = field(default_factory=set)
+    block: Optional[RackCostBlock] = None
+    events: List[object] = field(default_factory=list)
+    timings: Dict[str, float] = field(default_factory=dict)
 
 
 class ShimManager:
@@ -237,6 +265,183 @@ class ShimManager:
                 rack=self.rack,
             )
         return report
+
+    # ------------------------------------------------------------------ #
+    # plan/execute split (parallel round path)
+    # ------------------------------------------------------------------ #
+    def plan_round(
+        self,
+        alerts: Sequence[Alert],
+        vm_alerts: Dict[int, float],
+        frozen: frozenset = frozenset(),
+        host_load=None,
+    ) -> ShimPlan:
+        """The read-only half of Alg. 1: classify, PRIORITY, cost block.
+
+        Safe to run concurrently with other shims' plans: it reads the
+        (round-static) placement, flow table and cost model, and writes
+        only its own :class:`ShimPlan`.  Selection, cost matrices and the
+        first matching are computed by the same code paths as
+        :meth:`process_round`, so :meth:`execute_plan` reproduces the
+        serial results bit-for-bit.
+        """
+        plan = ShimPlan(rack=self.rack)
+        pl = self.cluster.placement
+        queue_events = self.tracer.enabled
+        migrate_set: List[int] = []
+        tor_alerted = False
+        t_priority = 0.0
+
+        for alert in alerts:
+            if alert.rack != self.rack:
+                raise ConfigurationError(
+                    f"alert for rack {alert.rack} delivered to shim {self.rack}"
+                )
+            plan.alerts_processed += 1
+            if alert.kind is AlertKind.OUTER_SWITCH:
+                assert alert.switch is not None
+                plan.hot_switches.add(alert.switch)
+                if self.flow_table is not None:
+                    flows = self.flow_table.flows_through(
+                        alert.switch, from_rack=self.rack
+                    )
+                    cands = [self._candidate(f.vm, vm_alerts) for f in flows]
+                    budget = max(1, int(self.alpha * self.cluster.tor_capacity(self.rack)))
+                    t0 = perf_counter()
+                    chosen = priority_select(
+                        cands, PriorityFactor.ALPHA, budget=budget
+                    )
+                    t_priority += perf_counter() - t0
+                    if queue_events:
+                        plan.events.append(
+                            self._priority_event(
+                                PriorityFactor.ALPHA, budget, cands, chosen
+                            )
+                        )
+                    chosen_vms = {c.vm_id for c in chosen}
+                    plan.reroute_flow_ids.extend(
+                        f.flow_id for f in flows if f.vm in chosen_vms
+                    )
+            elif alert.kind is AlertKind.LOCAL_TOR:
+                tor_alerted = True
+            elif alert.kind is AlertKind.SERVER:
+                assert alert.host is not None
+                vms = pl.vms_on_host(alert.host)
+                cands = [self._candidate(int(v), vm_alerts) for v in vms]
+                cands = [c for c in cands if c.alert > 0]
+                t0 = perf_counter()
+                chosen = priority_select(cands, PriorityFactor.ONE)
+                t_priority += perf_counter() - t0
+                if queue_events:
+                    plan.events.append(
+                        self._priority_event(PriorityFactor.ONE, 1, cands, chosen)
+                    )
+                migrate_set.extend(c.vm_id for c in chosen)
+
+        if tor_alerted:
+            vms = pl.vms_in_rack(self.rack)
+            cands = [self._candidate(int(v), vm_alerts) for v in vms]
+            budget = max(1, int(self.beta * self.cluster.tor_capacity(self.rack)))
+            t0 = perf_counter()
+            chosen = priority_select(cands, PriorityFactor.BETA, budget=budget)
+            t_priority += perf_counter() - t0
+            if queue_events:
+                plan.events.append(
+                    self._priority_event(PriorityFactor.BETA, budget, cands, chosen)
+                )
+            migrate_set.extend(c.vm_id for c in chosen)
+
+        plan.migrate_set = [v for v in dict.fromkeys(migrate_set) if v not in frozen]
+        if t_priority:
+            plan.timings["priority"] = t_priority
+        if plan.migrate_set:
+            dest_hosts = self.shim.candidate_hosts()
+            plan.block = build_cost_block(
+                self.cluster,
+                self.cost_model,
+                plan.migrate_set,
+                dest_hosts.tolist(),
+                balance_weight=self.balance_weight,
+                host_load=host_load,
+            )
+        return plan
+
+    def execute_plan(
+        self,
+        plan: ShimPlan,
+        receivers: ReceiverRegistry,
+    ) -> RoundReport:
+        """The serialized half of Alg. 1: reroutes, REQUESTs, bookkeeping.
+
+        Main thread only; shims execute in deterministic rack order because
+        the FCFS receiver protocol is order-sensitive by design.
+        """
+        report = RoundReport(rack=self.rack)
+        report.alerts_processed = plan.alerts_processed
+        tracer = self.tracer
+        for event in plan.events:
+            tracer.emit(event)
+        for name, secs in plan.timings.items():
+            self.profiler.add(name, secs)
+
+        if self.metrics is not None and report.alerts_processed:
+            self.metrics.counter(
+                "sheriff_shim_alerts_total", rack=self.rack
+            ).inc(report.alerts_processed)
+
+        # rerouting first — cheaper and faster than migration (Sec. III-B)
+        if plan.reroute_flow_ids and self.flow_table is not None:
+            with self.profiler.section("reroute"):
+                ok, failed = flow_reroute(
+                    self.flow_table, plan.reroute_flow_ids, plan.hot_switches
+                )
+            report.rerouted_flows = ok
+            report.reroute_failures = failed
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "sheriff_flows_rerouted_total", rack=self.rack
+                ).inc(ok)
+                self.metrics.counter(
+                    "sheriff_reroute_failures_total", rack=self.rack
+                ).inc(failed)
+            if tracer.enabled:
+                tracer.emit(
+                    FlowRerouted(
+                        rack=self.rack,
+                        rerouted=ok,
+                        failed=failed,
+                        flows=tuple(plan.reroute_flow_ids),
+                        hot_switches=tuple(sorted(plan.hot_switches)),
+                    )
+                )
+
+        report.selected_for_migration = plan.migrate_set
+        if plan.block is not None:
+            report.migration = run_planned_migration(
+                self.cluster,
+                plan.block,
+                receivers,
+                tracer=tracer,
+                metrics=self.metrics,
+                profiler=self.profiler,
+                rack=self.rack,
+            )
+        return report
+
+    def _priority_event(
+        self,
+        factor: PriorityFactor,
+        budget: int,
+        cands: Sequence[CandidateVM],
+        chosen: Sequence[CandidateVM],
+    ) -> PrioritySelected:
+        return PrioritySelected(
+            rack=self.rack,
+            factor=factor.name,
+            budget=budget,
+            candidates=len(cands),
+            selected=tuple(c.vm_id for c in chosen),
+        )
 
     def _trace_priority(
         self,

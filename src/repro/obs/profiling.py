@@ -43,6 +43,9 @@ class NullProfiler:
     def section(self, name: str) -> _NullSection:
         return _NULL_SECTION
 
+    def add(self, name: str, elapsed: float) -> None:
+        pass
+
     def begin_round(self) -> None:
         pass
 
@@ -98,6 +101,15 @@ class Profiler:
     def section(self, name: str) -> _Section:
         """Context manager timing one block under *name*."""
         return _Section(self, name)
+
+    def add(self, name: str, elapsed: float) -> None:
+        """Record externally measured seconds under *name*.
+
+        Used by the parallel plan phase: workers time their own sections
+        locally (the shared profiler is not touched off the main thread)
+        and the engine folds the measurements in afterwards.
+        """
+        self._add(name, elapsed)
 
     # ------------------------------------------------------------------ #
     def begin_round(self) -> None:

@@ -1,0 +1,34 @@
+"""Parallel execution layer (worker pools + precomputable rack work).
+
+The engine's round loop splits into a *plan* phase — pure per-rack work
+(alert classification, PRIORITY, cost matrices, first matching) fanned out
+over a :class:`~repro.parallel.pool.WorkerPool` — and a serialized
+*execute* phase (FCFS REQUEST arbitration, reroutes, commit) that runs in
+deterministic rack order.  Results are byte-identical to the serial path
+by construction; see :mod:`repro.parallel.costblock` for the argument.
+
+The ``costblock`` names are re-exported lazily: the pool is dependency-
+free (so :mod:`repro.forecast` can use it), while the cost-block machinery
+sits above the migration stack — importing it eagerly here would close an
+import cycle through ``repro.forecast.selection``.
+"""
+
+from repro.parallel.pool import WorkerPool, resolve_workers
+
+__all__ = [
+    "RackCostBlock",
+    "WorkerPool",
+    "build_cost_block",
+    "resolve_workers",
+    "run_planned_migration",
+]
+
+_LAZY = {"RackCostBlock", "build_cost_block", "run_planned_migration"}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from repro.parallel import costblock
+
+        return getattr(costblock, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,268 @@
+"""Per-rack cost blocks: the precomputable half of VMMIGRATION (Alg. 3).
+
+Within one management round the placement is frozen — promises live in the
+receiver registry and accepted moves land at commit (or, with live-migration
+timing, at a later round's start).  Consequently everything Alg. 3 derives
+from the placement is *round-static*: the Eq. (1) cost matrix, the
+feasibility mask (``free >= need``), the load steering term, and therefore
+the first iteration's minimum-weight matching.  :func:`build_cost_block`
+computes all of it for one rack without touching any shared mutable state,
+so the engine can fan rack blocks out across a worker pool.
+
+:func:`run_planned_migration` then replays Alg. 3's REQUEST/retry loop over
+a prepared block — serialized, in deterministic rack order, against the
+shared receiver registry.  It is line-for-line the same control flow as
+:func:`repro.migration.vmmigration.vmmigration` operating on identical
+float values, so its stats, metrics, events and accepted moves are
+byte-identical to the legacy interleaved path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.costs.model import CostModel
+from repro.errors import MigrationError
+from repro.migration.matching import hungarian
+from repro.migration.request import ReceiverRegistry, RequestOutcome
+from repro.migration.vmmigration import MigrationStats, _greedy_assign
+from repro.obs.events import MatchingSolved, RequestSent
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiling import NULL_PROFILER
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+__all__ = ["RackCostBlock", "build_cost_block", "run_planned_migration"]
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+
+
+@dataclass
+class RackCostBlock:
+    """Round-static matching inputs for one delegation's candidate set.
+
+    ``cost``/``true_cost`` are the full ``(len(vms), len(hosts))`` matrices
+    of Alg. 3 (steered and raw Eq. (1) values, ``inf`` = infeasible);
+    retries subset their rows instead of rebuilding them.  ``first_*``
+    carry the precomputed first-iteration matching.
+    """
+
+    vms: List[int]
+    hosts: np.ndarray
+    host_racks: np.ndarray = field(default_factory=lambda: _EMPTY_I64.copy())
+    true_cost: np.ndarray = field(default_factory=lambda: np.empty((0, 0)))
+    cost: np.ndarray = field(default_factory=lambda: np.empty((0, 0)))
+    first_rows: np.ndarray = field(default_factory=lambda: _EMPTY_I64.copy())
+    first_assignment: np.ndarray = field(default_factory=lambda: _EMPTY_I64.copy())
+    first_fallback: bool = False
+    first_elapsed: float = 0.0
+
+
+def _trim_rows(cost: np.ndarray, num_hosts: int):
+    """Rows entering the matching + their cost submatrix (Alg. 3 trimming).
+
+    Mirrors the legacy loop exactly: rows with no feasible destination are
+    dropped; when more VMs than hosts remain, only the cheapest ``|hosts|``
+    rows (by best destination) are matched this iteration.
+    """
+    has_dest = np.isfinite(cost).any(axis=1)
+    rows = np.nonzero(has_dest)[0]
+    if rows.size == 0:
+        return rows, cost[rows]
+    sub = cost[rows]
+    if rows.size > num_hosts:
+        best_per_row = sub.min(axis=1)
+        order = np.argsort(best_per_row)[:num_hosts]
+        rows = rows[order]
+        sub = cost[rows]
+    return rows, sub
+
+
+def _solve(sub: np.ndarray):
+    """Hungarian with the legacy greedy fallback; returns (assignment, fallback)."""
+    try:
+        assignment, _ = hungarian(sub)
+        return assignment, False
+    except MigrationError:
+        return _greedy_assign(sub), True
+
+
+def build_cost_block(
+    cluster: Cluster,
+    cost_model: CostModel,
+    candidates: Sequence[int],
+    destination_hosts: Iterable[int],
+    *,
+    balance_weight: float = 50.0,
+    host_load: Optional[np.ndarray] = None,
+) -> RackCostBlock:
+    """Build one rack's matching inputs (pure; safe in worker threads).
+
+    Reads only the placement, the cost model and the optional measured
+    loads; produces float values bit-identical to the legacy per-row loop
+    (same gathers, same elementwise adds), and pre-solves the first
+    iteration's matching.
+    """
+    vms = [int(v) for v in dict.fromkeys(candidates)]
+    hosts = np.asarray(sorted(set(int(h) for h in destination_hosts)), dtype=np.int64)
+    block = RackCostBlock(vms=vms, hosts=hosts)
+    if not vms or hosts.size == 0:
+        return block
+    pl = cluster.placement
+    block.host_racks = pl.host_rack[hosts]
+    free = np.asarray([pl.free_capacity(int(h)) for h in hosts])
+    if host_load is not None:
+        load_frac = np.asarray(host_load, dtype=np.float64)[hosts]
+    else:
+        load_frac = pl.host_used[hosts] / pl.host_capacity[hosts]
+    steer = balance_weight * load_frac
+
+    per_rack = np.stack([cost_model.migration_cost_vector(vm) for vm in vms])
+    gathered = per_rack[:, block.host_racks]
+    need = pl.vm_capacity[np.asarray(vms, dtype=np.int64)]
+    feasible = free[None, :] >= need[:, None]
+    block.true_cost = np.where(feasible, gathered, np.inf)
+    block.cost = np.where(feasible, gathered + steer[None, :], np.inf)
+
+    rows, sub = _trim_rows(block.cost, int(hosts.size))
+    block.first_rows = rows
+    if rows.size:
+        t0 = perf_counter()
+        block.first_assignment, block.first_fallback = _solve(sub)
+        block.first_elapsed = perf_counter() - t0
+    return block
+
+
+def run_planned_migration(
+    cluster: Cluster,
+    block: RackCostBlock,
+    receivers: ReceiverRegistry,
+    *,
+    max_iterations: int = 8,
+    tracer: Tracer = NULL_TRACER,
+    metrics: Optional[MetricsRegistry] = None,
+    profiler=NULL_PROFILER,
+    rack: Optional[int] = None,
+) -> MigrationStats:
+    """Alg. 3's serialized half: REQUEST loop and retries over a block.
+
+    Must run in the main thread, one rack at a time, in the same order the
+    legacy path visits racks — the FCFS receiver protocol is order-
+    sensitive by design.
+    """
+    stats = MigrationStats()
+    vms = block.vms
+    hosts = block.hosts
+    if metrics is not None:
+        lbl = {"rack": rack} if rack is not None else {}
+        c_sent = metrics.counter("sheriff_requests_sent_total", **lbl)
+        c_ack = metrics.counter("sheriff_requests_acked_total", **lbl)
+        c_rej = metrics.counter("sheriff_requests_rejected_total", **lbl)
+        c_cost = metrics.counter("sheriff_migration_cost_total", **lbl)
+        c_space = metrics.counter("sheriff_search_space_total", **lbl)
+        c_unplaced = metrics.counter("sheriff_unplaced_total", **lbl)
+        h_match = metrics.histogram("sheriff_matching_size", **lbl)
+        h_cost = metrics.histogram("sheriff_move_cost", **lbl)
+    if not vms:
+        return stats
+    if hosts.size == 0:
+        stats.unplaced = list(vms)
+        if metrics is not None:
+            c_unplaced.inc(len(vms))
+        return stats
+    host_racks = block.host_racks
+
+    # row indices into the block matrices still awaiting placement
+    remaining_idx = list(range(len(vms)))
+    for _ in range(max_iterations):
+        if not remaining_idx:
+            break
+        stats.iterations += 1
+        idx = np.asarray(remaining_idx, dtype=np.int64)
+        cost = block.cost[idx]
+        true_cost = block.true_cost[idx]
+        if stats.iterations == 1:
+            stats.search_space = cost.size
+            if metrics is not None:
+                c_space.inc(cost.size)
+            rows = block.first_rows
+            if rows.size == 0:
+                break
+            sub = cost[rows]
+            assignment = block.first_assignment
+            fallback = block.first_fallback
+            solve_elapsed = block.first_elapsed
+            profiler.add("matching", solve_elapsed)
+        else:
+            rows, sub = _trim_rows(cost, int(hosts.size))
+            if rows.size == 0:
+                break
+            t0 = perf_counter()
+            with profiler.section("matching"):
+                assignment, fallback = _solve(sub)
+            solve_elapsed = perf_counter() - t0
+        if metrics is not None:
+            h_match.observe(rows.size)
+        if tracer.enabled:
+            matched = sum(
+                1
+                for k, col in enumerate(assignment)
+                if col >= 0 and np.isfinite(sub[k, int(col)])
+            )
+            tracer.emit(
+                MatchingSolved(
+                    rack=rack,
+                    rows=int(rows.size),
+                    cols=int(hosts.size),
+                    matched=int(matched),
+                    iteration=stats.iterations,
+                    fallback=fallback,
+                    elapsed_s=solve_elapsed,
+                )
+            )
+        progressed = False
+        next_idx = list(remaining_idx)
+        with profiler.section("request"):
+            for k, (rr, col) in enumerate(zip(rows, assignment)):
+                if col < 0 or not np.isfinite(sub[k, int(col)]):
+                    continue
+                row = remaining_idx[int(rr)]
+                vm = vms[row]
+                host = int(hosts[int(col)])
+                dst_rack = int(host_racks[int(col)])
+                stats.requested += 1
+                if metrics is not None:
+                    c_sent.inc()
+                if tracer.enabled:
+                    tracer.emit(
+                        RequestSent(
+                            vm=vm, dst_host=host, dst_rack=dst_rack, src_rack=rack
+                        )
+                    )
+                outcome = receivers.request(vm, host, dst_rack)
+                if outcome is RequestOutcome.ACK:
+                    c = float(true_cost[int(rr), int(col)])
+                    stats.acked += 1
+                    stats.total_cost += c
+                    stats.moves.append((vm, host, c))
+                    next_idx.remove(row)
+                    progressed = True
+                    if metrics is not None:
+                        c_ack.inc()
+                        c_cost.inc(c)
+                        h_cost.observe(c)
+                else:
+                    stats.rejected += 1
+                    if metrics is not None:
+                        c_rej.inc()
+        remaining_idx = next_idx
+        if not progressed:
+            break
+    stats.unplaced = [vms[i] for i in remaining_idx]
+    if metrics is not None:
+        c_unplaced.inc(len(stats.unplaced))
+    return stats

@@ -1,0 +1,163 @@
+"""Worker-pool façade for the parallel execution layer.
+
+One tiny abstraction serves every fan-out site (per-rack shim planning,
+fleet-wide forecaster refits): :class:`WorkerPool` maps a function over a
+work list and returns results **in submission order** plus a per-worker
+busy-time breakdown for the profiler.
+
+Backends
+--------
+``serial``
+    Plain in-process loop; also what ``workers <= 1`` degrades to.  The
+    fan-out sites are written so that this path is *byte-identical* to the
+    pooled ones — the pool only changes *where* pure read-only work runs,
+    never what it computes.
+``thread``
+    :class:`concurrent.futures.ThreadPoolExecutor`.  The right choice for
+    tasks that read shared cluster/cost state (zero copying; numpy/scipy
+    kernels release the GIL for their heavy parts).
+``process``
+    :class:`concurrent.futures.ProcessPoolExecutor`.  Only for
+    self-contained picklable tasks (e.g. forecaster refits shipping a
+    history array and returning fitted parameters); never handed shared
+    mutable simulation state.
+
+Determinism
+-----------
+``map_ordered`` preserves input order regardless of completion order, and
+every fan-out site serializes its *mutating* phase afterwards — so results
+can never depend on worker count or scheduling.  A task that raises
+propagates its exception to the caller (after every submitted task has
+been collected), matching the serial path's fail-fast behavior closely
+enough for the engine's validation errors.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from time import perf_counter
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+__all__ = ["WorkerPool", "resolve_workers"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+_BACKENDS = ("serial", "thread", "process")
+
+
+def resolve_workers(workers: int) -> int:
+    """Normalize a ``workers`` knob: negative means "all cores"."""
+    if workers < 0:
+        return max(1, os.cpu_count() or 1)
+    return workers
+
+
+class WorkerPool:
+    """Ordered fan-out over a lazily created executor.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; ``<= 1`` short-circuits to the serial backend (no
+        executor is ever created).  Negative = one per CPU core.
+    backend:
+        ``"serial"``, ``"thread"`` or ``"process"`` (see module docs).
+    name:
+        Thread-name prefix; per-worker timing sections inherit it.
+    """
+
+    def __init__(
+        self,
+        workers: int = 0,
+        *,
+        backend: str = "thread",
+        name: str = "sheriff",
+    ) -> None:
+        if backend not in _BACKENDS:
+            raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+        self.workers = resolve_workers(int(workers))
+        self.backend = backend if self.workers > 1 else "serial"
+        self.name = name
+        self._executor: Optional[Executor] = None
+        self._timing_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def parallel(self) -> bool:
+        return self.backend != "serial"
+
+    def _ensure_executor(self) -> Executor:
+        if self._executor is None:
+            if self.backend == "thread":
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix=self.name
+                )
+            else:
+                self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        return self._executor
+
+    # ------------------------------------------------------------------ #
+    def map_ordered(
+        self,
+        fn: Callable[[T], R],
+        items: Sequence[T],
+    ) -> Tuple[List[R], Dict[str, float]]:
+        """Apply *fn* to every item; results in input order.
+
+        Returns ``(results, worker_seconds)`` where *worker_seconds* maps a
+        worker label (``w0``, ``w1``, ...) to the wall-clock it spent busy
+        — the profiler surfaces these as per-worker sections.  The serial
+        backend reports everything under ``w0``.
+        """
+        items = list(items)
+        timings: Dict[str, float] = {}
+        if not items:
+            return [], timings
+        if not self.parallel:
+            t0 = perf_counter()
+            results = [fn(item) for item in items]
+            timings["w0"] = perf_counter() - t0
+            return results, timings
+
+        if self.backend == "process":
+            ex = self._ensure_executor()
+            t0 = perf_counter()
+            results = list(ex.map(fn, items))
+            timings["w0"] = perf_counter() - t0  # host-side wall only
+            return results, timings
+
+        ex = self._ensure_executor()
+        prefix = self.name + "_"
+
+        def timed(item: T) -> R:
+            t0 = perf_counter()
+            try:
+                return fn(item)
+            finally:
+                elapsed = perf_counter() - t0
+                tname = threading.current_thread().name
+                label = "w" + tname.rsplit("_", 1)[-1] if prefix in tname else tname
+                with self._timing_lock:
+                    timings[label] = timings.get(label, 0.0) + elapsed
+
+        results = list(ex.map(timed, items))
+        return results, timings
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Shut the executor down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"WorkerPool(workers={self.workers}, backend={self.backend!r})"

@@ -37,6 +37,7 @@ from repro.migration.reroute import FlowTable
 from repro.obs.events import AlertDelivered, MigrationLanded
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiling import NULL_PROFILER, Profiler
+from repro.parallel.pool import WorkerPool
 from repro.sim.inflight import InFlightTracker, MigrationTiming, TimedReceiverRegistry
 
 __all__ = ["RoundSummary", "SheriffSimulation"]
@@ -92,7 +93,9 @@ class SheriffSimulation:
         )
         self.profiler = Profiler() if cfg.profile else NULL_PROFILER
         self.cluster = cluster
-        self.cost_model = CostModel(cluster, cfg.cost_params)
+        self.cost_model = CostModel(
+            cluster, cfg.cost_params, cache=cfg.cache_cost_kernels
+        )
         self.inflight: Optional[InFlightTracker] = None
         if cfg.migration_timing is not None:
             # live-migration windows: accepted moves reserve the destination
@@ -125,20 +128,36 @@ class SheriffSimulation:
         self.history: List[RoundSummary] = []
         self.migration_cooldown = cfg.migration_cooldown
         self._last_move: Dict[int, int] = {}
+        self._pool: Optional[WorkerPool] = None
 
     def _populate_flows(self, rate: float) -> None:
         """One flow per inter-rack dependency pair, attributed to the lower VM."""
         assert self.flow_table is not None
         pl = self.cluster.placement
         racks = pl.host_rack[pl.vm_host]
-        deps = self.cluster.dependencies
-        for vm in range(deps.num_vms):
-            for other in sorted(deps.neighbors(vm)):
-                if other <= vm:
-                    continue
-                ra, rb = int(racks[vm]), int(racks[other])
-                if ra != rb:
-                    self.flow_table.add_flow(vm, ra, rb, rate)
+        # deps.pairs() enumerates (a, b) with a < b in the same lexicographic
+        # order the old nested loop visited, so flow ids are unchanged
+        pairs = self.cluster.dependencies.pairs()
+        if pairs.size == 0:
+            return
+        ra = racks[pairs[:, 0]]
+        rb = racks[pairs[:, 1]]
+        inter = ra != rb
+        for vm, src, dst in zip(pairs[inter, 0], ra[inter], rb[inter]):
+            self.flow_table.add_flow(int(vm), int(src), int(dst), rate)
+
+    def _plan_pool(self) -> WorkerPool:
+        if self._pool is None:
+            self._pool = WorkerPool(
+                self.config.workers, backend="thread", name="sheriff-shim"
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Release the worker pool (safe to call repeatedly; optional)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
 
     # ------------------------------------------------------------------ #
     def run_round(
@@ -202,15 +221,37 @@ class SheriffSimulation:
             if self.inflight is not None:
                 frozen = frozen | self.inflight.vms_in_flight
             reports: List[RoundReport] = []
-            for rack in sorted(by_rack):
-                mgr = self.managers.get(rack)
-                if mgr is None:
+            racks = sorted(by_rack)
+            for rack in racks:
+                if rack not in self.managers:
                     raise SimulationError(f"alert addressed to unknown rack {rack}")
-                reports.append(
-                    mgr.process_round(
-                        by_rack[rack], vm_alerts, self.receivers, frozen, host_load
+            if self.config.workers != 0 and racks:
+                # plan/execute split: pure per-rack work (classification,
+                # PRIORITY, cost matrices, first matching) fans out over
+                # the pool against round-static shared state, then the
+                # order-sensitive REQUEST/commit half runs serialized in
+                # rack order — byte-identical to the interleaved loop
+                self.cost_model.sync_cache()
+                with self.profiler.section("plan"):
+                    plans, worker_secs = self._plan_pool().map_ordered(
+                        lambda rack: self.managers[rack].plan_round(
+                            by_rack[rack], vm_alerts, frozen, host_load
+                        ),
+                        racks,
                     )
-                )
+                for worker, secs in sorted(worker_secs.items()):
+                    self.profiler.add(f"plan/{worker}", secs)
+                for plan in plans:
+                    reports.append(
+                        self.managers[plan.rack].execute_plan(plan, self.receivers)
+                    )
+            else:
+                for rack in racks:
+                    reports.append(
+                        self.managers[rack].process_round(
+                            by_rack[rack], vm_alerts, self.receivers, frozen, host_load
+                        )
+                    )
             with self.profiler.section("commit"):
                 moved = self.receivers.commit_round()
             m.counter("sheriff_migrations_committed_total").inc(len(moved))

@@ -102,7 +102,10 @@ class FullStackSimulation:
         for mgr in self.sim.managers.values():
             mgr.flow_table = self.flow_table
         self.manager = PredictiveManager(
-            workload, threshold=host_threshold, horizon=predictive_horizon
+            workload,
+            threshold=host_threshold,
+            horizon=predictive_horizon,
+            workers=self.sim.config.workers,
         )
         self._dep_flows: Dict[Tuple[int, int], int] = {}
         # per-rack predictive uplink queue monitors (Alg. 1 case 2)
@@ -133,15 +136,19 @@ class FullStackSimulation:
                 self.workload.streams[vm].at(t)[int(ResourceKind.TRF)]
             )
         wanted: Dict[Tuple[int, int], Tuple[int, int, float]] = {}
-        for a in range(deps.num_vms):
-            for b in deps.neighbors(a):
-                if b <= a:
-                    continue
-                ra, rb = int(racks[a]), int(racks[b])
-                if ra == rb:
-                    continue
-                rate = self.base_rate * max(float(trf[a]), 0.05)
-                wanted[(a, int(b))] = (ra, rb, rate)
+        pairs = deps.pairs()
+        if pairs.shape[0]:
+            ra_all = racks[pairs[:, 0]]
+            rb_all = racks[pairs[:, 1]]
+            rates = self.base_rate * np.maximum(trf[pairs[:, 0]], 0.05)
+            # pairs() is lexicographic, matching the old nested-loop order,
+            # so flow ids assigned below are unchanged
+            for k in np.nonzero(ra_all != rb_all)[0]:
+                wanted[(int(pairs[k, 0]), int(pairs[k, 1]))] = (
+                    int(ra_all[k]),
+                    int(rb_all[k]),
+                    float(rates[k]),
+                )
         # drop stale flows (pair gone intra-rack or endpoints moved)
         for pair in list(self._dep_flows):
             fid = self._dep_flows[pair]

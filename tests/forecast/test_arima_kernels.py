@@ -1,0 +1,84 @@
+"""Fast CSS-kernel paths must agree bitwise with the reference kernels.
+
+The CSS objective runs ~20 times per fit and a paper-scale fleet refits
+thousands of times per managed run, so ``_css_residuals`` and
+``_max_inverse_root`` shortcut the low orders every fleet monitor uses.
+Anything short of bit-identity would silently perturb every optimizer
+trajectory, so the shortcuts are held to exact equality with the
+general-order reference implementations.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.forecast.arima import (
+    _css_residuals,
+    _css_residuals_ref,
+    _max_inverse_root,
+    _max_inverse_root_ref,
+)
+
+finite = st.floats(-5.0, 5.0, allow_nan=False, allow_infinity=False)
+coeff = st.floats(-0.99, 0.99, allow_nan=False)
+
+# Below dgeev's scaling threshold (smlnum = sqrt(safmin)/eps ~ 6.7e-139)
+# the eigenvalue route rescales the 1x1 companion matrix and its final
+# multiply can round the last ULP, so np.roots itself is up to 1 ULP off
+# the exact answer |c| there.  The closed form is exact at every
+# magnitude; bit-identity with the reference holds wherever LAPACK is
+# exact, which is everything an optimizer step can produce.
+root_coeff = st.one_of(
+    st.just(0.0),
+    st.floats(1e-130, 4.0, allow_nan=False),
+    st.floats(-4.0, -1e-130, allow_nan=False),
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(finite, min_size=4, max_size=80),
+    finite,
+    st.lists(coeff, min_size=0, max_size=1),
+    st.lists(coeff, min_size=0, max_size=3),
+)
+def test_css_residuals_fast_path_bit_identical(w, c, phi, theta):
+    w = np.asarray(w)
+    phi = np.asarray(phi)
+    theta = np.asarray(theta)
+    fast = _css_residuals(w, c, phi, theta)
+    ref = _css_residuals_ref(w, c, phi, theta)
+    assert fast.shape == ref.shape
+    assert np.array_equal(fast, ref)  # exact, not approx
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(root_coeff, min_size=0, max_size=1), st.sampled_from(["ar", "ma"]))
+def test_max_inverse_root_fast_path_bit_identical(coeffs, kind):
+    coeffs = np.asarray(coeffs)
+    assert _max_inverse_root(coeffs, kind) == _max_inverse_root_ref(coeffs, kind)
+
+
+def test_max_inverse_root_below_lapack_scaling_threshold():
+    """In the sub-smlnum regime the fast path is *exact* while the
+    reference may round its rescaling by 1 ULP.  Both sides of any
+    threshold comparison the fit performs (0.98, the wall limit, 1.0)
+    are unaffected at such magnitudes, so fits stay bit-identical."""
+    for c in (4.814190176953802e-297, 1e-150, -3e-200, 5e-324):
+        arr = np.asarray([c])
+        fast = _max_inverse_root(arr, "ar")
+        ref = _max_inverse_root_ref(arr, "ar")
+        assert fast == abs(c)  # the closed form is the exact answer
+        assert ref == fast or np.nextafter(ref, fast) == fast  # <= 1 ULP off
+        assert (fast < 0.98) == (ref < 0.98)
+
+
+def test_higher_orders_delegate_to_reference():
+    rng = np.random.default_rng(3)
+    w = rng.standard_normal(60)
+    phi = np.array([0.4, -0.2])
+    theta = np.array([0.3, 0.1])
+    assert np.array_equal(
+        _css_residuals(w, 0.1, phi, theta), _css_residuals_ref(w, 0.1, phi, theta)
+    )
+    assert _max_inverse_root(phi, "ar") == _max_inverse_root_ref(phi, "ar")

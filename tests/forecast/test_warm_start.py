@@ -1,0 +1,94 @@
+"""Warm-start plumbing: start hints, feasibility guards, warm_fit routing."""
+
+import numpy as np
+import pytest
+
+from repro.forecast.arima import ARIMA
+from repro.forecast.base import warm_fit
+from repro.forecast.narnet import NARNET
+
+
+@pytest.fixture
+def series():
+    rng = np.random.default_rng(42)
+    t = np.arange(240, dtype=np.float64)
+    return 0.5 + 0.2 * np.sin(2 * np.pi * t / 24) + 0.03 * rng.standard_normal(240)
+
+
+class TestArimaHints:
+    def test_unfitted_hint_is_none(self):
+        assert ARIMA(1, 0, 1).start_hint() is None
+
+    def test_hint_shape_and_roundtrip(self, series):
+        m = ARIMA(2, 0, 1).fit(series)
+        hint = m.start_hint()
+        assert hint.shape == (m.num_params,)
+        np.testing.assert_array_equal(hint[1:3], m.phi_)
+        np.testing.assert_array_equal(hint[3:], m.theta_)
+
+    def test_warm_fit_converges(self, series):
+        cold = ARIMA(2, 0, 1).fit(series[:200])
+        warm = ARIMA(2, 0, 1).fit(series, start=cold.start_hint())
+        assert warm._fitted
+        # the warm optimum predicts the same series about as well
+        f_cold = ARIMA(2, 0, 1).fit(series).forecast(3)
+        np.testing.assert_allclose(warm.forecast(3), f_cold, atol=0.2)
+
+    def test_bad_shape_start_falls_back(self, series):
+        m = ARIMA(1, 0, 1).fit(series, start=np.ones(17))
+        assert m._fitted
+
+    def test_nonfinite_start_falls_back(self, series):
+        m = ARIMA(1, 0, 1)
+        start = np.full(m.num_params, np.nan)
+        assert m._feasible_start(start) is None
+        assert m.fit(series, start=start)._fitted
+
+    def test_explosive_start_is_shrunk(self):
+        m = ARIMA(1, 0, 0)
+        start = np.array([0.0, 5.0])  # AR root far outside the unit circle
+        out = m._feasible_start(start)
+        assert out is not None
+        assert abs(out[1]) < 1.0
+
+
+class TestNarnetHints:
+    def test_unfitted_hint_is_none(self):
+        assert NARNET(ni=4, nh=3).start_hint() is None
+
+    def test_hint_length(self, series):
+        m = NARNET(ni=4, nh=3, restarts=1, maxiter=60, seed=1).fit(series)
+        assert m.start_hint().shape == (m._n_params(),)
+
+    def test_warm_fit_runs_and_is_finite(self, series):
+        cold = NARNET(ni=4, nh=3, restarts=1, maxiter=60, seed=1).fit(series[:200])
+        warm = NARNET(ni=4, nh=3, restarts=1, maxiter=60, seed=1).fit(
+            series, start=cold.start_hint()
+        )
+        assert warm._fitted and np.isfinite(warm.train_loss_)
+
+    def test_wrong_length_hint_ignored(self, series):
+        m = NARNET(ni=4, nh=3, restarts=1, maxiter=60, seed=1)
+        assert m.fit(series, start=np.ones(5))._fitted
+
+
+class TestWarmFitHelper:
+    def test_same_class_passes_hint(self, series):
+        prev = ARIMA(1, 0, 1).fit(series[:150])
+        model = warm_fit(ARIMA(1, 0, 1), series, prev)
+        assert model._fitted
+
+    def test_cross_class_degrades_to_cold(self, series):
+        prev = NARNET(ni=4, nh=3, restarts=1, maxiter=60, seed=1).fit(series[:150])
+        model = warm_fit(ARIMA(1, 0, 1), series, prev)
+        assert model._fitted
+
+    def test_none_previous_is_cold(self, series):
+        assert warm_fit(ARIMA(1, 0, 1), series, None)._fitted
+
+    def test_warm_fit_matches_explicit_start(self, series):
+        prev = ARIMA(2, 0, 1).fit(series[:200])
+        via_helper = warm_fit(ARIMA(2, 0, 1), series, prev)
+        direct = ARIMA(2, 0, 1).fit(series, start=prev.start_hint())
+        np.testing.assert_array_equal(via_helper.phi_, direct.phi_)
+        np.testing.assert_array_equal(via_helper.theta_, direct.theta_)

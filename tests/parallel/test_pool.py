@@ -1,0 +1,91 @@
+"""WorkerPool: ordering, timing accounting, and degradation rules."""
+
+import threading
+
+import pytest
+
+from repro.parallel import WorkerPool, resolve_workers
+
+
+class TestResolveWorkers:
+    def test_passthrough(self):
+        assert resolve_workers(0) == 0
+        assert resolve_workers(3) == 3
+
+    def test_negative_means_all_cores(self):
+        assert resolve_workers(-1) >= 1
+
+
+class TestSerialDegrade:
+    @pytest.mark.parametrize("workers", [0, 1])
+    def test_small_pools_never_spawn(self, workers):
+        pool = WorkerPool(workers, backend="thread")
+        assert pool.backend == "serial"
+        assert not pool.parallel
+        results, timings = pool.map_ordered(lambda x: x * 2, [1, 2, 3])
+        assert results == [2, 4, 6]
+        assert set(timings) == {"w0"}
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerPool(4, backend="fibers")
+
+
+class TestThreadBackend:
+    def test_results_in_submission_order(self):
+        # tasks finishing out of order must not reorder results
+        import time
+
+        def slow_first(x):
+            if x == 0:
+                time.sleep(0.02)
+            return x * 10
+
+        with WorkerPool(4, backend="thread") as pool:
+            results, timings = pool.map_ordered(slow_first, list(range(8)))
+        assert results == [x * 10 for x in range(8)]
+        assert sum(timings.values()) > 0.0
+
+    def test_worker_labels_use_prefix(self):
+        with WorkerPool(2, backend="thread", name="testpool") as pool:
+            _, timings = pool.map_ordered(lambda x: x, list(range(6)))
+        assert timings
+        assert all(label.startswith("w") for label in timings)
+
+    def test_exception_propagates(self):
+        def boom(x):
+            if x == 3:
+                raise RuntimeError("task 3 failed")
+            return x
+
+        with WorkerPool(2, backend="thread") as pool:
+            with pytest.raises(RuntimeError, match="task 3"):
+                pool.map_ordered(boom, list(range(6)))
+
+    def test_runs_on_pool_threads(self):
+        seen = set()
+
+        def record(x):
+            seen.add(threading.current_thread().name)
+            return x
+
+        with WorkerPool(2, backend="thread", name="zz") as pool:
+            pool.map_ordered(record, list(range(16)))
+        assert any("zz" in name for name in seen)
+
+
+class TestLifecycle:
+    def test_empty_items(self):
+        pool = WorkerPool(4)
+        assert pool.map_ordered(lambda x: x, []) == ([], {})
+        pool.close()
+
+    def test_close_idempotent_and_reusable(self):
+        pool = WorkerPool(4)
+        pool.map_ordered(lambda x: x + 1, [1])
+        pool.close()
+        pool.close()
+        # a closed pool lazily re-creates its executor on next use
+        results, _ = pool.map_ordered(lambda x: x + 1, [1, 2])
+        assert results == [2, 3]
+        pool.close()
