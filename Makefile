@@ -1,6 +1,6 @@
 # Convenience targets for the Sheriff reproduction.
 
-.PHONY: install lint test bench bench-all report examples all
+.PHONY: install lint test bench bench-all report examples chaos all
 
 install:
 	pip install -e . --no-build-isolation
@@ -8,6 +8,7 @@ install:
 lint:
 	python -m compileall -q src/repro
 	python tools/check_import_cycles.py src/repro
+	python tools/check_exception_hygiene.py src/repro
 
 test: lint
 	pytest tests/
@@ -20,6 +21,14 @@ bench-all:
 
 report:
 	python -m repro report
+
+# Seeded chaos campaign: run it twice, assert the reports are identical
+# byte-for-byte (the docs/robustness.md reproducibility contract).
+chaos:
+	PYTHONPATH=src python -m repro chaos --rounds 8 --size 4 --output /tmp/sheriff_chaos_a.json > /dev/null
+	PYTHONPATH=src python -m repro chaos --rounds 8 --size 4 --output /tmp/sheriff_chaos_b.json > /dev/null
+	cmp /tmp/sheriff_chaos_a.json /tmp/sheriff_chaos_b.json
+	@echo "chaos campaign reproducible: OK"
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null || exit 1; done

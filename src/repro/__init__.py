@@ -70,6 +70,11 @@ _LAZY_EXPORTS = {
     "JsonlTracer": "repro.obs.tracer",
     "MetricsRegistry": "repro.obs.metrics",
     "Profiler": "repro.obs.profiling",
+    "FaultKind": "repro.faults",
+    "FaultSpec": "repro.faults",
+    "FaultSchedule": "repro.faults",
+    "ChannelPolicy": "repro.faults",
+    "run_chaos_campaign": "repro.faults",
 }
 
 __all__ = ["errors", "ReproError", "__version__", *_LAZY_EXPORTS]
@@ -77,6 +82,13 @@ __all__ = ["errors", "ReproError", "__version__", *_LAZY_EXPORTS]
 if TYPE_CHECKING:  # pragma: no cover - static names for type checkers
     from repro.cluster import build_cluster
     from repro.config import SheriffConfig
+    from repro.faults import (
+        ChannelPolicy,
+        FaultKind,
+        FaultSchedule,
+        FaultSpec,
+        run_chaos_campaign,
+    )
     from repro.obs.metrics import MetricsRegistry
     from repro.obs.profiling import Profiler
     from repro.obs.tracer import (

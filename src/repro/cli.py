@@ -129,6 +129,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=2015)
 
     p = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection campaign (docs/robustness.md)",
+        parents=[common],
+    )
+    p.add_argument("--topology", choices=["fattree", "bcube"], default="fattree")
+    p.add_argument("--size", type=int, default=4)
+    p.add_argument("--rounds", type=int, default=12)
+    p.add_argument("--alert-fraction", type=float, default=0.1)
+    p.add_argument("--seed", type=int, default=2015)
+    p.add_argument(
+        "--loss",
+        type=float,
+        default=0.1,
+        help="REQUEST/ACK channel loss probability in [0, 1)",
+    )
+    p.add_argument(
+        "--output", type=str, default=None, help="write the JSON report to a file"
+    )
+
+    p = sub.add_parser(
         "report",
         help="run every experiment family, emit markdown",
         parents=[common],
@@ -404,6 +424,36 @@ def cmd_approx(args: argparse.Namespace) -> int:
     return 0 if max(ratios) <= bound else 1
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.analysis import format_table
+    from repro.config import SheriffConfig
+    from repro.faults import ChannelPolicy, run_chaos_campaign
+
+    with _tracer_for(args) as tracer:
+        report = run_chaos_campaign(
+            topology=args.topology,
+            size=args.size,
+            rounds=args.rounds,
+            seed=args.seed,
+            alert_fraction=args.alert_fraction,
+            channel=ChannelPolicy(
+                loss_probability=args.loss, max_retries=3, seed=args.seed
+            ),
+            config=SheriffConfig(tracer=tracer),
+        )
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    plain = format_table(
+        f"Chaos campaign on {args.topology}-{args.size} "
+        f"(seed {args.seed}, {args.rounds} rounds, loss {args.loss:.0%})",
+        report["rounds"],
+    ) + "\ntotals: " + json.dumps(report["totals"], sort_keys=True)
+    _emit(args, plain, report)
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.report import generate_report
 
@@ -431,6 +481,7 @@ _COMMANDS = {
     "forecast": cmd_forecast,
     "traces": cmd_traces,
     "approx": cmd_approx,
+    "chaos": cmd_chaos,
     "report": cmd_report,
 }
 
@@ -446,7 +497,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         try:
             sys.stdout.close()
-        except Exception:
+        except OSError:
             pass
         os.dup2(os.open(os.devnull, os.O_WRONLY), 1)
         return 0

@@ -81,6 +81,8 @@ class Placement:
         self._migrations = 0
         self._generation = 0
         self._move_log: List[int] = []  # vm id per successful migrate()
+        self.host_alive = np.ones(self.num_hosts, dtype=bool)
+        self.lost_vms: set = set()  # VMs whose host crashed before evacuation
 
     # ------------------------------------------------------------------ #
     # queries
@@ -103,6 +105,8 @@ class Placement:
         return np.nonzero(self.host_rack == rack)[0]
 
     def free_capacity(self, host: int) -> int:
+        if not self.host_alive[host]:
+            return 0
         return int(self.host_capacity[host] - self.host_used[host])
 
     def host_load_fraction(self) -> np.ndarray:
@@ -151,6 +155,10 @@ class Placement:
             raise PlacementError(f"unknown vm {vm}")
         if not (0 <= dst_host < self.num_hosts):
             raise PlacementError(f"unknown host {dst_host}")
+        if vm in self.lost_vms:
+            raise PlacementError(f"vm {vm} is lost (its host crashed)")
+        if not self.host_alive[dst_host]:
+            raise PlacementError(f"host {dst_host} is down")
         src = int(self.vm_host[vm])
         if src == dst_host:
             raise PlacementError(f"vm {vm} is already on host {dst_host}")
@@ -164,6 +172,55 @@ class Placement:
         self.host_used[src] -= need
         self.host_used[dst_host] += need
         self._migrations += 1
+        self._generation += 1
+        self._move_log.append(vm)
+
+    # ------------------------------------------------------------------ #
+    # failure state (see repro.faults)
+    # ------------------------------------------------------------------ #
+    def disable_host(self, host: int) -> None:
+        """Mark *host* dead: it stops accepting placements.
+
+        Resident VMs keep their ``vm_host`` entry (array indexing stays
+        valid everywhere); the fault layer either evacuates them or marks
+        them lost.  ``free_capacity`` reports 0 for a dead host, so the
+        matching never selects it as a destination.
+        """
+        if not (0 <= host < self.num_hosts):
+            raise PlacementError(f"unknown host {host}")
+        if not self.host_alive[host]:
+            raise PlacementError(f"host {host} is already down")
+        self.host_alive[host] = False
+
+    def enable_host(self, host: int) -> None:
+        """Bring a dead host back; its booked capacity is valid again."""
+        if not (0 <= host < self.num_hosts):
+            raise PlacementError(f"unknown host {host}")
+        if self.host_alive[host]:
+            raise PlacementError(f"host {host} is not down")
+        self.host_alive[host] = True
+
+    def mark_lost(self, vm: int) -> None:
+        """Record *vm* as lost (down with its crashed host).
+
+        The VM keeps its slot on the dead host — its capacity stays booked
+        there so accounting never drifts — but it must not migrate or hold
+        reservations.  Bumps the generation/move log so cost caches
+        invalidate the VM's entries.
+        """
+        if not (0 <= vm < self.num_vms):
+            raise PlacementError(f"unknown vm {vm}")
+        if vm in self.lost_vms:
+            raise PlacementError(f"vm {vm} is already lost")
+        self.lost_vms.add(vm)
+        self._generation += 1
+        self._move_log.append(vm)
+
+    def restore_lost(self, vm: int) -> None:
+        """Un-lose *vm* (its host recovered); it resumes where it was."""
+        if vm not in self.lost_vms:
+            raise PlacementError(f"vm {vm} is not lost")
+        self.lost_vms.discard(vm)
         self._generation += 1
         self._move_log.append(vm)
 
@@ -183,6 +240,8 @@ class Placement:
         new._migrations = self._migrations
         new._generation = self._generation
         new._move_log = list(self._move_log)
+        new.host_alive = self.host_alive.copy()
+        new.lost_vms = set(self.lost_vms)
         return new
 
     # ------------------------------------------------------------------ #
@@ -199,3 +258,6 @@ class Placement:
         over = np.nonzero(used > self.host_capacity)[0]
         if over.size:
             raise CapacityError(f"hosts {over[:5].tolist()} overfilled")
+        bad = [v for v in self.lost_vms if not (0 <= v < self.num_vms)]
+        if bad:
+            raise PlacementError(f"lost_vms contains unknown VMs {bad[:5]}")

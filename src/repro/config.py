@@ -26,6 +26,8 @@ from repro.obs.tracer import NULL_TRACER, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import-cycle-free typing only
     from repro.costs.model import CostParams
+    from repro.faults.channel import ChannelPolicy
+    from repro.faults.schedule import FaultSchedule
     from repro.obs.metrics import MetricsRegistry
     from repro.sim.inflight import MigrationTiming
 
@@ -73,6 +75,13 @@ class SheriffConfig:
         the simulation create a private one.
     profile:
         Record wall-clock section timings (``RoundSummary.timings``).
+    fault_schedule:
+        Deterministic fault-injection schedule (see
+        :mod:`repro.faults`); ``None`` disables the fault layer entirely
+        and keeps every simulation byte-identical to a fault-free build.
+    channel_policy:
+        Lossy REQUEST/ACK channel model (loss probability, timeout,
+        bounded retry); ``None`` keeps the reliable in-process channel.
     """
 
     cost_params: Optional["CostParams"] = None
@@ -88,6 +97,8 @@ class SheriffConfig:
     tracer: Tracer = field(default=NULL_TRACER)
     metrics: Optional["MetricsRegistry"] = None
     profile: bool = True
+    fault_schedule: Optional["FaultSchedule"] = None
+    channel_policy: Optional["ChannelPolicy"] = None
 
     def replace(self, **changes: Any) -> "SheriffConfig":
         """A copy of this config with *changes* applied."""

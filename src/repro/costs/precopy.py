@@ -15,6 +15,7 @@ budget or a round cap hits, then stop-and-copy sends the rest.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List
 
@@ -79,9 +80,24 @@ def precopy_timeline(
     Raises
     ------
     MigrationError
-        If ``dirty_rate >= bandwidth`` *and* the first-round residual
-        already exceeds the memory size (migration would never progress).
+        If ``dirty_rate >= bandwidth``: the residual never shrinks, so
+        pre-copy cannot converge (a migration attempted anyway would be
+        rolled back by the commit path — see
+        :meth:`repro.sim.inflight.TimedReceiverRegistry.commit_round_tolerant`).
+    ConfigurationError
+        On out-of-domain or non-finite parameters.  Non-finite inputs are
+        rejected up front: a NaN dirty rate would otherwise slip past the
+        convergence check (``nan >= 1.0`` is false) and poison every phase
+        duration.
     """
+    for name, value in (
+        ("memory", memory),
+        ("dirty_rate", dirty_rate),
+        ("bandwidth", bandwidth),
+        ("downtime_target", downtime_target),
+    ):
+        if not math.isfinite(value):
+            raise ConfigurationError(f"{name} must be finite, got {value}")
     if memory <= 0:
         raise ConfigurationError(f"memory must be positive, got {memory}")
     if dirty_rate < 0:

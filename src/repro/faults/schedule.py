@@ -1,0 +1,121 @@
+"""Deterministic fault schedules.
+
+A :class:`FaultSchedule` is a list of :class:`FaultSpec` entries, each
+firing either once at a fixed round (``at_round=N``) or per-round with
+probability ``p`` under its own dedicated RNG stream
+(:func:`repro.rng.stream_for` keyed by the spec's index).  Per-spec
+streams make firing decisions independent of each other and of the
+simulation's own randomness: adding a spec, or a spec firing earlier,
+never perturbs another spec's draws.
+
+The schedule is *passive* — it only answers "which specs fire this
+round?"; :class:`repro.faults.injector.FaultInjector` applies them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.rng import stream_for
+
+__all__ = ["FaultKind", "FaultSpec", "FaultSchedule"]
+
+
+class FaultKind(Enum):
+    """The fault classes the injector knows how to apply."""
+
+    HOST_CRASH = "host_crash"
+    HOST_RECOVER = "host_recover"
+    SHIM_DOWN = "shim_down"
+    SHIM_UP = "shim_up"
+    MIGRATION_ABORT = "migration_abort"
+    SWITCH_FAIL = "switch_fail"
+    SWITCH_RECOVER = "switch_recover"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    Parameters
+    ----------
+    kind:
+        What breaks (see :class:`FaultKind`).
+    target:
+        Host id (HOST_*), rack id (SHIM_*), switch node id (SWITCH_*) or
+        VM id (MIGRATION_ABORT).  ``-1`` lets the injector pick — only
+        meaningful for MIGRATION_ABORT (first in-flight VM).
+    at_round:
+        Fire exactly once when the round index equals this value.
+    probability:
+        When ``at_round`` is ``None``: per-round firing probability under
+        the spec's dedicated RNG stream.
+    duration:
+        SHIM_DOWN only — auto-recover after this many rounds (``None`` =
+        until an explicit SHIM_UP).
+    """
+
+    kind: FaultKind
+    target: int = -1
+    at_round: Optional[int] = None
+    probability: float = 0.0
+    duration: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.at_round is None and not (0.0 < self.probability <= 1.0):
+            raise ConfigurationError(
+                f"{self.kind.value}: need at_round or probability in (0, 1], "
+                f"got at_round=None probability={self.probability}"
+            )
+        if self.at_round is not None and self.at_round < 0:
+            raise ConfigurationError(
+                f"{self.kind.value}: at_round must be >= 0, got {self.at_round}"
+            )
+        if self.duration is not None and self.duration < 1:
+            raise ConfigurationError(
+                f"{self.kind.value}: duration must be >= 1, got {self.duration}"
+            )
+        if self.target < 0 and self.kind is not FaultKind.MIGRATION_ABORT:
+            raise ConfigurationError(
+                f"{self.kind.value}: an explicit target id is required"
+            )
+
+
+class FaultSchedule:
+    """An ordered collection of fault specs with per-spec RNG streams.
+
+    ``due(now)`` must be called exactly once per round (the injector's
+    ``begin_round`` does); each call advances the probabilistic specs'
+    streams by one draw, so firing is a pure function of
+    ``(seed, spec index, round)``.
+    """
+
+    def __init__(self, specs: Iterable[FaultSpec] = (), *, seed: int = 0) -> None:
+        self.specs: Tuple[FaultSpec, ...] = tuple(specs)
+        self.seed = seed
+        self._rngs = [
+            stream_for(seed, "fault", i) for i in range(len(self.specs))
+        ]
+        self._fired: set[int] = set()  # one-shot specs already applied
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    @property
+    def empty(self) -> bool:
+        return not self.specs
+
+    def due(self, now: int) -> List[Tuple[int, FaultSpec]]:
+        """Specs firing at round *now*, as ``(index, spec)`` pairs."""
+        out: List[Tuple[int, FaultSpec]] = []
+        for i, spec in enumerate(self.specs):
+            if spec.at_round is not None:
+                if spec.at_round == now and i not in self._fired:
+                    self._fired.add(i)
+                    out.append((i, spec))
+            elif self._rngs[i].random() < spec.probability:
+                out.append((i, spec))
+        return out

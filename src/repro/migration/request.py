@@ -58,6 +58,8 @@ class ReceiverRegistry:
         self._promised: Dict[int, int] = {}  # host -> capacity promised
         self._reservations: List[_Reservation] = []
         self._reserved_vms: set[int] = set()
+        # (vm, dst_host, dst_rack) -> verdict; populated only via redeliver()
+        self._verdicts: Dict[Tuple[int, int, int], RequestOutcome] = {}
 
     # ------------------------------------------------------------------ #
     def _verdict(
@@ -116,19 +118,107 @@ class ReceiverRegistry:
         """Number of un-committed reservations."""
         return len(self._reservations)
 
+    def holds_reservation(self, vm: int) -> bool:
+        """Whether *vm* currently holds an un-committed reservation."""
+        return vm in self._reserved_vms
+
+    def redeliver(self, vm: int, dst_host: int, dst_rack: int) -> RequestOutcome:
+        """Idempotent REQUEST delivery for retrying senders.
+
+        When an ACK is lost in transit the sender retries the same REQUEST;
+        Alg. 4's FCFS receiver must answer with the *cached* verdict rather
+        than re-run admission (a second pass would raise on the duplicate
+        reservation, or double-promise capacity on a REJECT-then-free race).
+        First delivery falls through to :meth:`request`.
+        """
+        cached = self._verdicts.get((vm, dst_host, dst_rack))
+        if cached is not None:
+            return cached
+        outcome = self.request(vm, dst_host, dst_rack)
+        self._verdicts[(vm, dst_host, dst_rack)] = outcome
+        return outcome
+
+    def cancel(self, vm: int) -> None:
+        """Release *vm*'s reservation (sender gave up — lease expiry).
+
+        Un-promises the destination capacity and forgets the cached
+        verdict, so a later round (or a different sender) can re-use the
+        slot.  Raises :class:`ProtocolError` if *vm* holds no reservation.
+        """
+        if vm not in self._reserved_vms:
+            raise ProtocolError(f"vm {vm} holds no reservation")
+        for i, res in enumerate(self._reservations):
+            if res.vm == vm:
+                self._promised[res.host] -= res.capacity
+                if self._promised[res.host] <= 0:
+                    del self._promised[res.host]
+                del self._reservations[i]
+                break
+        self._reserved_vms.discard(vm)
+        self._verdicts = {k: v for k, v in self._verdicts.items() if k[0] != vm}
+
     def commit_round(self) -> List[Tuple[int, int]]:
-        """Apply every accepted migration; returns ``(vm, host)`` pairs."""
+        """Apply every accepted migration; returns ``(vm, host)`` pairs.
+
+        Atomic: if :meth:`Placement.migrate` raises partway through the
+        reservation list (a destination died mid-round, say), every move
+        already applied is rolled back before the error propagates — the
+        placement is left exactly as it was when the round was planned,
+        never half-committed.
+        """
         moved: List[Tuple[int, int]] = []
+        applied: List[Tuple[int, int]] = []  # (vm, src) for rollback
+        total = len(self._reservations)
+        pl = self.cluster.placement
+        try:
+            for res in self._reservations:
+                src = pl.host_of(res.vm)
+                pl.migrate(res.vm, res.host)
+                applied.append((res.vm, src))
+                moved.append((res.vm, res.host))
+                if self.tracer.enabled:
+                    self.tracer.emit(MigrationCommitted(vm=res.vm, dst_host=res.host))
+        except Exception as exc:
+            for vm, src in reversed(applied):
+                pl.migrate(vm, src)
+            self.reset_round()
+            raise ProtocolError(
+                f"commit aborted at move {len(applied) + 1} of {total}; "
+                f"{len(applied)} applied moves rolled back"
+            ) from exc
+        self.reset_round()
+        return moved
+
+    def commit_round_tolerant(
+        self,
+    ) -> Tuple[List[Tuple[int, int]], List[Tuple[int, int, str]]]:
+        """Commit what can be committed; report the rest.
+
+        Degraded-mode variant of :meth:`commit_round` used when faults are
+        active: a reservation whose move fails (destination died, VM lost)
+        is skipped and reported as ``(vm, host, reason)`` instead of
+        aborting the round.  Returns ``(moved, failed)``.
+        """
+        from repro.errors import ReproError
+
+        moved: List[Tuple[int, int]] = []
+        failed: List[Tuple[int, int, str]] = []
+        pl = self.cluster.placement
         for res in self._reservations:
-            self.cluster.placement.migrate(res.vm, res.host)
+            try:
+                pl.migrate(res.vm, res.host)
+            except ReproError as exc:
+                failed.append((res.vm, res.host, str(exc)))
+                continue
             moved.append((res.vm, res.host))
             if self.tracer.enabled:
                 self.tracer.emit(MigrationCommitted(vm=res.vm, dst_host=res.host))
         self.reset_round()
-        return moved
+        return moved, failed
 
     def reset_round(self) -> None:
         """Drop all reservations without applying them."""
         self._promised.clear()
         self._reservations.clear()
         self._reserved_vms.clear()
+        self._verdicts.clear()

@@ -29,6 +29,10 @@ __all__ = [
     "MigrationLanded",
     "FlowRerouted",
     "ModelSelected",
+    "FaultInjected",
+    "HostCrashed",
+    "RequestTimedOut",
+    "MigrationAborted",
     "EVENT_TYPES",
 ]
 
@@ -161,6 +165,43 @@ class ModelSelected(TraceEvent):
     prediction: float = 0.0
 
 
+@dataclass
+class FaultInjected(TraceEvent):
+    """A scheduled fault fired (see :mod:`repro.faults`)."""
+
+    fault_kind: str = ""
+    target: int = -1
+    detail: str = ""
+
+
+@dataclass
+class HostCrashed(TraceEvent):
+    """A host died: who escaped (emergency evacuation) and who did not."""
+
+    host: int = -1
+    evacuated: Tuple[int, ...] = ()
+    lost: Tuple[int, ...] = ()
+
+
+@dataclass
+class RequestTimedOut(TraceEvent):
+    """Sender side: a REQUEST exhausted its retries without a reply."""
+
+    vm: int = -1
+    dst_host: int = -1
+    dst_rack: int = -1
+    attempts: int = 0
+
+
+@dataclass
+class MigrationAborted(TraceEvent):
+    """An accepted migration was rolled back before landing."""
+
+    vm: int = -1
+    dst_host: int = -1
+    reason: str = ""
+
+
 EVENT_TYPES: List[type] = [
     AlertDelivered,
     PrioritySelected,
@@ -172,4 +213,8 @@ EVENT_TYPES: List[type] = [
     MigrationLanded,
     FlowRerouted,
     ModelSelected,
+    FaultInjected,
+    HostCrashed,
+    RequestTimedOut,
+    MigrationAborted,
 ]

@@ -23,7 +23,7 @@ from scipy.optimize import linear_sum_assignment
 
 from repro.cluster.cluster import Cluster
 from repro.costs.model import CostModel
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, MigrationError
 from repro.migration.matching import hungarian
 from repro.obs.events import MatchingSolved
 from repro.obs.profiling import NULL_PROFILER
@@ -128,7 +128,7 @@ def centralized_migration_round(
                 pairs = [
                     (k, int(c)) for k, c in enumerate(assignment) if np.isfinite(sub[k, c])
                 ]
-            except Exception:
+            except MigrationError:
                 fallback = True
                 finite_max = sub[np.isfinite(sub)].max() if np.isfinite(sub).any() else 1.0
                 sentinel = finite_max * len(vms) * 10 + 1.0

@@ -61,6 +61,16 @@ class RoundSummary:
     reports: List[RoundReport] = field(default_factory=list)
     timings: Dict[str, float] = field(default_factory=dict)
     """Per-round wall-clock seconds by section (empty when profiling off)."""
+    faults: int = 0
+    """Scheduled faults injected this round (0 without a fault layer)."""
+    retries: int = 0
+    """REQUEST retransmissions over the lossy channel this round."""
+    rollbacks: int = 0
+    """Reservations/migrations rolled back this round (aborts, lease
+    expiries, commit failures)."""
+    degraded: bool = False
+    """A shim was down, a partition blocked replanning, or a commit was
+    partially refused — the round completed in degraded mode."""
 
 
 class SheriffSimulation:
@@ -129,6 +139,31 @@ class SheriffSimulation:
         self.migration_cooldown = cfg.migration_cooldown
         self._last_move: Dict[int, int] = {}
         self._pool: Optional[WorkerPool] = None
+        # fault layer — only constructed when configured, so fault-free
+        # simulations take exactly the historical code paths (the PR 2
+        # byte-identity contract).  Imported lazily to keep sim <-> faults
+        # cycle-free.
+        self.faults = None
+        self._port: ReceiverRegistry = self.receivers
+        if cfg.fault_schedule is not None or cfg.channel_policy is not None:
+            from repro.faults.channel import UnreliableChannel
+            from repro.faults.injector import FaultInjector
+            from repro.faults.schedule import FaultSchedule
+
+            schedule = (
+                cfg.fault_schedule
+                if cfg.fault_schedule is not None
+                else FaultSchedule()
+            )
+            self.faults = FaultInjector(self, schedule)
+            if cfg.channel_policy is not None:
+                self._port = UnreliableChannel(
+                    self.receivers,
+                    cfg.channel_policy,
+                    is_rack_down=self.faults.is_rack_down,
+                    metrics=self.metrics,
+                    tracer=self.tracer,
+                )
 
     def _populate_flows(self, rate: float) -> None:
         """One flow per inter-rack dependency pair, attributed to the lower VM."""
@@ -190,6 +225,13 @@ class SheriffSimulation:
         with self.profiler.section("round"), m.scope() as scope:
             m.counter("sheriff_rounds_total").inc()
             m.counter("sheriff_alerts_total").inc(len(alerts))
+            fault_info = None
+            if self.faults is not None:
+                # environment acts first: crashes/outages land before the
+                # round's alerts are dispatched, so std_before reflects the
+                # state the shims actually plan against
+                with self.profiler.section("faults"):
+                    fault_info = self.faults.begin_round(now)
             std_before = self.cluster.workload_std()
             by_rack: Dict[int, List[Alert]] = {}
             for alert in alerts:
@@ -220,11 +262,22 @@ class SheriffSimulation:
             )
             if self.inflight is not None:
                 frozen = frozen | self.inflight.vms_in_flight
+            skipped_racks: List[int] = []
+            if self.faults is not None:
+                lost = self.cluster.placement.lost_vms
+                if lost:
+                    frozen = frozen | frozenset(lost)
             reports: List[RoundReport] = []
             racks = sorted(by_rack)
             for rack in racks:
                 if rack not in self.managers:
                     raise SimulationError(f"alert addressed to unknown rack {rack}")
+            if self.faults is not None and self.faults.down_racks:
+                # a rack with a dead shim plans nothing this round; its
+                # alerts are dropped (nobody is listening), not queued
+                down = self.faults.down_racks
+                skipped_racks = [r for r in racks if r in down]
+                racks = [r for r in racks if r not in down]
             if self.config.workers != 0 and racks:
                 # plan/execute split: pure per-rack work (classification,
                 # PRIORITY, cost matrices, first matching) fans out over
@@ -243,17 +296,35 @@ class SheriffSimulation:
                     self.profiler.add(f"plan/{worker}", secs)
                 for plan in plans:
                     reports.append(
-                        self.managers[plan.rack].execute_plan(plan, self.receivers)
+                        self.managers[plan.rack].execute_plan(plan, self._port)
                     )
             else:
                 for rack in racks:
                     reports.append(
                         self.managers[rack].process_round(
-                            by_rack[rack], vm_alerts, self.receivers, frozen, host_load
+                            by_rack[rack], vm_alerts, self._port, frozen, host_load
                         )
                     )
+            commit_failed: List = []
             with self.profiler.section("commit"):
-                moved = self.receivers.commit_round()
+                if self.faults is not None:
+                    # degraded-mode commit: a reservation whose move fails
+                    # (destination crashed after the ACK, pre-copy cannot
+                    # converge) is rolled back and reported — the round
+                    # always completes, never half-applies
+                    moved, commit_failed = self.receivers.commit_round_tolerant()
+                    for vm, host, reason in commit_failed:
+                        m.counter("sheriff_rollbacks_total").inc()
+                        if tracer.enabled:
+                            from repro.obs.events import MigrationAborted
+
+                            tracer.emit(
+                                MigrationAborted(
+                                    vm=vm, dst_host=host, reason=reason
+                                )
+                            )
+                else:
+                    moved = self.receivers.commit_round()
             m.counter("sheriff_migrations_committed_total").inc(len(moved))
             if self.inflight is None:
                 for vm, host in moved:
@@ -263,6 +334,11 @@ class SheriffSimulation:
                         tracer.emit(MigrationLanded(vm=vm, dst_host=host))
             std_after = self.cluster.workload_std()
             m.gauge("sheriff_workload_std").set(std_after)
+            degraded = bool(skipped_racks) or bool(commit_failed) or (
+                fault_info is not None and fault_info.degraded
+            )
+            if degraded:
+                m.counter("sheriff_degraded_rounds_total").inc()
         summary = RoundSummary(
             round_index=now,
             alerts=len(alerts),
@@ -276,6 +352,10 @@ class SheriffSimulation:
             workload_std_after=std_after,
             reports=reports,
             timings=self.profiler.round_timings(),
+            faults=fault_info.injected if fault_info is not None else 0,
+            retries=int(scope.total("sheriff_channel_retries_total")),
+            rollbacks=int(scope.total("sheriff_rollbacks_total")),
+            degraded=degraded,
         )
         self.history.append(summary)
         return summary

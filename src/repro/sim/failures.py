@@ -35,6 +35,7 @@ class FailureReport:
     switch: int
     flows_rerouted: int = 0
     flows_dropped: List[int] = field(default_factory=list)
+    flows_readmitted: List[int] = field(default_factory=list)
     racks_disconnected: List[int] = field(default_factory=list)
 
 
@@ -62,6 +63,9 @@ class FailureInjector:
         self.flow_table = flow_table
         self.cost_params = cost_params or CostParams()
         self.failed: Set[int] = set()
+        # (vm, src_rack, dst_rack, rate) of flows dropped for want of a
+        # path; re-admission candidates for recover()
+        self._dropped: List[Tuple[int, int, int, float]] = []
 
     # ------------------------------------------------------------------ #
     def _affected_edges(self) -> np.ndarray:
@@ -108,17 +112,48 @@ class FailureInjector:
                     if flow is not None and any(
                         n in self.failed for n in flow.path
                     ):
+                        self._dropped.append(
+                            (flow.vm, flow.src_rack, flow.dst_rack, flow.rate)
+                        )
                         self.flow_table.remove_flow(fid)
                         report.flows_dropped.append(fid)
 
         report.racks_disconnected = self.disconnected_racks()
         return report
 
-    def recover(self, switch: int) -> None:
-        """Bring *switch* back; flows re-optimize lazily on next reroute."""
+    def recover(self, switch: int) -> FailureReport:
+        """Bring *switch* back; re-admit what the outage dropped.
+
+        Flows dropped by :meth:`fail` for want of a surviving path are
+        re-registered and routed on the restored fabric; a flow whose path
+        would still cross a *different* failed switch is rerouted around
+        it, and dropped again (kept for the next recovery) if no detour
+        exists.  Surviving flows re-optimize lazily on the next reroute.
+        Returns a report with ``flows_readmitted`` and the remaining
+        partition state; the caller rebuilds the cost model (see
+        :meth:`rebuild_cost_model`) exactly as it does after :meth:`fail`.
+        """
         if switch not in self.failed:
             raise TopologyError(f"switch {switch} is not failed")
         self.failed.discard(switch)
+        report = FailureReport(switch=switch)
+
+        if self.flow_table is not None and self._dropped:
+            still_dropped: List[Tuple[int, int, int, float]] = []
+            for vm, src_rack, dst_rack, rate in self._dropped:
+                fid = self.flow_table.add_flow(vm, src_rack, dst_rack, rate)
+                flow = self.flow_table.flows[fid]
+                if any(n in self.failed for n in flow.path):
+                    ok, _bad = flow_reroute(self.flow_table, [fid], self.failed)
+                    if not ok:
+                        self.flow_table.remove_flow(fid)
+                        still_dropped.append((vm, src_rack, dst_rack, rate))
+                        continue
+                report.flows_readmitted.append(fid)
+            self._dropped = still_dropped
+
+        report.racks_disconnected = self.disconnected_racks()
+        return report
 
     # ------------------------------------------------------------------ #
     def disconnected_racks(self) -> List[int]:

@@ -109,6 +109,23 @@ class InFlightTracker:
         self._holds[dst_host] = self.hold_on(dst_host) + need
         return rec.complete_round
 
+    def abort(self, vm: int) -> _InFlight:
+        """Cancel *vm*'s in-flight migration, releasing its destination hold.
+
+        The placement is untouched (the VM never left its source), so an
+        abort is a pure rollback of the Reservation stage.  Returns the
+        cancelled record; raises :class:`MigrationError` if *vm* is not in
+        flight.
+        """
+        rec = self._active.pop(vm, None)
+        if rec is None:
+            raise MigrationError(f"vm {vm} is not in flight")
+        need = int(self.cluster.placement.vm_capacity[vm])
+        self._holds[rec.dst_host] -= need
+        if self._holds[rec.dst_host] <= 0:
+            del self._holds[rec.dst_host]
+        return rec
+
     def complete_due(self, now: int) -> List[Tuple[int, int]]:
         """Finish every migration whose window has elapsed.
 
@@ -188,12 +205,53 @@ class TimedReceiverRegistry(ReceiverRegistry):
         return super().request(vm, dst_host, dst_rack)
 
     def commit_round(self) -> List[Tuple[int, int]]:
-        """Start (not finish) every accepted migration; returns the pairs."""
+        """Start (not finish) every accepted migration; returns the pairs.
+
+        Atomic like the base class: a failing :meth:`InFlightTracker.start`
+        aborts every migration already started this commit before the error
+        propagates.
+        """
         started: List[Tuple[int, int]] = []
+        try:
+            for res in self._reservations:
+                self.tracker.start(res.vm, res.host, self._now)
+                started.append((res.vm, res.host))
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        MigrationCommitted(vm=res.vm, dst_host=res.host)
+                    )
+        except Exception as exc:
+            for vm, _host in reversed(started):
+                self.tracker.abort(vm)
+            self.reset_round()
+            from repro.errors import ProtocolError
+
+            raise ProtocolError(
+                f"timed commit aborted; {len(started)} started migrations "
+                "cancelled"
+            ) from exc
+        self.reset_round()
+        return started
+
+    def commit_round_tolerant(
+        self,
+    ) -> Tuple[List[Tuple[int, int]], List[Tuple[int, int, str]]]:
+        """Start what can be started; report per-reservation failures.
+
+        Degraded-mode variant for fault-injection runs: a reservation that
+        cannot start (non-convergent pre-copy, destination died) is skipped
+        and reported instead of aborting the round.
+        """
+        started: List[Tuple[int, int]] = []
+        failed: List[Tuple[int, int, str]] = []
         for res in self._reservations:
-            self.tracker.start(res.vm, res.host, self._now)
+            try:
+                self.tracker.start(res.vm, res.host, self._now)
+            except (MigrationError, ConfigurationError) as exc:
+                failed.append((res.vm, res.host, str(exc)))
+                continue
             started.append((res.vm, res.host))
             if self.tracer.enabled:
                 self.tracer.emit(MigrationCommitted(vm=res.vm, dst_host=res.host))
         self.reset_round()
-        return started
+        return started, failed

@@ -27,7 +27,7 @@ import numpy as np
 from repro.alerts.alert import Alert, AlertKind
 from repro.cluster.cluster import Cluster
 from repro.cluster.resources import NUM_RESOURCES
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ReproError
 from repro.traces.workload import WorkloadStream
 
 __all__ = ["DemandDrivenWorkload", "ReactiveManager", "PredictiveManager"]
@@ -299,7 +299,9 @@ class PredictiveManager:
             self._since_fit[host] = 0
         try:
             f = model.forecast(self.horizon)
-        except Exception:
+        except (ReproError, ValueError, np.linalg.LinAlgError):
+            # a degenerate history can break a refit mid-run; falling back
+            # to persistence mirrors what a production predictor would do
             return hist[-1]
         return float(np.clip(np.max(f), 0.0, 1.0))
 

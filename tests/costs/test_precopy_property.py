@@ -1,0 +1,83 @@
+"""Property tests for the pre-copy timeline (hypothesis).
+
+The timeline feeds the timed engine's round accounting, so it must be
+well-behaved over the whole parameter domain: finite non-negative phase
+durations, bounded rounds, downtime within budget whenever pre-copy
+converged, and clean errors — `MigrationError` exactly when the dirty
+rate reaches the bandwidth, `ConfigurationError` for non-finite inputs.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.costs.precopy import precopy_timeline
+from repro.errors import ConfigurationError, MigrationError
+
+common = settings(max_examples=100, deadline=None)
+
+MAX_ROUNDS = 30
+
+domain = dict(
+    memory=st.floats(1e-3, 1e6),
+    ratio=st.floats(0.0, 0.99),
+    bandwidth=st.floats(1e-2, 1e5),
+    downtime=st.floats(1e-4, 10.0),
+)
+
+
+@common
+@given(**domain)
+def test_timeline_is_finite_and_consistent(memory, ratio, bandwidth, downtime):
+    tl = precopy_timeline(
+        memory, ratio * bandwidth, bandwidth, downtime_target=downtime
+    )
+    for value in (tl.t1, tl.t2, tl.t3, tl.t4, tl.total, tl.transferred):
+        assert math.isfinite(value) and value >= 0.0
+    assert 0 <= tl.rounds <= MAX_ROUNDS
+    assert tl.total == tl.t1 + tl.t2 + tl.t3 + tl.t4
+    assert tl.downtime == tl.t3
+    # everything sent at least covers the RAM footprint
+    assert tl.transferred >= memory * (1.0 - 1e-9)
+
+
+@common
+@given(**domain)
+def test_downtime_within_budget_when_converged(
+    memory, ratio, bandwidth, downtime
+):
+    tl = precopy_timeline(
+        memory, ratio * bandwidth, bandwidth, downtime_target=downtime
+    )
+    if tl.rounds < MAX_ROUNDS:  # the cap did not force an early cut-over
+        assert tl.t3 <= downtime * (1.0 + 1e-9)
+
+
+@common
+@given(
+    memory=st.floats(1e-3, 1e6),
+    bandwidth=st.floats(1e-2, 1e5),
+    factor=st.floats(1.0, 10.0),
+)
+def test_non_convergence_raises_migration_error(memory, bandwidth, factor):
+    with pytest.raises(MigrationError):
+        precopy_timeline(memory, bandwidth * factor, bandwidth)
+
+
+@pytest.mark.parametrize("bad", [math.inf, -math.inf, math.nan])
+@pytest.mark.parametrize("slot", range(4))
+def test_non_finite_inputs_rejected(bad, slot):
+    args = [256.0, 10.0, 100.0, 0.06]
+    args[slot] = bad
+    memory, dirty, bandwidth, downtime = args
+    with pytest.raises(ConfigurationError):
+        precopy_timeline(memory, dirty, bandwidth, downtime_target=downtime)
+
+
+def test_more_bandwidth_never_slows_the_migration():
+    base = precopy_timeline(1024.0, 40.0, 100.0)
+    faster = precopy_timeline(1024.0, 40.0, 200.0)
+    assert faster.total <= base.total
+    assert faster.t3 <= base.t3

@@ -1,0 +1,53 @@
+"""The no-faults contract: an armed-but-empty fault layer changes nothing.
+
+`SheriffConfig(fault_schedule=FaultSchedule())` builds the injector and
+routes commits through the tolerant path, yet every placement, summary
+and metric the simulation produces must be identical to a run without
+the fault layer at all.
+"""
+
+import numpy as np
+
+from repro.cluster import build_cluster
+from repro.config import SheriffConfig
+from repro.faults.schedule import FaultSchedule
+from repro.sim import SheriffSimulation, inject_fraction_alerts
+from repro.topology import build_fattree
+
+ROUNDS = 6
+
+
+def run(cfg):
+    cluster = build_cluster(
+        build_fattree(4),
+        hosts_per_rack=3,
+        fill_fraction=0.5,
+        skew=0.7,
+        seed=99,
+        delay_sensitive_fraction=0.0,
+    )
+    sim = SheriffSimulation(cluster, cfg)
+    summaries = []
+    for r in range(ROUNDS):
+        alerts, vma = inject_fraction_alerts(cluster, 0.1, time=r, seed=20 + r)
+        summaries.append(sim.run_round(alerts, vma))
+    return cluster, sim, summaries
+
+
+def test_empty_schedule_is_byte_identical():
+    plain_cluster, plain_sim, plain = run(SheriffConfig())
+    armed_cluster, armed_sim, armed = run(
+        SheriffConfig(fault_schedule=FaultSchedule())
+    )
+    assert armed_sim.faults is not None  # the layer really was active
+    assert np.array_equal(
+        plain_cluster.placement.vm_host, armed_cluster.placement.vm_host
+    )
+    assert np.array_equal(
+        plain_sim.workload_std_series(), armed_sim.workload_std_series()
+    )
+    for a, b in zip(plain, armed):
+        assert (a.migrations, a.requests, a.rejects, a.total_cost) == (
+            b.migrations, b.requests, b.rejects, b.total_cost
+        )
+        assert b.faults == 0 and b.rollbacks == 0 and not b.degraded

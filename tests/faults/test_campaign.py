@@ -1,0 +1,56 @@
+"""Chaos campaign: seeded reproducibility and the `cli chaos` surface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigurationError
+from repro.faults.campaign import default_schedule, run_chaos_campaign
+
+
+class TestDefaultSchedule:
+    def test_shape(self):
+        sched = default_schedule(16, 4, rounds=10, seed=3)
+        assert len(sched) == 6
+
+    def test_rejects_tiny_campaigns(self):
+        with pytest.raises(ConfigurationError):
+            default_schedule(1, 4, rounds=10)
+        with pytest.raises(ConfigurationError):
+            default_schedule(16, 4, rounds=3)
+
+
+class TestCampaign:
+    def test_same_seed_same_report(self):
+        a = run_chaos_campaign(size=4, rounds=8, seed=7)
+        b = run_chaos_campaign(size=4, rounds=8, seed=7)
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_report_shape(self):
+        report = run_chaos_campaign(size=4, rounds=8, seed=7)
+        assert report["campaign"]["rounds"] == 8
+        assert len(report["rounds"]) == 8
+        assert report["totals"]["faults_injected"] >= 5  # the one-shots
+        assert report["totals"]["degraded_rounds"] >= 1  # shim outage rounds
+        assert len(report["faults_log"]) == report["totals"]["faults_injected"]
+        json.dumps(report)  # JSON-ready end to end
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_chaos_campaign(topology="hypercube")
+
+
+class TestCli:
+    def test_chaos_subcommand_writes_report(self, tmp_path):
+        out = tmp_path / "chaos.json"
+        rc = main(
+            [
+                "chaos", "--size", "4", "--rounds", "8", "--seed", "7",
+                "--output", str(out),
+            ]
+        )
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert report["campaign"]["seed"] == 7
+        assert len(report["rounds"]) == 8

@@ -1,0 +1,218 @@
+"""Fault injection through the engine: crash, recover, shim outage, abort."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.config import SheriffConfig
+from repro.faults.schedule import FaultKind, FaultSchedule, FaultSpec
+from repro.obs.metrics import MetricsRegistry
+from repro.sim import SheriffSimulation, inject_fraction_alerts
+from repro.sim.inflight import MigrationTiming
+from repro.topology import build_bcube, build_fattree
+
+
+@pytest.fixture
+def cluster():
+    return build_cluster(
+        build_fattree(4),
+        hosts_per_rack=3,
+        fill_fraction=0.5,
+        skew=0.7,
+        seed=99,
+        delay_sensitive_fraction=0.0,
+    )
+
+
+def busy_host(cluster):
+    pl = cluster.placement
+    for h in range(pl.num_hosts):
+        if len(pl.vms_on_host(h)) > 0:
+            return h
+    pytest.skip("fixture has no occupied host")
+
+
+class TestHostCrash:
+    def test_residents_evacuated_or_lost(self, cluster):
+        host = busy_host(cluster)
+        residents = [int(v) for v in cluster.placement.vms_on_host(host)]
+        metrics = MetricsRegistry()
+        cfg = SheriffConfig(
+            metrics=metrics,
+            fault_schedule=FaultSchedule(
+                [FaultSpec(FaultKind.HOST_CRASH, target=host, at_round=1)]
+            ),
+        )
+        sim = SheriffSimulation(cluster, cfg)
+        sim.run_round([], {})
+        s = sim.run_round([], {})
+        assert s.faults == 1
+        pl = cluster.placement
+        assert not pl.host_alive[host]
+        for vm in residents:
+            if vm in pl.lost_vms:
+                assert pl.host_of(vm) == host  # capacity stays booked
+            else:
+                assert pl.host_of(vm) != host  # emergency-evacuated
+        pl.check_invariants()
+        evac = metrics.total("sheriff_vms_evacuated_total")
+        lost = metrics.total("sheriff_vms_lost_total")
+        assert evac + lost == len(residents)
+
+    def test_recover_restores_lost_vms(self, cluster):
+        host = busy_host(cluster)
+        cfg = SheriffConfig(
+            fault_schedule=FaultSchedule(
+                [
+                    FaultSpec(FaultKind.HOST_CRASH, target=host, at_round=0),
+                    FaultSpec(FaultKind.HOST_RECOVER, target=host, at_round=1),
+                ]
+            )
+        )
+        sim = SheriffSimulation(cluster, cfg)
+        sim.run_round([], {})
+        assert not cluster.placement.host_alive[host]
+        sim.run_round([], {})
+        pl = cluster.placement
+        assert pl.host_alive[host]
+        assert not pl.lost_vms
+        pl.check_invariants()
+
+    def test_crash_then_rounds_keep_completing(self, cluster):
+        host = busy_host(cluster)
+        cfg = SheriffConfig(
+            fault_schedule=FaultSchedule(
+                [FaultSpec(FaultKind.HOST_CRASH, target=host, at_round=0)]
+            )
+        )
+        sim = SheriffSimulation(cluster, cfg)
+        for r in range(4):
+            alerts, vma = inject_fraction_alerts(
+                cluster, 0.1, time=r, seed=40 + r
+            )
+            sim.run_round(alerts, vma)
+            cluster.placement.check_invariants()
+        # nothing ever migrates onto the dead host
+        assert cluster.placement.free_capacity(host) == 0
+
+
+class TestShimOutage:
+    def test_down_rack_is_skipped_and_round_degrades(self, cluster):
+        alerts, vma = inject_fraction_alerts(cluster, 0.3, time=0, seed=7)
+        if not alerts:
+            pytest.skip("no alerts generated")
+        down = alerts[0].rack
+        metrics = MetricsRegistry()
+        cfg = SheriffConfig(
+            metrics=metrics,
+            fault_schedule=FaultSchedule(
+                [
+                    FaultSpec(
+                        FaultKind.SHIM_DOWN, target=down, at_round=0,
+                        duration=1,
+                    )
+                ]
+            ),
+        )
+        sim = SheriffSimulation(cluster, cfg)
+        s = sim.run_round(alerts, vma)
+        assert s.degraded
+        # the silent delegation never processed its alerts
+        assert metrics.counter("sheriff_shim_alerts_total", rack=down).value == 0
+        cluster.placement.check_invariants()
+        # duration=1 expired: the next round is back to normal
+        s2 = sim.run_round([], {})
+        assert not s2.degraded
+
+    def test_explicit_shim_up(self, cluster):
+        cfg = SheriffConfig(
+            fault_schedule=FaultSchedule(
+                [
+                    FaultSpec(FaultKind.SHIM_DOWN, target=0, at_round=0),
+                    FaultSpec(FaultKind.SHIM_UP, target=0, at_round=2),
+                ]
+            )
+        )
+        sim = SheriffSimulation(cluster, cfg)
+        assert sim.run_round([], {}).degraded
+        assert sim.run_round([], {}).degraded  # no duration: still down
+        assert not sim.run_round([], {}).degraded
+
+
+class TestMigrationAbort:
+    def test_inflight_abort_rolls_back(self, cluster):
+        cfg = SheriffConfig(
+            migration_timing=MigrationTiming(),
+            fault_schedule=FaultSchedule(
+                [FaultSpec(FaultKind.MIGRATION_ABORT, at_round=1)]
+            ),
+        )
+        sim = SheriffSimulation(cluster, cfg)
+        alerts, vma = inject_fraction_alerts(cluster, 0.3, time=0, seed=5)
+        s0 = sim.run_round(alerts, vma)
+        if s0.migrations == 0:
+            pytest.skip("no migration started in round 0")
+        before = set(sim.inflight.vms_in_flight)
+        s1 = sim.run_round([], {})
+        assert s1.rollbacks >= 1
+        # the aborted VM left the in-flight set without landing
+        assert len(sim.inflight.vms_in_flight & before) < len(before)
+        cluster.placement.check_invariants()
+
+    def test_abort_is_noop_on_instant_engine(self, cluster):
+        cfg = SheriffConfig(
+            fault_schedule=FaultSchedule(
+                [FaultSpec(FaultKind.MIGRATION_ABORT, at_round=0)]
+            )
+        )
+        sim = SheriffSimulation(cluster, cfg)
+        s = sim.run_round([], {})
+        assert s.faults == 1 and s.rollbacks == 0
+
+
+class TestSwitchFaults:
+    def test_partition_degrades_but_completes(self):
+        cluster = build_cluster(
+            build_bcube(2), hosts_per_rack=2, seed=2,
+            delay_sensitive_fraction=0.0,
+        )
+        cfg = SheriffConfig(
+            with_flows=True,
+            fault_schedule=FaultSchedule(
+                [
+                    FaultSpec(FaultKind.SWITCH_FAIL, target=2, at_round=0),
+                    FaultSpec(FaultKind.SWITCH_FAIL, target=3, at_round=1),
+                ]
+            ),
+        )
+        sim = SheriffSimulation(cluster, cfg)
+        sim.run_round([], {})
+        s1 = sim.run_round([], {})  # both switches dead: partitioned
+        assert s1.degraded
+        cluster.placement.check_invariants()
+
+    def test_fail_and_recover_replan_costs(self, cluster):
+        from repro.topology.base import NodeKind
+
+        agg = int(cluster.topology.nodes_of_kind(NodeKind.AGG)[0])
+        cfg = SheriffConfig(
+            with_flows=True,
+            fault_schedule=FaultSchedule(
+                [
+                    FaultSpec(FaultKind.SWITCH_FAIL, target=agg, at_round=0),
+                    FaultSpec(
+                        FaultKind.SWITCH_RECOVER, target=agg, at_round=1
+                    ),
+                ]
+            ),
+        )
+        sim = SheriffSimulation(cluster, cfg)
+        s0 = sim.run_round([], {})
+        assert s0.faults == 1 and not s0.degraded
+        # the rebuilt model routes around the dead aggregation switch
+        r = cluster.num_racks
+        for a in range(r):
+            for b in range(r):
+                if a != b:
+                    assert agg not in sim.cost_model.table.path(a, b)
+        sim.run_round([], {})
+        assert sim.faults.switches.failed == set()

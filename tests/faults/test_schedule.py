@@ -1,0 +1,64 @@
+"""FaultSchedule determinism and validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.schedule import FaultKind, FaultSchedule, FaultSpec
+
+
+def probabilistic(p=0.3):
+    return FaultSpec(FaultKind.MIGRATION_ABORT, probability=p)
+
+
+class TestFaultSpec:
+    def test_requires_trigger(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(FaultKind.HOST_CRASH, target=0)  # no at_round, no p
+
+    def test_requires_target_except_abort(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(FaultKind.HOST_CRASH, at_round=1)  # target -1
+        FaultSpec(FaultKind.MIGRATION_ABORT, at_round=1)  # ok: picks first
+
+    def test_validates_duration_and_round(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(FaultKind.SHIM_DOWN, target=0, at_round=1, duration=0)
+        with pytest.raises(ConfigurationError):
+            FaultSpec(FaultKind.SHIM_DOWN, target=0, at_round=-1)
+
+
+class TestDue:
+    def test_one_shot_fires_exactly_once(self):
+        sched = FaultSchedule(
+            [FaultSpec(FaultKind.HOST_CRASH, target=3, at_round=2)]
+        )
+        fired = [sched.due(r) for r in range(5)]
+        assert [len(f) for f in fired] == [0, 0, 1, 0, 0]
+        assert fired[2][0][1].target == 3
+
+    def test_probabilistic_fires_deterministically(self):
+        a = FaultSchedule([probabilistic()], seed=7)
+        b = FaultSchedule([probabilistic()], seed=7)
+        rounds_a = [bool(a.due(r)) for r in range(50)]
+        rounds_b = [bool(b.due(r)) for r in range(50)]
+        assert rounds_a == rounds_b
+        assert any(rounds_a) and not all(rounds_a)
+
+    def test_spec_streams_independent(self):
+        """Adding a second spec never changes the first spec's firings."""
+        alone = FaultSchedule([probabilistic()], seed=11)
+        paired = FaultSchedule([probabilistic(), probabilistic(0.9)], seed=11)
+        fires_alone = [
+            [i for i, _ in alone.due(r)] for r in range(30)
+        ]
+        fires_paired = [
+            [i for i, _ in paired.due(r) if i == 0] for r in range(30)
+        ]
+        assert fires_alone == [
+            [i for i in row] for row in fires_paired
+        ]
+
+    def test_empty(self):
+        sched = FaultSchedule()
+        assert sched.empty and len(sched) == 0
+        assert sched.due(0) == []

@@ -93,6 +93,102 @@ class TestFCFS:
             reg.request(0, 10**6, 0)
 
 
+def pick_two_moves(cluster):
+    """Two distinct VMs with two distinct free destination hosts."""
+    pl = cluster.placement
+    moves = []
+    taken_hosts = set()
+    for vm in range(pl.num_vms):
+        src = pl.host_of(vm)
+        need = int(pl.vm_capacity[vm])
+        for h in range(pl.num_hosts):
+            if h != src and h not in taken_hosts and pl.free_capacity(h) >= need:
+                moves.append((vm, h, int(pl.host_rack[h])))
+                # keep destinations disjoint from every involved host, so
+                # killing one destination cannot block another rollback
+                taken_hosts.add(h)
+                taken_hosts.add(src)
+                break
+        if len(moves) == 2:
+            return moves
+    pytest.skip("fixture too full for two disjoint moves")
+
+
+class TestAtomicCommit:
+    """Regression: commit_round must never half-apply a round."""
+
+    def test_failed_commit_rolls_back_applied_moves(self, cluster):
+        pl = cluster.placement
+        reg = ReceiverRegistry(cluster)
+        (vm1, h1, r1), (vm2, h2, r2) = pick_two_moves(cluster)
+        src1 = pl.host_of(vm1)
+        assert reg.request(vm1, h1, r1) is RequestOutcome.ACK
+        assert reg.request(vm2, h2, r2) is RequestOutcome.ACK
+        pl.disable_host(h2)  # second destination dies mid-round
+        with pytest.raises(ProtocolError, match="rolled back"):
+            reg.commit_round()
+        # the first move was applied, then undone: nothing half-committed
+        assert pl.host_of(vm1) == src1
+        assert pl.host_of(vm2) != h2
+        assert reg.pending == 0
+        pl.check_invariants()
+
+    def test_tolerant_commit_reports_partial_failure(self, cluster):
+        pl = cluster.placement
+        reg = ReceiverRegistry(cluster)
+        (vm1, h1, r1), (vm2, h2, r2) = pick_two_moves(cluster)
+        reg.request(vm1, h1, r1)
+        reg.request(vm2, h2, r2)
+        pl.disable_host(h2)
+        moved, failed = reg.commit_round_tolerant()
+        assert moved == [(vm1, h1)]
+        assert [(vm, host) for vm, host, _reason in failed] == [(vm2, h2)]
+        assert pl.host_of(vm1) == h1
+        assert pl.host_of(vm2) != h2
+        pl.check_invariants()
+
+
+class TestIdempotentRedelivery:
+    """A re-delivered REQUEST answers with the cached verdict (lost-ACK
+    retries must not double-reserve)."""
+
+    def test_redelivered_ack_does_not_double_reserve(self, cluster):
+        pl = cluster.placement
+        reg = ReceiverRegistry(cluster)
+        vm, host, rack = pick_vm_and_free_host(cluster)
+        need = int(pl.vm_capacity[vm])
+        assert reg.redeliver(vm, host, rack) is RequestOutcome.ACK
+        assert reg.redeliver(vm, host, rack) is RequestOutcome.ACK  # duplicate
+        assert reg.pending == 1
+        assert reg._promised[host] == need  # promised once, not twice
+        assert reg.commit_round() == [(vm, host)]
+        pl.check_invariants()
+
+    def test_first_delivery_falls_through_to_request(self, cluster):
+        reg = ReceiverRegistry(cluster)
+        vm, host, rack = pick_vm_and_free_host(cluster)
+        wrong = (rack + 1) % cluster.num_racks
+        assert reg.redeliver(vm, host, wrong) is RequestOutcome.IGNORED
+        assert reg.redeliver(vm, host, wrong) is RequestOutcome.IGNORED
+        assert reg.pending == 0
+
+    def test_cancel_releases_the_slot(self, cluster):
+        reg = ReceiverRegistry(cluster)
+        vm, host, rack = pick_vm_and_free_host(cluster)
+        reg.redeliver(vm, host, rack)
+        assert reg.holds_reservation(vm)
+        reg.cancel(vm)
+        assert not reg.holds_reservation(vm)
+        assert reg.pending == 0
+        # capacity and the verdict cache are both released
+        assert reg.redeliver(vm, host, rack) is RequestOutcome.ACK
+
+    def test_cancel_without_reservation_raises(self, cluster):
+        reg = ReceiverRegistry(cluster)
+        with pytest.raises(ProtocolError):
+            reg.cancel(0)
+
+
 class TestDependencyConflicts:
     def test_conflicting_destination_rejected(self, cluster):
         pl = cluster.placement

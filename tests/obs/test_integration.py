@@ -83,8 +83,9 @@ class TestRoundEventSequence:
 
 class TestAllEventKinds:
     def test_full_stack_run_emits_every_documented_kind(self):
-        """One run exercising migrations, rejects, reroutes, timed landings
-        and forecasting covers the complete ten-event vocabulary."""
+        """One run exercising migrations, rejects, reroutes, timed landings,
+        forecasting and fault injection covers the complete event
+        vocabulary."""
         tracer = RecordingTracer()
         cluster = _cluster(fill=0.85, skew=1.2, seed=7, dependency_degree=2.0)
         sim = SheriffSimulation(
@@ -124,6 +125,44 @@ class TestAllEventKinds:
         for value in series[24:]:
             selector.predict_one()
             selector.observe(float(value))
+
+        # the fault layer shares the tracer too: start migrations, then
+        # crash an occupied host mid-flight and abort a migration
+        from repro.faults.channel import ChannelPolicy, UnreliableChannel
+        from repro.faults.schedule import FaultKind, FaultSchedule, FaultSpec
+
+        fcluster = _cluster(fill=0.85, skew=1.2, seed=7)
+        pl = fcluster.placement
+        victim = next(
+            h for h in range(pl.num_hosts) if len(pl.vms_on_host(h)) > 0
+        )
+        fsim = SheriffSimulation(
+            fcluster,
+            SheriffConfig(
+                tracer=tracer,
+                migration_timing=MigrationTiming(),
+                fault_schedule=FaultSchedule(
+                    [
+                        FaultSpec(
+                            FaultKind.HOST_CRASH, target=victim, at_round=1
+                        ),
+                        FaultSpec(FaultKind.MIGRATION_ABORT, at_round=1),
+                    ]
+                ),
+            ),
+        )
+        alerts, vma = inject_fraction_alerts(fcluster, 0.3, time=0, seed=5)
+        assert fsim.run_round(alerts, vma).migrations > 0  # some in flight
+        fsim.run_round([], {})
+
+        # and a REQUEST into a dead delegation times out over the channel
+        dead = UnreliableChannel(
+            fsim.receivers,
+            ChannelPolicy(max_retries=0),
+            is_rack_down=lambda rack: True,
+            tracer=tracer,
+        )
+        dead.request(0, 0, int(pl.host_rack[0]))
 
         seen = set(tracer.kinds())
         missing = {cls.__name__ for cls in EVENT_TYPES} - seen

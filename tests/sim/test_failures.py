@@ -93,6 +93,52 @@ class TestFail:
         with pytest.raises(TopologyError):
             inj.recover(sw)
 
+    def test_recover_readmits_dropped_flows(self):
+        cluster = build_cluster(build_bcube(2), hosts_per_rack=2, seed=1)
+        ft = FlowTable(cluster.topology)
+        ft.add_flow(vm=0, src_rack=0, dst_rack=1, rate=1.0)
+        inj = FailureInjector(cluster, flow_table=ft)
+        inj.fail(2)
+        inj.fail(3)  # no surviving path: flow dropped
+        assert len(ft.flows) == 0
+        report = inj.recover(3)
+        assert len(report.flows_readmitted) == 1
+        assert report.racks_disconnected == []
+        fid = report.flows_readmitted[0]
+        flow = ft.flows[fid]
+        assert (flow.vm, flow.src_rack, flow.dst_rack) == (0, 0, 1)
+        assert 2 not in flow.path  # routed around the still-failed switch
+
+    def test_fail_recover_fail_cycle(self):
+        cluster = build_cluster(build_bcube(2), hosts_per_rack=2, seed=1)
+        ft = FlowTable(cluster.topology)
+        ft.add_flow(vm=0, src_rack=0, dst_rack=1, rate=1.0)
+        inj = FailureInjector(cluster, flow_table=ft)
+        inj.fail(2)
+        inj.fail(3)
+        inj.recover(3)  # flow back, carried by switch 3
+        report = inj.fail(3)  # second outage drops it again
+        assert len(report.flows_dropped) == 1
+        assert len(ft.flows) == 0
+        report = inj.recover(2)  # and the other switch brings it back
+        assert len(report.flows_readmitted) == 1
+        assert 3 not in ft.flows[report.flows_readmitted[0]].path
+
+    def test_recover_on_partitioned_fabric(self):
+        """Re-admission works even while the fabric stays partitioned
+        elsewhere; what still has no path stays dropped for later."""
+        cluster = build_cluster(build_bcube(2), hosts_per_rack=2, seed=1)
+        ft = FlowTable(cluster.topology)
+        ft.add_flow(vm=0, src_rack=0, dst_rack=1, rate=1.0)
+        inj = FailureInjector(cluster, flow_table=ft)
+        inj.fail(2)
+        inj.fail(3)
+        report = inj.recover(2)
+        assert len(report.flows_readmitted) == 1  # path via switch 2 again
+        with pytest.raises(TopologyError):
+            inj.recover(2)  # not failed any more
+        assert inj.failed == {3}
+
     def test_available_bandwidth_zeroed(self, env):
         cluster, ft = env
         inj = FailureInjector(cluster)

@@ -148,7 +148,8 @@ class TestReport:
     def test_report_trace_covers_every_event_kind(self, capsys, tmp_path):
         # the acceptance bar for the observability subsystem: one traced
         # run exercising migrations, rejects and reroutes emits at least
-        # one event of every documented type
+        # one event of every documented type (the fault vocabulary is
+        # covered by the chaos campaign's trace — see TestChaosTrace)
         from repro.obs.events import EVENT_TYPES
 
         trace = tmp_path / "report.jsonl"
@@ -156,4 +157,30 @@ class TestReport:
         kinds = {
             json.loads(line)["event"] for line in trace.read_text().splitlines()
         }
-        assert kinds == {cls.__name__ for cls in EVENT_TYPES}
+        fault_kinds = {
+            "FaultInjected", "HostCrashed", "RequestTimedOut",
+            "MigrationAborted",
+        }
+        assert kinds == {cls.__name__ for cls in EVENT_TYPES} - fault_kinds
+
+
+class TestChaosTrace:
+    def test_chaos_trace_covers_the_fault_vocabulary(self, tmp_path):
+        # the acceptance bar for the fault layer: one traced campaign
+        # emits every fault-event kind alongside the protocol events
+        trace = tmp_path / "chaos.jsonl"
+        out = tmp_path / "chaos.json"
+        rc = main(
+            [
+                "chaos", "--size", "4", "--rounds", "8", "--seed", "2015",
+                "--output", str(out), "--trace", str(trace),
+            ]
+        )
+        assert rc == 0
+        kinds = {
+            json.loads(line)["event"] for line in trace.read_text().splitlines()
+        }
+        assert {
+            "FaultInjected", "HostCrashed", "RequestTimedOut",
+            "MigrationAborted", "RequestSent", "MigrationCommitted",
+        } <= kinds

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Flag bare and swallowed exception handlers by static AST analysis.
+
+Usage: ``python tools/check_exception_hygiene.py src/repro``
+
+Two patterns are reported, both of which have hidden real bugs in this
+codebase before (a swallowed ``LinAlgError`` masking a degenerate refit,
+a broad matching fallback hiding malformed cost matrices):
+
+* **bare handlers** — ``except:`` catches everything including
+  ``KeyboardInterrupt``/``SystemExit``; name the exceptions instead;
+* **swallowed broad handlers** — ``except Exception:`` (or
+  ``BaseException``) whose body neither re-raises, returns/continues
+  with a value, calls anything, nor assigns — i.e. silently drops the
+  error on the floor (a lone ``pass``).  Broad handlers that *do*
+  something (roll back and re-raise, record a fallback) are allowed:
+  the smell is the silent swallow, not the breadth.
+
+An ``OSError``-narrowed cleanup handler (``except OSError: pass``) is
+fine — narrow swallows are deliberate by construction.
+
+Exit code 1 when any finding exists.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _names(node: ast.expr) -> Iterator[str]:
+    """Exception class names referenced by an ``except`` clause."""
+    if isinstance(node, ast.Name):
+        yield node.id
+    elif isinstance(node, ast.Attribute):
+        yield node.attr
+    elif isinstance(node, ast.Tuple):
+        for elt in node.elts:
+            yield from _names(elt)
+
+
+def _swallows(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body does nothing with the error."""
+    for stmt in handler.body:
+        if not isinstance(stmt, (ast.Pass, ast.Expr)):
+            return False
+        if isinstance(stmt, ast.Expr) and not isinstance(
+            stmt.value, ast.Constant
+        ):
+            return False  # an expression with effects (a call) is "doing"
+    return True
+
+
+def check_file(path: Path) -> List[Tuple[int, str]]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    findings: List[Tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            findings.append(
+                (node.lineno, "bare 'except:' — name the exception types")
+            )
+            continue
+        caught = set(_names(node.type))
+        if caught & _BROAD and _swallows(node):
+            findings.append(
+                (
+                    node.lineno,
+                    "swallowed broad handler — 'except "
+                    f"{'/'.join(sorted(caught & _BROAD))}' with an empty "
+                    "body hides real failures; narrow it or handle the "
+                    "error",
+                )
+            )
+    return findings
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    root = Path(argv[1])
+    if not root.is_dir():
+        print(f"error: {root} is not a directory", file=sys.stderr)
+        return 2
+    total = 0
+    for path in sorted(root.rglob("*.py")):
+        for lineno, message in check_file(path):
+            print(f"{path}:{lineno}: {message}")
+            total += 1
+    if total:
+        print(f"{total} exception-hygiene finding(s)")
+        return 1
+    print("exception hygiene: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
