@@ -1,6 +1,11 @@
 # Convenience targets for the Sheriff reproduction.
 
-.PHONY: install lint test bench bench-all report examples chaos all
+# Run straight from a checkout: the package lives under src/ and the
+# benchmark helpers import as `benchmarks.*` from the repo root.  An
+# installed package shadows neither (src/ simply wins on the path).
+export PYTHONPATH := src:.$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: install lint test bench bench-check bench-all report examples chaos ci all
 
 install:
 	pip install -e . --no-build-isolation
@@ -13,8 +18,13 @@ lint:
 test: lint
 	pytest tests/
 
+# Fleet-kernel speedups at paper scale; writes BENCH_4.json at the root.
 bench:
-	pytest benchmarks/test_perf_parallel.py --benchmark-only
+	pytest benchmarks/test_perf_fleet.py --benchmark-only
+
+# Cheap regression gate on the committed BENCH_4.json numbers.
+bench-check:
+	python tools/check_bench.py BENCH_4.json
 
 bench-all:
 	pytest benchmarks/ --benchmark-only
@@ -32,5 +42,8 @@ chaos:
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null || exit 1; done
+
+ci: lint bench-check
+	pytest tests/
 
 all: lint test bench-all

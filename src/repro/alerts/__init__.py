@@ -7,8 +7,8 @@ QCN-style queue-length feedback, and shims watch their ToR uplink.
 """
 
 from repro.alerts.threshold import AlertConfig
-from repro.alerts.alert import Alert, AlertKind, compute_alert
-from repro.alerts.monitor import VMMonitor, default_model_pool
+from repro.alerts.alert import Alert, AlertKind, compute_alert, compute_alerts
+from repro.alerts.monitor import VMMonitor, default_model_pool, fleet_alert_values
 from repro.alerts.qcn import SwitchQueue, ToRUplinkMonitor
 from repro.alerts.aggregate import (
     host_profiles,
@@ -22,8 +22,10 @@ __all__ = [
     "Alert",
     "AlertKind",
     "compute_alert",
+    "compute_alerts",
     "VMMonitor",
     "default_model_pool",
+    "fleet_alert_values",
     "SwitchQueue",
     "ToRUplinkMonitor",
     "host_profiles",

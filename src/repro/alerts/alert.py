@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 
-__all__ = ["AlertKind", "Alert", "compute_alert"]
+__all__ = ["AlertKind", "Alert", "compute_alert", "compute_alerts"]
 
 
 class AlertKind(Enum):
@@ -49,6 +49,28 @@ def compute_alert(predicted_profile: np.ndarray, threshold: float) -> float:
         raise ConfigurationError(f"threshold must be in (0, 1], got {threshold}")
     m = float(w.max())
     return m if m > threshold else 0.0
+
+
+def compute_alerts(profiles: np.ndarray, threshold) -> np.ndarray:
+    """Vectorized ALERT over a fleet's predicted-profile matrix.
+
+    Row ``i`` of the result is bitwise ``compute_alert(profiles[i],
+    threshold[i])`` — clip, row-max, threshold gate are the same IEEE
+    operations applied element-wise.  *threshold* may be a scalar (shared
+    THRESHOLD) or a length-``n`` vector (per-VM configs).
+    """
+    w = np.clip(np.asarray(profiles, dtype=np.float64), 0.0, 1.0)
+    if w.ndim != 2 or w.shape[1] == 0:
+        raise ConfigurationError(f"profiles must be (n, R) with R >= 1, got {w.shape}")
+    thr = np.asarray(threshold, dtype=np.float64)
+    if thr.ndim not in (0, 1) or (thr.ndim == 1 and thr.shape[0] != w.shape[0]):
+        raise ConfigurationError(
+            f"threshold must be scalar or length {w.shape[0]}, got shape {thr.shape}"
+        )
+    if np.any(thr <= 0.0) or np.any(thr > 1.0):
+        raise ConfigurationError(f"thresholds must be in (0, 1], got {thr}")
+    m = w.max(axis=1)
+    return np.where(m > thr, m, 0.0)
 
 
 @dataclass(frozen=True)

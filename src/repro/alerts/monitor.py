@@ -12,11 +12,11 @@ while a light pool (naive + small ARIMA) keeps thousand-VM sweeps fast.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.alerts.alert import compute_alert
+from repro.alerts.alert import compute_alert, compute_alerts
 from repro.alerts.threshold import AlertConfig
 from repro.cluster.resources import NUM_RESOURCES
 from repro.errors import ConfigurationError, ForecastError
@@ -25,7 +25,13 @@ from repro.forecast.naive import NaiveLast
 from repro.forecast.narnet import NARNET
 from repro.forecast.selection import DynamicModelSelector
 
-__all__ = ["default_model_pool", "light_model_pool", "seasonal_model_pool", "VMMonitor"]
+__all__ = [
+    "default_model_pool",
+    "light_model_pool",
+    "seasonal_model_pool",
+    "VMMonitor",
+    "fleet_alert_values",
+]
 
 
 def default_model_pool() -> Dict[str, Callable[[], object]]:
@@ -145,3 +151,35 @@ class VMMonitor:
             )
         for r, sel in enumerate(self._selectors):
             sel.observe(float(row[r]))
+
+
+def fleet_alert_values(monitors: Sequence[VMMonitor]) -> np.ndarray:
+    """``[m.alert_value() for m in monitors]`` with batched fleet kernels.
+
+    Collects every monitor's per-resource selectors, runs their one-step
+    pool predictions through the stacked ARIMA kernels (one group per
+    order across the *whole* fleet), and evaluates the ALERT threshold
+    gate over the resulting profile matrix in one vectorized pass.  Values
+    and selector side effects (the ``_last_pred`` caches that
+    :meth:`VMMonitor.observe` scores) are byte-identical to calling
+    :meth:`VMMonitor.alert_value` per monitor.
+    """
+    from repro.forecast.selection import batch_predict_one
+
+    mons = list(monitors)
+    if not mons:
+        return np.empty(0)
+    sels = [sel for m in mons for sel in m._selectors]
+    one = np.empty((len(mons), NUM_RESOURCES))
+    flat = batch_predict_one(sels)
+    for i in range(len(mons)):
+        for r in range(NUM_RESOURCES):
+            one[i, r] = flat[i * NUM_RESOURCES + r]
+    profiles = np.empty((len(mons), NUM_RESOURCES))
+    for i, mon in enumerate(mons):
+        if mon.config.horizon == 1:
+            profiles[i] = np.clip(one[i], 0.0, 1.0)
+        else:
+            profiles[i] = mon.predicted_profile()
+    thresholds = np.asarray([mon.config.threshold for mon in mons])
+    return compute_alerts(profiles, thresholds)

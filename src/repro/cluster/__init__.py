@@ -23,6 +23,7 @@ from repro.cluster.host import Host
 from repro.cluster.rack import Rack
 from repro.cluster.dependency import DependencyGraph
 from repro.cluster.placement import Placement
+from repro.cluster.snapshot import FleetSnapshot
 from repro.cluster.cluster import Cluster, build_cluster
 from repro.cluster.packing import POLICIES, build_cluster_packed, pack
 from repro.cluster.shim import ShimView
@@ -38,6 +39,7 @@ __all__ = [
     "Rack",
     "DependencyGraph",
     "Placement",
+    "FleetSnapshot",
     "Cluster",
     "build_cluster",
     "build_cluster_packed",

@@ -12,7 +12,7 @@ incrementally: ``migrate`` refuses to overfill a destination host, and
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -81,6 +81,9 @@ class Placement:
         self._migrations = 0
         self._generation = 0
         self._move_log: List[int] = []  # vm id per successful migrate()
+        # (vm, src_host, dst_host) per generation bump; lost/restore events
+        # use src == dst as a "no placement change" sentinel
+        self._move_details: List[Tuple[int, int, int]] = []
         self.host_alive = np.ones(self.num_hosts, dtype=bool)
         self.lost_vms: set = set()  # VMs whose host crashed before evacuation
 
@@ -141,6 +144,17 @@ class Placement:
             return list(self._move_log)
         return self._move_log[generation:]
 
+    def moves_since(self, generation: int) -> List[Tuple[int, int, int]]:
+        """``(vm, src_host, dst_host)`` per generation bump after *generation*.
+
+        Lost/restore events (which bump the generation without relocating
+        the VM) appear with ``src_host == dst_host`` so incremental caches
+        can tell "the VM changed racks" apart from "the VM changed
+        liveness"."""
+        if generation < 0:
+            return list(self._move_details)
+        return self._move_details[generation:]
+
     # ------------------------------------------------------------------ #
     # mutation
     # ------------------------------------------------------------------ #
@@ -174,6 +188,7 @@ class Placement:
         self._migrations += 1
         self._generation += 1
         self._move_log.append(vm)
+        self._move_details.append((vm, src, dst_host))
 
     # ------------------------------------------------------------------ #
     # failure state (see repro.faults)
@@ -215,6 +230,8 @@ class Placement:
         self.lost_vms.add(vm)
         self._generation += 1
         self._move_log.append(vm)
+        host = int(self.vm_host[vm])
+        self._move_details.append((vm, host, host))
 
     def restore_lost(self, vm: int) -> None:
         """Un-lose *vm* (its host recovered); it resumes where it was."""
@@ -223,6 +240,8 @@ class Placement:
         self.lost_vms.discard(vm)
         self._generation += 1
         self._move_log.append(vm)
+        host = int(self.vm_host[vm])
+        self._move_details.append((vm, host, host))
 
     def clone(self) -> "Placement":
         """Deep copy (used by the centralized baseline to explore plans)."""
@@ -240,6 +259,7 @@ class Placement:
         new._migrations = self._migrations
         new._generation = self._generation
         new._move_log = list(self._move_log)
+        new._move_details = list(self._move_details)
         new.host_alive = self.host_alive.copy()
         new.lost_vms = set(self.lost_vms)
         return new

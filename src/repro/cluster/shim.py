@@ -61,6 +61,7 @@ class ShimView:
         self.cluster = cluster
         self.rack = rack
         self.neighbors: FrozenSet[int] = neighbor_racks(cluster.topology, rack)
+        self._candidate_hosts: np.ndarray = None  # computed on first use
 
     @property
     def region(self) -> FrozenSet[int]:
@@ -75,10 +76,18 @@ class ShimView:
         return self.cluster.placement.hosts_in_rack(self.rack)
 
     def candidate_hosts(self) -> np.ndarray:
-        """Hosts in neighbor racks — possible migration destinations."""
-        pl = self.cluster.placement
-        mask = np.isin(pl.host_rack, list(self.neighbors))
-        return np.nonzero(mask)[0]
+        """Hosts in neighbor racks — possible migration destinations.
+
+        ``host_rack`` and the neighbor set are both immutable for the
+        lifetime of a fabric (hosts may die, but dying changes capacity,
+        not rack membership), so the scan runs once and the result is
+        cached.  Callers treat the returned array as read-only.
+        """
+        if self._candidate_hosts is None:
+            pl = self.cluster.placement
+            mask = np.isin(pl.host_rack, list(self.neighbors))
+            self._candidate_hosts = np.nonzero(mask)[0]
+        return self._candidate_hosts
 
     def search_space(self, num_candidate_vms: int) -> int:
         """Candidate (VM, destination-host) pairs this shim examines.

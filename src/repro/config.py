@@ -59,9 +59,14 @@ class SheriffConfig:
         fully-interleaved serial loop; ``1`` runs the same plan/execute
         split as the parallel path but inline (useful for testing the
         equivalence); ``>= 2`` plans racks concurrently on a thread pool
-        of that size and ``-1`` sizes the pool to the machine.  All
-        settings produce byte-identical results — only wall-clock and the
-        timing breakdown change.
+        of that size.  ``-1`` is *auto*: rounds whose alerted-rack count
+        stays below the pool break-even threshold
+        (:data:`~repro.parallel.pool.AUTO_INLINE_TASK_THRESHOLD`) plan
+        inline against the shared SoA snapshot — no pool is created until
+        a round is actually wide enough to amortize one — and wider
+        rounds fan out over a machine-sized pool.  All settings produce
+        byte-identical results — only wall-clock and the timing breakdown
+        change.
     cache_cost_kernels:
         Memoize the shortest-path table per (topology, knobs) and per-VM
         Eq. (1) cost vectors per placement generation (invalidated for

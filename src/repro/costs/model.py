@@ -17,7 +17,7 @@ are apples-to-apples by construction.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -101,8 +101,15 @@ class CostModel:
         self._rack_dist = self.table.rack_distance_matrix()
         self._cache_enabled = bool(cache)
         self._vec_cache: Dict[int, np.ndarray] = {}
+        # topology-static transmission vectors keyed on (capacity, src rack);
+        # never invalidated — a move changes *which* key a VM reads, not the
+        # value stored under any key
+        self._trans_cache: Dict[Tuple[float, int], np.ndarray] = {}
         self._cache_gen = cluster.placement.generation
-        self.cache_stats = {"hits": 0, "misses": 0, "invalidations": 0}
+        self.cache_stats = {
+            "hits": 0, "misses": 0, "invalidations": 0, "repairs": 0,
+            "primed": 0,
+        }
 
     # ------------------------------------------------------------------ #
     @property
@@ -132,13 +139,21 @@ class CostModel:
         return self.params.migration_constant + dep + trans
 
     def sync_cache(self) -> None:
-        """Drop per-VM vectors staled by migrations since the last sync.
+        """Apply delta updates for migrations since the last sync.
 
-        A move changes the moved VM's own vector (new source rack) and its
-        dependency neighbors' vectors (a dependent changed racks); nothing
-        else.  Called automatically by :meth:`migration_cost_vector`; the
-        engine also calls it once at round start so that worker threads
-        planning concurrently only ever *read* the synced cache.
+        A move stales exactly the moved VM's own vector (new source rack)
+        and its dependency neighbors' vectors (a dependent changed racks);
+        nothing else.  Instead of dropping those entries wholesale, the
+        stale rows are *repaired in place* — recomputed against the current
+        placement, reusing the memoized per-(capacity, rack) transmission
+        vectors — so untouched entries survive across rounds and the
+        steady-state query path is a cache hit.  Lost/restore generation
+        bumps (``src == dst`` in the move details) drop the VM's entry
+        instead: a lost VM must not be planned against.
+
+        Called automatically by :meth:`migration_cost_vector`; the engine
+        also calls it once at round start so that worker threads planning
+        concurrently only ever *read* the synced cache.
         """
         if not self._cache_enabled:
             return
@@ -146,20 +161,27 @@ class CostModel:
         gen = pl.generation
         if gen == self._cache_gen:
             return
-        moved = pl.moved_since(self._cache_gen)
         deps = self.cluster.dependencies
-        # wholesale clear when targeted invalidation would touch most entries
-        if len(moved) * 4 >= max(len(self._vec_cache), 1):
-            self.cache_stats["invalidations"] += len(self._vec_cache)
-            self._vec_cache.clear()
-        else:
-            for vm in moved:
-                if self._vec_cache.pop(vm, None) is not None:
-                    self.cache_stats["invalidations"] += 1
-                for n in deps.neighbors(vm):
-                    if self._vec_cache.pop(int(n), None) is not None:
-                        self.cache_stats["invalidations"] += 1
+        # vm -> repair? (False = drop); later own-events override earlier
+        # ones, neighbor staleness never downgrades an own drop
+        plan: Dict[int, bool] = {}
+        for vm, src, dst in pl.moves_since(self._cache_gen):
+            plan[vm] = src != dst
+            for n in deps.neighbors(vm):
+                plan.setdefault(int(n), True)
         self._cache_gen = gen
+        fix: list = []
+        for vm, repair in plan.items():
+            if self._vec_cache.pop(vm, None) is None:
+                continue
+            self.cache_stats["invalidations"] += 1
+            if repair:
+                fix.append(vm)
+        if fix:
+            self.cache_stats["repairs"] += len(fix)
+            mat = self._compute_cost_matrix(np.asarray(fix, dtype=np.int64))
+            for i, vm in enumerate(fix):
+                self._vec_cache[vm] = mat[i]
 
     def migration_cost_vector(self, vm: int) -> np.ndarray:
         """Eq. (1) cost of *vm* against every destination rack (vectorized).
@@ -179,11 +201,82 @@ class CostModel:
             return out
         return self._compute_cost_vector(vm)
 
+    def prime_cost_vectors(self, vms) -> None:
+        """Batch-fill the cache for *vms* ahead of planning (fleet prime).
+
+        One stacked kernel computes every missing Eq. (1) vector, so the
+        per-rack planners that follow read the cache instead of running
+        the scalar kernel once per candidate.  Speculative fills are
+        tallied under ``cache_stats["primed"]`` (not as misses — they are
+        not demand queries).  No-op when the cache is disabled.
+        """
+        if not self._cache_enabled:
+            return
+        self.sync_cache()
+        todo = list(
+            dict.fromkeys(int(v) for v in vms if int(v) not in self._vec_cache)
+        )
+        if not todo:
+            return
+        mat = self._compute_cost_matrix(np.asarray(todo, dtype=np.int64))
+        for i, vm in enumerate(todo):
+            self._vec_cache[vm] = mat[i]
+        self.cache_stats["primed"] += len(todo)
+
+    def cost_rows(self, vms) -> np.ndarray:
+        """Eq. (1) vectors for *vms*, stacked into a ``(len(vms), racks)`` matrix.
+
+        The batched counterpart of per-VM :meth:`migration_cost_vector`
+        calls: cached rows are gathered, missing rows are computed by one
+        stacked kernel (and cached when the cache is enabled).  Every row
+        is bit-identical to the scalar query for the same VM.  The result
+        shares cached arrays — read-only by convention.
+        """
+        ids = [int(v) for v in vms]
+        if not ids:
+            return np.empty((0, self.table.num_racks))
+        if not self._cache_enabled:
+            return self._compute_cost_matrix(np.asarray(ids, dtype=np.int64))
+        self.sync_cache()
+        cache = self._vec_cache
+        hits = 0
+        missing = []
+        for v in ids:
+            if v in cache:
+                hits += 1
+            else:
+                missing.append(v)
+        if missing:
+            missing = list(dict.fromkeys(missing))
+            mat = self._compute_cost_matrix(np.asarray(missing, dtype=np.int64))
+            for i, vm in enumerate(missing):
+                cache[vm] = mat[i]
+            self.cache_stats["misses"] += len(missing)
+        self.cache_stats["hits"] += hits
+        return np.stack([cache[v] for v in ids])
+
+    def _trans_vector(self, cap: float, src_rack: int) -> np.ndarray:
+        """Memoized ``G`` column for one (capacity, source-rack) pair.
+
+        The transmission structure of Eq. (1) depends only on the fabric
+        and the VM's size, so these vectors are shared across VMs and
+        survive every migration — they are the rows/columns the
+        incremental update never has to rebuild.  Shared, read-only.
+        """
+        if not self._cache_enabled:
+            return self.table.cost_vector(cap, src_rack)
+        key = (cap, src_rack)
+        out = self._trans_cache.get(key)
+        if out is None:
+            out = self.table.cost_vector(cap, src_rack)
+            self._trans_cache[key] = out
+        return out
+
     def _compute_cost_vector(self, vm: int) -> np.ndarray:
         pl = self.cluster.placement
         src_rack = int(pl.host_rack[pl.vm_host[vm]])
         cap = float(pl.vm_capacity[vm])
-        trans = self.table.cost_vector(cap, src_rack)
+        trans = self._trans_vector(cap, src_rack)
         from repro.costs.dependency import dependent_racks
 
         racks = dependent_racks(self.cluster.dependencies, pl, vm)
@@ -194,6 +287,53 @@ class CostModel:
             )
         else:
             dep = np.zeros(self.table.num_racks)
+        return self.params.migration_constant + dep + trans
+
+    def _compute_cost_matrix(self, ids: np.ndarray) -> np.ndarray:
+        """Batched :meth:`_compute_cost_vector` over *ids* — one stacked kernel.
+
+        The transmission and constant terms are pure elementwise
+        broadcasts, so their IEEE op order per element matches the scalar
+        kernel exactly.  The ragged dependency reductions run through
+        ``np.add.reduceat`` (strictly sequential per segment), which only
+        matches ``np.sum`` below numpy's pairwise-summation block of 8
+        elements — VMs with 8+ dependents take the scalar kernel row.
+        """
+        pl = self.cluster.placement
+        deps = self.cluster.dependencies
+        n = ids.size
+        r = self.table.num_racks
+        src = pl.host_rack[pl.vm_host[ids]]
+        caps = pl.vm_capacity[ids].astype(np.float64)
+        trans = (
+            self.table.delta * caps[:, None] * self.table.sum_inv_b[src, :r]
+            + self.table.eta * self.table.sum_util[src, :r]
+        )
+        trans[np.arange(n), src] = 0.0
+        dep = np.zeros((n, r))
+        rows = []  # row index of each VM with 1 <= degree < 8
+        segs = []  # that VM's dependents' racks, in neighbor-sorted order
+        for i, vm in enumerate(ids.tolist()):
+            nbrs = sorted(deps.neighbors(vm))
+            if not nbrs:
+                continue
+            racks = pl.host_rack[pl.vm_host[np.asarray(nbrs, dtype=np.int64)]]
+            if len(nbrs) >= 8:
+                dep[i] = self.params.dependency_unit * (
+                    self._rack_dist[:, racks].sum(axis=1)
+                    - self._rack_dist[src[i], racks].sum()
+                )
+            else:
+                rows.append(i)
+                segs.append(racks)
+        if rows:
+            sizes = [s.size for s in segs]
+            cat = np.concatenate(segs)
+            offsets = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+            near = np.add.reduceat(self._rack_dist[:, cat], offsets, axis=1)
+            src_rep = src[np.asarray(rows, dtype=np.int64)].repeat(sizes)
+            here = np.add.reduceat(self._rack_dist[src_rep, cat], offsets)
+            dep[rows] = (self.params.dependency_unit * (near - here[None, :])).T
         return self.params.migration_constant + dep + trans
 
     def pairwise_rack_cost(self, capacity: float) -> np.ndarray:

@@ -441,7 +441,9 @@ class ARIMA(Forecaster):
         self._require_fitted()
         if not np.isfinite(value):
             raise ForecastError(f"appended value must be finite, got {value}")
-        self.y_ = np.append(self.y_, float(value))
+        # concatenate directly: np.append's ravel/dispatch wrapper is pure
+        # overhead at fleet scale and the result is byte-identical
+        self.y_ = np.concatenate((self.y_, (float(value),)))
         cur = float(value)
         for level in range(self.d):
             nxt = cur - self._heads[level]

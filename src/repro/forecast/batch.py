@@ -1,0 +1,175 @@
+"""Batched fleet forecasting kernels.
+
+A paper-scale fleet runs thousands of per-VM/per-host forecasters, and the
+monitor tick asks every one of them for the same thing: an h-step
+conditional mean.  Calling :meth:`~repro.forecast.base.Forecaster.forecast`
+one model at a time spends most of the tick in Python call overhead — the
+arithmetic per ARIMA step is a handful of multiply-adds.
+
+:func:`batch_forecast` regroups a fleet of fitted forecasters by model
+class and ARIMA order ``(p, d, q)``, stacks each group's O(p + q + d)
+forecasting state into arrays, and runs the paper's Sec. IV-B recursion
+(one-step MMSE prediction, k-step values fed back as history, Eq. (12)
+integration) *once per group* with element-wise array ops.
+
+Bit-identity contract: numpy element-wise arithmetic applies the same IEEE
+operation per element that the scalar recursion applies per model, in the
+same order — the stacked kernel accumulates ``c``, then ``φ_i · w_{t-i}``
+for ``i = 1..p``, then ``θ_j · e_{t-j}`` for ``j = 1..q``, exactly like
+:meth:`ARIMA.forecast`, and integrates with one ``cumsum`` per
+differencing level exactly like :func:`~repro.forecast.lag.undifference`.
+Models outside the batchable set (non-ARIMA classes, subclasses, unfitted
+instances) fall back to their own scalar ``forecast`` — so the result is
+byte-identical to ``[m.forecast(h) for m in models]`` for *any* mixed
+fleet.  The property suite asserts this bitwise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ForecastError
+from repro.forecast.arima import ARIMA
+from repro.forecast.naive import NaiveLast
+
+__all__ = ["batch_forecast", "batch_predict_one", "group_arima", "group_fleet"]
+
+ArimaOrder = Tuple[int, int, int]
+
+
+def _batchable(model: object) -> bool:
+    """Exactly-ARIMA fitted instances; subclasses may override forecast."""
+    return type(model) is ARIMA and getattr(model, "_fitted", False)
+
+
+def group_fleet(
+    models: Sequence[object],
+) -> Tuple[Dict[ArimaOrder, List[int]], List[int], List[int]]:
+    """Partition *models* into batchable groups and a scalar rest.
+
+    Returns ``(groups, naive, scalar)``: *groups* maps ``(p, d, q)`` to the
+    indices of fitted plain-ARIMA members sharing that order (insertion
+    order preserved), *naive* lists fitted plain-:class:`NaiveLast`
+    members (their forecast is a gather of each ``y_[-1]``), and *scalar*
+    everything else.  Exact-type gates throughout — subclasses may
+    override ``forecast`` and must go scalar.
+    """
+    groups: Dict[ArimaOrder, List[int]] = {}
+    naive: List[int] = []
+    scalar: List[int] = []
+    for idx, m in enumerate(models):
+        if _batchable(m):
+            groups.setdefault((m.p, m.d, m.q), []).append(idx)
+        elif type(m) is NaiveLast and getattr(m, "_fitted", False):
+            naive.append(idx)
+        else:
+            scalar.append(idx)
+    return groups, naive, scalar
+
+
+def group_arima(
+    models: Sequence[object],
+) -> Tuple[Dict[ArimaOrder, List[int]], List[int]]:
+    """Partition *models* into stackable ARIMA groups and a scalar rest.
+
+    Returns ``(groups, scalar)`` where *groups* maps ``(p, d, q)`` to the
+    indices of fitted plain-ARIMA members sharing that order (insertion
+    order preserved) and *scalar* lists every other index.
+    """
+    groups, naive, scalar = group_fleet(models)
+    return groups, sorted(naive + scalar)
+
+
+def _forecast_group(models: Sequence[ARIMA], p: int, d: int, q: int, h: int) -> np.ndarray:
+    """Stacked Sec. IV-B recursion for one ``(p, d, q)`` group.
+
+    Returns an ``(len(models), h)`` level-scale forecast matrix whose row
+    ``i`` is bitwise ``models[i].forecast(h)``.
+    """
+    n = len(models)
+    const = np.asarray([m.const_ for m in models], dtype=np.float64)
+    phi = (
+        np.asarray([m.phi_ for m in models], dtype=np.float64)
+        if p
+        else np.empty((n, 0))
+    )
+    theta = (
+        np.asarray([m.theta_ for m in models], dtype=np.float64)
+        if q
+        else np.empty((n, 0))
+    )
+    # histories as lists of (n,) columns, most recent last — appending a
+    # column mirrors the scalar path appending one value per model
+    w_cols: List[np.ndarray] = [
+        np.asarray([m._w_tail[k] for m in models], dtype=np.float64)
+        for k in range(p)
+    ]
+    e_cols: List[np.ndarray] = [
+        np.asarray([m._e_tail[k] for m in models], dtype=np.float64)
+        for k in range(q)
+    ]
+    out = np.empty((n, h))
+    for k in range(h):
+        val = const.copy()
+        for i in range(1, p + 1):
+            val += phi[:, i - 1] * w_cols[-i]
+        for j in range(1, q + 1):
+            val += theta[:, j - 1] * e_cols[-j]
+        out[:, k] = val
+        if p:
+            w_cols.append(val)  # K-STEP-AHEAD: forecast becomes history
+        if q:
+            e_cols.append(np.zeros(n))  # future innovations have zero mean
+    if d == 0:
+        return out
+    # Eq. (12) integration, innermost difference first — one cumsum per
+    # level is the row-wise image of undifference()'s scalar loop
+    heads = np.asarray([m._heads for m in models], dtype=np.float64)
+    for level in range(d - 1, -1, -1):
+        out = heads[:, level][:, None] + np.cumsum(out, axis=1)
+    return out
+
+
+def batch_forecast(models: Sequence[object], h: int = 1) -> List[np.ndarray]:
+    """h-step forecasts for a fleet; bitwise ``[m.forecast(h) for m in models]``.
+
+    Fitted plain-ARIMA members are grouped by order and forecast with one
+    stacked recursion per group; everything else goes through its own
+    scalar ``forecast``.  Results come back in input order.
+    """
+    if h < 1:
+        raise ForecastError(f"forecast horizon must be >= 1, got {h}")
+    models = list(models)
+    out: List[np.ndarray] = [None] * len(models)  # type: ignore[list-item]
+    groups, naive, scalar = group_fleet(models)
+    for (p, d, q), idxs in groups.items():
+        grp = _forecast_group([models[i] for i in idxs], p, d, q, h)
+        for row, i in enumerate(idxs):
+            out[i] = grp[row]
+    for i in naive:
+        # bitwise NaiveLast.forecast: np.full(h, float(y_[-1]))
+        out[i] = np.full(h, float(models[i].y_[-1]))
+    for i in scalar:
+        out[i] = models[i].forecast(h)
+    return out
+
+
+def batch_predict_one(models: Sequence[object]) -> List[float]:
+    """One-step forecasts; bitwise ``[m.predict_one() for m in models]``."""
+    models = list(models)
+    out: List[float] = [0.0] * len(models)
+    groups, naive, scalar = group_fleet(models)
+    for (p, d, q), idxs in groups.items():
+        grp = _forecast_group([models[i] for i in idxs], p, d, q, 1)
+        col = grp[:, 0]
+        for row, i in enumerate(idxs):
+            out[i] = float(col[row])
+    for i in naive:
+        # predict_one == float(forecast(1)[0]) == float(y_[-1]) exactly:
+        # np.full stores the float64 unchanged and indexing reads it back
+        out[i] = float(models[i].y_[-1])
+    for i in scalar:
+        out[i] = models[i].predict_one()
+    return out

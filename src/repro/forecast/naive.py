@@ -38,7 +38,7 @@ class NaiveLast(Forecaster):
         self._require_fitted()
         if not np.isfinite(value):
             raise ForecastError(f"appended value must be finite, got {value}")
-        self.y_ = np.append(self.y_, float(value))
+        self.y_ = np.concatenate((self.y_, (float(value),)))
 
 
 @dataclass

@@ -26,9 +26,30 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.parallel.pool import WorkerPool
 
-__all__ = ["DynamicModelSelector", "rolling_one_step", "SelectionTrace"]
+__all__ = [
+    "DynamicModelSelector",
+    "batch_predict_one",
+    "rolling_one_step",
+    "SelectionTrace",
+]
 
 ForecasterFactory = Callable[[], Forecaster]
+
+
+def _pin_stream(model: Forecaster) -> None:
+    """Pin a member's shared RNG stream before grouped/pooled dispatch.
+
+    A model seeded with a *shared* :class:`numpy.random.Generator` draws
+    from that stream during ``fit``, so the stream's state after a refit
+    depends on the order the pool members execute — which grouping or a
+    thread pool would change.  Splitting off a child substream here, in
+    pool order on the calling thread, fixes each member's draws before any
+    dispatch happens; integer/None seeds are already order-independent and
+    are left untouched.
+    """
+    seed = getattr(model, "seed", None)
+    if isinstance(seed, np.random.Generator):
+        model.seed = seed.spawn(1)[0]
 
 
 def rolling_one_step(
@@ -177,6 +198,14 @@ class DynamicModelSelector:
     ) -> Tuple[str, Optional[Forecaster], Optional[Exception]]:
         assert self._history is not None
         model = self.factories[name]()
+        _pin_stream(model)
+        return self._fit_prepared((name, model))
+
+    def _fit_prepared(
+        self, item: Tuple[str, Forecaster]
+    ) -> Tuple[str, Optional[Forecaster], Optional[Exception]]:
+        assert self._history is not None
+        name, model = item
         previous = self._models.get(name) if self.warm_start else None
         try:
             warm_fit(model, _window(self._history, self.max_history), previous)
@@ -186,19 +215,34 @@ class DynamicModelSelector:
 
     def _refit_all(self) -> None:
         assert self._history is not None
+        # Construct every member serially in pool order and pin any shared
+        # RNG stream *before* dispatch: from here on, neither the grouped
+        # dispatch order below nor pool scheduling can change what a member
+        # draws during fit.
+        prepared = []
+        for name in self.names:
+            model = self.factories[name]()
+            _pin_stream(model)
+            prepared.append((name, model))
+        # group same-class members together so pooled refits of a large
+        # mixed pool batch their (cache-friendly) kernels; results are
+        # installed by name, so this order is invisible to callers
+        prepared.sort(key=lambda item: type(item[1]).__name__)
         if self.workers > 1 and len(self.names) > 1:
             if self._pool is None:
                 self._pool = WorkerPool(
                     self.workers, backend="thread", name="sheriff-refit"
                 )
-            results, _ = self._pool.map_ordered(self._fit_one, self.names)
+            results, _ = self._pool.map_ordered(self._fit_prepared, prepared)
         else:
-            results = [self._fit_one(name) for name in self.names]
+            results = [self._fit_prepared(item) for item in prepared]
         models = {name: model for name, model, _ in results if model is not None}
         failures = [(name, exc) for name, model, exc in results if model is None]
         if not models:
             raise ConvergenceError(f"every pool member failed to fit: {failures}")
-        self._models = models
+        # preserve pool order in the mapping — predict_one fallback and
+        # repr stability rely on it
+        self._models = {n: models[n] for n in self.names if n in models}
 
     # ------------------------------------------------------------------ #
     def best_model_name(self) -> str:
@@ -262,7 +306,7 @@ class DynamicModelSelector:
         for model in self._models.values():
             model.append(float(value))
         assert self._history is not None
-        self._history = np.append(self._history, float(value))
+        self._history = np.concatenate((self._history, (float(value),)))
         self._step += 1
         self._since_fit += 1
         if self.metrics is not None:
@@ -310,3 +354,100 @@ class DynamicModelSelector:
     def _require_fitted(self) -> None:
         if not self._fitted:
             raise ForecastError("DynamicModelSelector is not fitted")
+
+
+def _batch_best_names(
+    sels: Sequence[DynamicModelSelector],
+) -> List[Optional[str]]:
+    """Vectorized Eq. (14) arbitration for a fleet of selectors.
+
+    Returns each selector's ``best_model_name()`` where the rectangular
+    fast path applies, ``None`` where it does not (the caller falls back
+    to the scalar method).  The fast path buckets selectors by (member
+    tuple, error-window length); within a bucket every member's error
+    deque has the same length ``L``, so one ``(members, L)`` matrix and a
+    single ``mean(E*E, axis=1)`` reproduce :func:`trailing_mse` for every
+    member at once — ``t = L - 1`` and ``maxlen = period`` make the
+    trailing window the *whole* deque — and ``argmin``'s first-minimum
+    rule is exactly the scalar loop's strict ``<`` pool-order tie-break.
+    ``L = 0`` means every score is the no-evidence 0.0 and the first
+    member wins, no arithmetic needed.
+    """
+    out: List[Optional[str]] = [None] * len(sels)
+    buckets: Dict[Tuple[Tuple[str, ...], int], List[int]] = {}
+    for i, s in enumerate(sels):
+        names = tuple(s._models.keys())
+        lens = {len(s._errors[n]) for n in names}
+        if len(lens) != 1:
+            continue  # ragged windows — scalar fallback scores these
+        buckets.setdefault((names, lens.pop()), []).append(i)
+    for (names, win_len), idxs in buckets.items():
+        if win_len == 0:
+            for i in idxs:
+                out[i] = names[0]
+            continue
+        flat = [list(sels[i]._errors[n]) for i in idxs for n in names]
+        e = np.asarray(flat, dtype=np.float64)
+        scores = np.mean(e * e, axis=1).reshape(len(idxs), len(names))
+        best = np.argmin(scores, axis=1)
+        for row, i in enumerate(idxs):
+            out[i] = names[int(best[row])]
+    return out
+
+
+def batch_predict_one(selectors: Sequence[DynamicModelSelector]) -> List[float]:
+    """``[s.predict_one() for s in selectors]`` with batched member kernels.
+
+    The fleet hot path: every selector's pool members are collected, the
+    fitted plain-ARIMA members (across *all* selectors) are forecast in
+    stacked per-order groups and the NaiveLast members answered with one
+    gather, then each selector's Eq. (14) bookkeeping — the ``_last_pred``
+    cache :meth:`DynamicModelSelector.observe` scores, the best-model
+    choice (vectorized across the fleet via :func:`_batch_best_names`),
+    the ``ModelSelected`` event — runs exactly as in the scalar method.
+    Returns and side effects are byte-identical to the scalar loop; only
+    the per-member call overhead is amortized.
+    """
+    from repro.forecast.batch import _forecast_group, group_fleet
+
+    sels = list(selectors)
+    cursor: List[Tuple[DynamicModelSelector, str]] = []
+    models: List[Forecaster] = []
+    for s in sels:
+        s._require_fitted()
+        s._last_pred = {}
+        for name, model in s._models.items():
+            cursor.append((s, name))
+            models.append(model)
+    preds: List[Optional[float]] = [None] * len(models)
+    groups, naive, scalar = group_fleet(models)
+    for (p, d, q), idxs in groups.items():
+        grp = _forecast_group([models[i] for i in idxs], p, d, q, 1)
+        col = grp[:, 0]
+        for row, i in enumerate(idxs):
+            preds[i] = float(col[row])
+    for i in naive:
+        preds[i] = float(models[i].y_[-1])
+    for i in scalar:
+        try:
+            preds[i] = models[i].predict_one()
+        except ForecastError:
+            preds[i] = None
+    for (s, name), pred in zip(cursor, preds):
+        if pred is not None:
+            s._last_pred[name] = pred
+    bests = _batch_best_names(sels)
+    out: List[float] = []
+    for s, fast_best in zip(sels, bests):
+        if not s._last_pred:
+            raise ForecastError("no pool member could produce a prediction")
+        best = fast_best if fast_best is not None else s.best_model_name()
+        if best not in s._last_pred:
+            best = next(iter(s._last_pred))
+        pred = s._last_pred[best]
+        if s.tracer.enabled:
+            s.tracer.emit(
+                ModelSelected(model=best, step=s._step, prediction=float(pred))
+            )
+        out.append(pred)
+    return out

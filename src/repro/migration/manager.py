@@ -26,6 +26,7 @@ import numpy as np
 from repro.alerts.alert import Alert, AlertKind
 from repro.cluster.cluster import Cluster
 from repro.cluster.shim import ShimView
+from repro.cluster.snapshot import FleetSnapshot
 from repro.costs.model import CostModel
 from repro.errors import ConfigurationError
 from repro.migration.priority import CandidateVM, PriorityFactor, priority_select
@@ -275,6 +276,7 @@ class ShimManager:
         vm_alerts: Dict[int, float],
         frozen: frozenset = frozenset(),
         host_load=None,
+        snapshot: Optional[FleetSnapshot] = None,
     ) -> ShimPlan:
         """The read-only half of Alg. 1: classify, PRIORITY, cost block.
 
@@ -284,6 +286,11 @@ class ShimManager:
         first matching are computed by the same code paths as
         :meth:`process_round`, so :meth:`execute_plan` reproduces the
         serial results bit-for-bit.
+
+        With *snapshot* (the engine's per-round :class:`FleetSnapshot`),
+        membership queries and candidate construction run on the shared
+        SoA arrays — bit-identical values, one gather instead of one call
+        per VM.
         """
         plan = ShimPlan(rack=self.rack)
         pl = self.cluster.placement
@@ -305,7 +312,12 @@ class ShimManager:
                     flows = self.flow_table.flows_through(
                         alert.switch, from_rack=self.rack
                     )
-                    cands = [self._candidate(f.vm, vm_alerts) for f in flows]
+                    if snapshot is not None:
+                        cands = snapshot.candidates(
+                            [f.vm for f in flows], vm_alerts
+                        )
+                    else:
+                        cands = [self._candidate(f.vm, vm_alerts) for f in flows]
                     budget = max(1, int(self.alpha * self.cluster.tor_capacity(self.rack)))
                     t0 = perf_counter()
                     chosen = priority_select(
@@ -326,8 +338,13 @@ class ShimManager:
                 tor_alerted = True
             elif alert.kind is AlertKind.SERVER:
                 assert alert.host is not None
-                vms = pl.vms_on_host(alert.host)
-                cands = [self._candidate(int(v), vm_alerts) for v in vms]
+                if snapshot is not None:
+                    cands = snapshot.candidates(
+                        snapshot.vms_on_host(alert.host), vm_alerts
+                    )
+                else:
+                    vms = pl.vms_on_host(alert.host)
+                    cands = [self._candidate(int(v), vm_alerts) for v in vms]
                 cands = [c for c in cands if c.alert > 0]
                 t0 = perf_counter()
                 chosen = priority_select(cands, PriorityFactor.ONE)
@@ -339,8 +356,13 @@ class ShimManager:
                 migrate_set.extend(c.vm_id for c in chosen)
 
         if tor_alerted:
-            vms = pl.vms_in_rack(self.rack)
-            cands = [self._candidate(int(v), vm_alerts) for v in vms]
+            if snapshot is not None:
+                cands = snapshot.candidates(
+                    snapshot.vms_in_rack(self.rack), vm_alerts
+                )
+            else:
+                vms = pl.vms_in_rack(self.rack)
+                cands = [self._candidate(int(v), vm_alerts) for v in vms]
             budget = max(1, int(self.beta * self.cluster.tor_capacity(self.rack)))
             t0 = perf_counter()
             chosen = priority_select(cands, PriorityFactor.BETA, budget=budget)
@@ -363,6 +385,7 @@ class ShimManager:
                 dest_hosts.tolist(),
                 balance_weight=self.balance_weight,
                 host_load=host_load,
+                snapshot=snapshot,
             )
         return plan
 

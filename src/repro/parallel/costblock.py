@@ -99,13 +99,16 @@ def build_cost_block(
     *,
     balance_weight: float = 50.0,
     host_load: Optional[np.ndarray] = None,
+    snapshot=None,
 ) -> RackCostBlock:
     """Build one rack's matching inputs (pure; safe in worker threads).
 
     Reads only the placement, the cost model and the optional measured
     loads; produces float values bit-identical to the legacy per-row loop
     (same gathers, same elementwise adds), and pre-solves the first
-    iteration's matching.
+    iteration's matching.  *snapshot* (a per-round
+    :class:`~repro.cluster.snapshot.FleetSnapshot`) replaces the per-host
+    free-capacity/load loops with single gathers over the SoA arrays.
     """
     vms = [int(v) for v in dict.fromkeys(candidates)]
     hosts = np.asarray(sorted(set(int(h) for h in destination_hosts)), dtype=np.int64)
@@ -114,14 +117,19 @@ def build_cost_block(
         return block
     pl = cluster.placement
     block.host_racks = pl.host_rack[hosts]
-    free = np.asarray([pl.free_capacity(int(h)) for h in hosts])
+    if snapshot is not None:
+        free = snapshot.free_capacity(hosts)
+    else:
+        free = np.asarray([pl.free_capacity(int(h)) for h in hosts])
     if host_load is not None:
         load_frac = np.asarray(host_load, dtype=np.float64)[hosts]
+    elif snapshot is not None:
+        load_frac = snapshot.host_load[hosts]
     else:
         load_frac = pl.host_used[hosts] / pl.host_capacity[hosts]
     steer = balance_weight * load_frac
 
-    per_rack = np.stack([cost_model.migration_cost_vector(vm) for vm in vms])
+    per_rack = cost_model.cost_rows(vms)
     gathered = per_rack[:, block.host_racks]
     need = pl.vm_capacity[np.asarray(vms, dtype=np.int64)]
     feasible = free[None, :] >= need[:, None]

@@ -40,7 +40,7 @@ from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from time import perf_counter
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
-__all__ = ["WorkerPool", "resolve_workers"]
+__all__ = ["AUTO_INLINE_TASK_THRESHOLD", "WorkerPool", "auto_inline", "resolve_workers"]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -53,6 +53,32 @@ def resolve_workers(workers: int) -> int:
     if workers < 0:
         return max(1, os.cpu_count() or 1)
     return workers
+
+
+AUTO_INLINE_TASK_THRESHOLD = 64
+"""Fan-out break-even for the ``workers=-1`` auto mode (task count).
+
+Measured on the development container (see docs/performance.md, "The
+auto heuristic"): per-rack plan tasks are dominated by the PRIORITY
+knapsack and the Kuhn–Munkres solver — pure-Python loops that hold the
+GIL — so a thread pool adds dispatch/synchronization overhead roughly
+linear in the task count while overlapping only the numpy fraction of
+each task.  Below this many tasks the pooled plan phase never beat the
+inline one at any measured scale (4-pod through 8-pod fabrics); the
+auto mode therefore plans inline and leaves the pool untouched.
+"""
+
+
+def auto_inline(
+    workers: int, num_tasks: int, threshold: int = AUTO_INLINE_TASK_THRESHOLD
+) -> bool:
+    """Should an auto-sized (``workers < 0``) fan-out run inline?
+
+    Explicit pool sizes (``workers >= 1``) always honor the user's choice;
+    only the auto mode second-guesses the fan-out, and only below the
+    measured break-even task count.
+    """
+    return workers < 0 and num_tasks < threshold
 
 
 class WorkerPool:

@@ -22,12 +22,14 @@ historical loose keyword arguments still work but are deprecated.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.alerts.alert import Alert
 from repro.cluster.cluster import Cluster
+from repro.cluster.snapshot import FleetSnapshot
 from repro.config import SheriffConfig, resolve_config
 from repro.costs.model import CostModel
 from repro.errors import SimulationError
@@ -37,7 +39,7 @@ from repro.migration.reroute import FlowTable
 from repro.obs.events import AlertDelivered, MigrationLanded
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiling import NULL_PROFILER, Profiler
-from repro.parallel.pool import WorkerPool
+from repro.parallel.pool import WorkerPool, auto_inline
 from repro.sim.inflight import InFlightTracker, MigrationTiming, TimedReceiverRegistry
 
 __all__ = ["RoundSummary", "SheriffSimulation"]
@@ -283,15 +285,35 @@ class SheriffSimulation:
                 # PRIORITY, cost matrices, first matching) fans out over
                 # the pool against round-static shared state, then the
                 # order-sensitive REQUEST/commit half runs serialized in
-                # rack order — byte-identical to the interleaved loop
+                # rack order — byte-identical to the interleaved loop.
+                # The SoA fleet snapshot is built once here and shared
+                # read-only by every planner.
                 self.cost_model.sync_cache()
-                with self.profiler.section("plan"):
-                    plans, worker_secs = self._plan_pool().map_ordered(
-                        lambda rack: self.managers[rack].plan_round(
-                            by_rack[rack], vm_alerts, frozen, host_load
-                        ),
-                        racks,
+                # fleet prime: one stacked Eq. (1) kernel for every VM the
+                # planners could query, so per-rack block builds hit the
+                # cache instead of looping the scalar kernel
+                self.cost_model.prime_cost_vectors(
+                    v for v in vm_alerts if v not in frozen
+                )
+                snapshot = FleetSnapshot(self.cluster.placement)
+
+                def plan_one(rack: int):
+                    return self.managers[rack].plan_round(
+                        by_rack[rack], vm_alerts, frozen, host_load,
+                        snapshot=snapshot,
                     )
+
+                with self.profiler.section("plan"):
+                    if auto_inline(self.config.workers, len(racks)):
+                        # workers=-1 below the pool break-even: plan
+                        # inline without ever creating the pool
+                        t0 = perf_counter()
+                        plans = [plan_one(rack) for rack in racks]
+                        worker_secs = {"w0": perf_counter() - t0}
+                    else:
+                        plans, worker_secs = self._plan_pool().map_ordered(
+                            plan_one, racks
+                        )
                 for worker, secs in sorted(worker_secs.items()):
                     self.profiler.add(f"plan/{worker}", secs)
                 for plan in plans:

@@ -305,6 +305,43 @@ class PredictiveManager:
             return hist[-1]
         return float(np.clip(np.max(f), 0.0, 1.0))
 
+    def _predict_all(self) -> np.ndarray:
+        """Per-host predictions; bitwise ``[_predict(h) for h in hosts]``.
+
+        Hosts holding a fresh fitted plain-ARIMA model (the default
+        factory) are forecast through the stacked fleet kernel in one
+        group per order; short histories and exotic models keep the scalar
+        path.  A kernel failure falls back to the scalar oracle for the
+        whole batch — the same values, member by member.
+        """
+        from repro.forecast.arima import ARIMA
+        from repro.forecast.batch import batch_forecast
+
+        preds = np.empty(len(self._history))
+        batched: List[int] = []
+        for host in range(len(self._history)):
+            model = self._models.get(host)
+            if (
+                len(self._history[host]) >= self.min_history
+                and type(model) is ARIMA
+                and getattr(model, "_fitted", False)
+                and self._since_fit[host] < self.refit_every
+            ):
+                batched.append(host)
+            else:
+                preds[host] = self._predict(host)
+        if batched:
+            try:
+                fcasts = batch_forecast(
+                    [self._models[h] for h in batched], self.horizon
+                )
+                for host, f in zip(batched, fcasts):
+                    preds[host] = float(np.clip(np.max(f), 0.0, 1.0))
+            except (ReproError, ValueError, np.linalg.LinAlgError):
+                for host in batched:
+                    preds[host] = self._predict(host)
+        return preds
+
     def alerts_at(self, t: int) -> Tuple[List[Alert], Dict[int, float]]:
         """SERVER alerts for hosts whose predicted load crosses threshold."""
         self._refit_due()
@@ -312,12 +349,13 @@ class PredictiveManager:
         pl = cluster.placement
         util = self.workload.vm_utilization(t)
         current = self.workload.host_load(t)
+        predicted = self._predict_all()
         alerts: List[Alert] = []
         vm_alerts: Dict[int, float] = {}
         for host in range(pl.num_hosts):
             # prediction adds lead time but must never lose plain
             # threshold detection: alert on max(predicted, observed)
-            pred = max(self._predict(host), float(current[host]))
+            pred = max(float(predicted[host]), float(current[host]))
             if pred <= self.threshold:
                 continue
             rack = int(pl.host_rack[host])

@@ -21,7 +21,7 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from repro.alerts.alert import Alert, AlertKind
-from repro.alerts.monitor import VMMonitor
+from repro.alerts.monitor import VMMonitor, fleet_alert_values
 from repro.cluster.cluster import Cluster
 from repro.errors import ConfigurationError
 from repro.rng import SeedLike, as_generator
@@ -120,19 +120,28 @@ def forecast_alert_round(
     monitors: Dict[int, VMMonitor],
     *,
     time: int = 0,
+    batched: bool = True,
 ) -> Tuple[List[Alert], Dict[int, float]]:
     """Forecast-driven alerts: ask every monitored VM for its ALERT value.
 
     Monitors must be driven externally (``observe`` per round); this
     function only *reads* their predictions, mirroring the shim's periodic
-    collection.
+    collection.  With ``batched=True`` (the default) the fleet's one-step
+    predictions run through the stacked ARIMA kernels; ``batched=False``
+    keeps the scalar per-monitor loop — the live oracle the byte-identity
+    suite and the ``BENCH_4`` baseline measure against.
     """
     pl = cluster.placement
     alerts: List[Alert] = []
     vm_alerts: Dict[int, float] = {}
     hosts_alerted: Dict[int, float] = {}
-    for vm, mon in monitors.items():
-        a = mon.alert_value()
+    items = list(monitors.items())
+    if batched:
+        values = fleet_alert_values([mon for _, mon in items])
+    else:
+        values = [mon.alert_value() for _, mon in items]
+    for (vm, _), a in zip(items, values):
+        a = float(a)
         if a <= 0.0:
             continue
         vm_alerts[int(vm)] = a

@@ -72,17 +72,49 @@ class TestVectorCache:
         cluster.placement.migrate(vm, dst)
         fresh = cm.migration_cost_vector(vm)  # triggers sync
         assert cm.cache_stats["invalidations"] >= 1
+        # the stale entry was repaired in place, not just dropped
+        assert cm.cache_stats["repairs"] >= 1
         # the moved VM's vector reflects its new source rack
         cold = CostModel(cluster, cache=False)
         np.testing.assert_array_equal(fresh, cold.migration_cost_vector(vm))
         # an unrelated VM's entry survived (same object, no recompute)
         assert cm.migration_cost_vector(untouched) is kept
 
+    def test_lost_vm_entry_dropped_not_repaired(self, cluster):
+        cm = CostModel(cluster, cache=True)
+        cm.migration_cost_vector(0)
+        cluster.placement.mark_lost(0)
+        cm.sync_cache()
+        assert 0 not in cm._vec_cache
+        cluster.placement.restore_lost(0)
+
+    def test_steady_state_multi_round_hits(self, cluster):
+        """Regression: repeated planning rounds must hit, not rebuild.
+
+        Simulates the engine's per-round pattern — sync, then query a
+        largely-overlapping working set — with a few commits in between.
+        Before the incremental repair the sync dropped huge swaths of the
+        cache every round and the hit count stayed at 0."""
+        cm = CostModel(cluster, cache=True)
+        working_set = list(range(min(cluster.num_vms, 30)))
+        for _ in range(4):
+            cm.sync_cache()
+            for u in working_set:
+                cm.migration_cost_vector(u)
+            vm, dst = _movable_pair(cluster)
+            cluster.placement.migrate(vm, dst)
+        assert cm.cache_stats["hits"] > 0
+        # the second round onwards should be nearly all hits
+        assert cm.cache_stats["hits"] > cm.cache_stats["misses"]
+
     def test_stats_disabled_path(self, cluster):
         cm = CostModel(cluster, cache=False)
         cm.migration_cost_vector(0)
         cm.migration_cost_vector(0)
-        assert cm.cache_stats == {"hits": 0, "misses": 0, "invalidations": 0}
+        assert cm.cache_stats == {
+            "hits": 0, "misses": 0, "invalidations": 0, "repairs": 0,
+            "primed": 0,
+        }
 
 
 class TestTransmissionMemo:

@@ -1,0 +1,90 @@
+"""The ``workers=-1`` auto mode: inline planning below the pool break-even."""
+
+import numpy as np
+
+from repro.cluster import build_cluster
+from repro.config import SheriffConfig
+from repro.parallel.pool import AUTO_INLINE_TASK_THRESHOLD, auto_inline
+from repro.sim.engine import SheriffSimulation
+from repro.sim.scenario import inject_fraction_alerts
+from repro.topology import build_fattree
+
+
+def _small_cluster(seed=3):
+    return build_cluster(
+        build_fattree(4),
+        hosts_per_rack=3,
+        fill_fraction=0.55,
+        skew=0.8,
+        seed=seed,
+        delay_sensitive_fraction=0.1,
+    )
+
+
+class TestHeuristic:
+    def test_auto_mode_inlines_small_fanouts(self):
+        assert auto_inline(-1, AUTO_INLINE_TASK_THRESHOLD - 1)
+        assert auto_inline(-1, 1)
+
+    def test_auto_mode_pools_large_fanouts(self):
+        assert not auto_inline(-1, AUTO_INLINE_TASK_THRESHOLD)
+        assert not auto_inline(-1, AUTO_INLINE_TASK_THRESHOLD + 100)
+
+    def test_explicit_worker_counts_always_pool(self):
+        # a user-chosen size is honored no matter how few tasks there are
+        assert not auto_inline(1, 1)
+        assert not auto_inline(4, 1)
+        assert not auto_inline(0, 1)
+
+    def test_threshold_override(self):
+        assert auto_inline(-1, 5, threshold=6)
+        assert not auto_inline(-1, 5, threshold=5)
+
+
+class TestEngineAutoMode:
+    def test_small_run_never_creates_pool(self):
+        cluster = _small_cluster()
+        sim = SheriffSimulation(cluster, config=SheriffConfig(workers=-1))
+        for r in range(3):
+            alerts, vm_alerts = inject_fraction_alerts(
+                cluster, 0.2, time=r, seed=11 + r
+            )
+            sim.run_round(alerts, vm_alerts)
+        # a 4-pod fabric has 16 racks < threshold: planning ran inline
+        assert sim._pool is None
+
+    def test_auto_mode_matches_scalar_oracle(self):
+        base = _small_cluster()
+        auto = _small_cluster()
+        sim0 = SheriffSimulation(base, config=SheriffConfig(workers=0))
+        sim_auto = SheriffSimulation(auto, config=SheriffConfig(workers=-1))
+        for r in range(3):
+            a0, v0 = inject_fraction_alerts(base, 0.2, time=r, seed=11 + r)
+            a1, v1 = inject_fraction_alerts(auto, 0.2, time=r, seed=11 + r)
+            s0 = sim0.run_round(a0, v0)
+            s1 = sim_auto.run_round(a1, v1)
+            assert (
+                s0.migrations,
+                s0.requests,
+                s0.rejects,
+                s0.total_cost,
+                s0.unplaced,
+            ) == (
+                s1.migrations,
+                s1.requests,
+                s1.rejects,
+                s1.total_cost,
+                s1.unplaced,
+            )
+        np.testing.assert_array_equal(base.placement.vm_host, auto.placement.vm_host)
+
+    def test_pool_still_used_above_threshold(self, monkeypatch):
+        import repro.sim.engine as engine_mod
+
+        monkeypatch.setattr(engine_mod, "auto_inline", lambda w, n: False)
+        cluster = _small_cluster()
+        sim = SheriffSimulation(cluster, config=SheriffConfig(workers=-1))
+        alerts, vm_alerts = inject_fraction_alerts(cluster, 0.2, time=0, seed=11)
+        sim.run_round(alerts, vm_alerts)
+        if alerts:
+            assert sim._pool is not None

@@ -1,0 +1,346 @@
+"""Byte-identity of the vectorized fleet kernels vs the scalar oracles.
+
+PR 2 fixed the contract: optimizations change *where* and *how fast* work
+runs, never what it computes.  The fleet kernels (SoA snapshot, stacked
+ARIMA forecasting, vectorized ALERT gate, incremental cost cache) each have
+a live scalar reference path; hypothesis drives generated fleets, alert
+streams and move sequences through both and asserts bitwise agreement.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.alerts.alert import compute_alert, compute_alerts
+from repro.cluster import Cluster, build_cluster
+from repro.cluster.snapshot import FleetSnapshot
+from repro.config import SheriffConfig
+from repro.costs.model import CostModel
+from repro.errors import ConvergenceError, ForecastError
+from repro.forecast.arima import ARIMA
+from repro.forecast.batch import batch_forecast, batch_predict_one
+from repro.forecast.naive import NaiveLast
+from repro.forecast.selection import DynamicModelSelector
+from repro.forecast.selection import batch_predict_one as fleet_predict_one
+from repro.sim import SheriffSimulation, inject_fraction_alerts
+from repro.topology import build_fattree
+
+from tests.property.test_parallel_properties import (
+    alert_rounds,
+    fresh_cluster,
+    run_variant,
+)
+
+common = settings(
+    max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+_ORDERS = [(1, 1, 1), (2, 1, 2), (1, 1, 0), (0, 1, 1), (1, 0, 0), (0, 0, 1)]
+
+
+# --------------------------------------------------------------------- #
+# batched forecasting
+# --------------------------------------------------------------------- #
+@st.composite
+def fitted_fleet(draw):
+    """A mixed fleet of fitted forecasters plus the series they saw."""
+    seed = draw(st.integers(0, 10**6))
+    rng = np.random.default_rng(seed)
+    n_models = draw(st.integers(1, 8))
+    models = []
+    for k in range(n_models):
+        series = 0.5 + 0.1 * np.cumsum(rng.standard_normal(40))
+        if draw(st.booleans()) or k == 0:
+            p, d, q = draw(st.sampled_from(_ORDERS))
+            m = ARIMA(p, d, q, maxiter=30)
+        else:
+            m = NaiveLast()
+        try:
+            m.fit(series)
+        except (ConvergenceError, ForecastError):
+            continue
+        # advance the O(p+q+d) state a little so tails differ from the fit
+        for v in rng.random(draw(st.integers(0, 3))):
+            m.append(float(v))
+        models.append(m)
+    return models
+
+
+@common
+@given(fitted_fleet(), st.integers(1, 6))
+def test_batch_forecast_bitwise_equals_scalar(models, h):
+    if not models:
+        return
+    got = batch_forecast(models, h)
+    for m, f in zip(models, got):
+        np.testing.assert_array_equal(f, m.forecast(h))
+
+
+@common
+@given(fitted_fleet())
+def test_batch_predict_one_bitwise_equals_scalar(models):
+    if not models:
+        return
+    got = batch_predict_one(models)
+    assert got == [m.predict_one() for m in models]
+
+
+# --------------------------------------------------------------------- #
+# fleet selector rounds: batched vs scalar predict/observe cycles
+# --------------------------------------------------------------------- #
+def _selector_fleet(seed, n_sel):
+    """Two identical fleets of fitted selectors (mixed ARIMA + naive pool)."""
+    def build():
+        rng = np.random.default_rng(seed)
+        fleet = []
+        for _ in range(n_sel):
+            series = np.clip(
+                0.5 + 0.1 * np.cumsum(rng.standard_normal(30)), 0.0, 1.0
+            )
+            sel = DynamicModelSelector(
+                {
+                    "arima110": lambda: ARIMA(1, 1, 0, maxiter=30),
+                    "naive": NaiveLast,
+                },
+                period=4,
+                refit_every=1000,
+            )
+            try:
+                sel.fit(series)
+            except ConvergenceError:
+                return None
+            fleet.append(sel)
+        return fleet
+    return build(), build()
+
+
+@common
+@given(st.integers(0, 10**6), st.integers(1, 5), st.integers(2, 8))
+def test_fleet_selector_rounds_bitwise(seed, n_sel, n_rounds):
+    """Multi-round predict/observe: batched fleet == scalar loop, bitwise.
+
+    Exercises the vectorized Eq. (14) arbitration with *non-empty* error
+    windows, including windows shorter than and saturated at ``period``.
+    """
+    batched, scalar = _selector_fleet(seed, n_sel)
+    if batched is None:
+        return
+    obs = np.random.default_rng(seed + 1).random((n_rounds, n_sel))
+    for r in range(n_rounds):
+        pa = fleet_predict_one(batched)
+        pb = [s.predict_one() for s in scalar]
+        assert pa == pb
+        for a, b in zip(batched, scalar):
+            assert a.best_model_name() == b.best_model_name()
+            assert a._last_pred == b._last_pred
+        for i, (a, b) in enumerate(zip(batched, scalar)):
+            a.observe(float(obs[r, i]))
+            b.observe(float(obs[r, i]))
+    for a, b in zip(batched, scalar):
+        for name in a.names:
+            assert list(a._errors[name]) == list(b._errors[name])
+
+
+@common
+@given(st.integers(0, 10**6))
+def test_fleet_selector_ragged_windows_fall_back(seed):
+    """Uneven error windows take the scalar Eq. (14) path — and still agree."""
+    batched, scalar = _selector_fleet(seed, 2)
+    if batched is None:
+        return
+    obs = np.random.default_rng(seed + 1).random((3, 2))
+    for r in range(3):
+        fleet_predict_one(batched)
+        for s in scalar:
+            s.predict_one()
+        for i, (a, b) in enumerate(zip(batched, scalar)):
+            a.observe(float(obs[r, i]))
+            b.observe(float(obs[r, i]))
+    # desync one member's window in both fleets identically
+    batched[0]._errors["naive"].popleft()
+    scalar[0]._errors["naive"].popleft()
+    assert fleet_predict_one(batched) == [s.predict_one() for s in scalar]
+    for a, b in zip(batched, scalar):
+        assert a.best_model_name() == b.best_model_name()
+
+
+# --------------------------------------------------------------------- #
+# vectorized ALERT gate
+# --------------------------------------------------------------------- #
+@common
+@given(
+    st.integers(0, 10**6),
+    st.integers(1, 40),
+    st.integers(1, 6),
+    st.floats(0.05, 1.0),
+)
+def test_compute_alerts_bitwise_equals_per_row(seed, n, r, threshold):
+    rng = np.random.default_rng(seed)
+    # overshoots and negatives exercise the clip exactly like forecasters do
+    profiles = rng.uniform(-0.3, 1.4, size=(n, r))
+    got = compute_alerts(profiles, threshold)
+    assert got.shape == (n,)
+    for i in range(n):
+        assert float(got[i]) == compute_alert(profiles[i], threshold)
+
+
+@common
+@given(st.integers(0, 10**6), st.integers(1, 20))
+def test_compute_alerts_per_row_thresholds(seed, n):
+    rng = np.random.default_rng(seed)
+    profiles = rng.uniform(0.0, 1.2, size=(n, 4))
+    thresholds = rng.uniform(0.1, 1.0, size=n)
+    got = compute_alerts(profiles, thresholds)
+    for i in range(n):
+        assert float(got[i]) == compute_alert(profiles[i], float(thresholds[i]))
+
+
+# --------------------------------------------------------------------- #
+# SoA snapshot vs the Placement scalar queries
+# --------------------------------------------------------------------- #
+@common
+@given(st.integers(0, 10**6))
+def test_snapshot_matches_placement_queries(seed):
+    cluster = fresh_cluster(seed)
+    pl = cluster.placement
+    # a few mutations so the snapshot is not just the initial layout
+    rng = np.random.default_rng(seed)
+    for _ in range(5):
+        vm = int(rng.integers(0, cluster.num_vms))
+        host = int(rng.integers(0, pl.num_hosts))
+        try:
+            pl.migrate(vm, host)
+        except Exception:
+            continue
+    snap = FleetSnapshot(pl)
+    hosts = np.arange(pl.num_hosts)
+    np.testing.assert_array_equal(
+        snap.free_capacity(hosts),
+        np.asarray([pl.free_capacity(int(h)) for h in hosts]),
+    )
+    for host in range(pl.num_hosts):
+        np.testing.assert_array_equal(snap.vms_on_host(host), pl.vms_on_host(host))
+    for rack in range(pl.num_racks):
+        np.testing.assert_array_equal(snap.vms_in_rack(rack), pl.vms_in_rack(rack))
+
+
+# --------------------------------------------------------------------- #
+# batched cost-matrix kernel vs the scalar Eq. (1) kernel
+# --------------------------------------------------------------------- #
+@common
+@given(st.integers(0, 10**6), st.booleans())
+def test_cost_rows_bitwise_equals_scalar(seed, cached):
+    cluster = fresh_cluster(seed)
+    cm = CostModel(cluster, cache=cached)
+    oracle = CostModel(cluster, cache=False)
+    rng = np.random.default_rng(seed)
+    ids = rng.integers(0, cluster.num_vms, size=12).tolist()
+    rows = cm.cost_rows(ids)
+    assert rows.shape == (len(ids), cm.table.num_racks)
+    for vm, row in zip(ids, rows):
+        np.testing.assert_array_equal(row, oracle.migration_cost_vector(int(vm)))
+
+
+@common
+@given(st.integers(0, 10**6))
+def test_cost_rows_dense_dependencies_take_scalar_path(seed):
+    # degree >= 8 crosses numpy's pairwise-summation block: the batch
+    # kernel must fall back to the scalar dependency reduction per row
+    cluster = fresh_cluster(seed)
+    deps = cluster.dependencies
+    hub = 0
+    for other in range(1, min(cluster.num_vms, 12)):
+        if other not in deps.neighbors(hub):
+            deps.add_pair(hub, other)
+    assert len(deps.neighbors(hub)) >= 8
+    cm = CostModel(cluster, cache=True)
+    oracle = CostModel(cluster, cache=False)
+    ids = list(range(min(cluster.num_vms, 12)))
+    for vm, row in zip(ids, cm.cost_rows(ids)):
+        np.testing.assert_array_equal(row, oracle.migration_cost_vector(vm))
+
+
+@common
+@given(st.integers(0, 10**6))
+def test_prime_then_query_hits_without_recompute(seed):
+    cluster = fresh_cluster(seed)
+    cm = CostModel(cluster, cache=True)
+    oracle = CostModel(cluster, cache=False)
+    vms = list(range(min(cluster.num_vms, 10)))
+    cm.prime_cost_vectors(vms)
+    assert cm.cache_stats["primed"] == len(vms)
+    assert cm.cache_stats["misses"] == 0
+    for vm in vms:
+        np.testing.assert_array_equal(
+            cm.migration_cost_vector(vm), oracle.migration_cost_vector(vm)
+        )
+    assert cm.cache_stats["hits"] == len(vms)
+    assert cm.cache_stats["misses"] == 0
+
+
+# --------------------------------------------------------------------- #
+# incremental cost cache vs a cold rebuild
+# --------------------------------------------------------------------- #
+@common
+@given(st.integers(0, 10**6), st.integers(1, 12))
+def test_incremental_cost_model_equals_rebuilt(seed, n_moves):
+    cluster = fresh_cluster(seed)
+    pl = cluster.placement
+    warm = CostModel(cluster, cache=True)
+    rng = np.random.default_rng(seed)
+    probe = rng.integers(0, cluster.num_vms, size=8)
+    for u in probe:
+        warm.migration_cost_vector(int(u))
+    for _ in range(n_moves):
+        vm = int(rng.integers(0, cluster.num_vms))
+        host = int(rng.integers(0, pl.num_hosts))
+        try:
+            pl.migrate(vm, host)
+        except Exception:
+            continue
+        warm.sync_cache()
+        cold = CostModel(cluster, cache=False)
+        for u in list(probe) + [vm]:
+            np.testing.assert_array_equal(
+                warm.migration_cost_vector(int(u)),
+                cold.migration_cost_vector(int(u)),
+            )
+
+
+@common
+@given(st.integers(0, 10**6))
+def test_incremental_cost_model_across_lost_restore(seed):
+    cluster = fresh_cluster(seed)
+    pl = cluster.placement
+    warm = CostModel(cluster, cache=True)
+    for u in range(min(cluster.num_vms, 12)):
+        warm.migration_cost_vector(u)
+    pl.mark_lost(0)
+    warm.sync_cache()
+    assert 0 not in warm._vec_cache  # dropped, not repaired
+    pl.restore_lost(0)
+    warm.sync_cache()
+    cold = CostModel(cluster, cache=False)
+    for u in range(min(cluster.num_vms, 12)):
+        np.testing.assert_array_equal(
+            warm.migration_cost_vector(u), cold.migration_cost_vector(u)
+        )
+
+
+# --------------------------------------------------------------------- #
+# end to end: snapshot-planned engine vs the scalar oracle
+# --------------------------------------------------------------------- #
+@common
+@given(alert_rounds())
+def test_auto_mode_engine_is_byte_identical(case):
+    """workers=-1 (snapshot-planned, auto-inlined) vs workers=0 (oracle)."""
+    seed, rounds = case
+    baseline_cluster = fresh_cluster(seed)
+    baseline = run_variant(baseline_cluster, rounds, workers=0, cache=False)
+    cluster = fresh_cluster(seed)
+    got = run_variant(cluster, rounds, workers=-1, cache=True)
+    assert got == baseline
+    np.testing.assert_array_equal(
+        cluster.placement.vm_host, baseline_cluster.placement.vm_host
+    )

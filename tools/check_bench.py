@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Gate CI on committed fleet-kernel benchmark results.
+
+Usage: ``python tools/check_bench.py BENCH_4.json``
+
+Reads the results file ``make bench`` writes and fails (exit code 1) when
+the optimized engine round is *slower* than the scalar oracle — i.e. when
+``engine_round.speedup`` drops below 1.0.  The bench itself asserts the
+stronger paper-scale target (>= 1.3) when it runs; this check is the
+cheap regression tripwire for environments that only re-validate the
+committed numbers.  Also sanity-checks that the incremental cost cache
+actually served queries (a 0-hit cache was the bug this PR removed).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+
+def check(path: Path) -> int:
+    try:
+        results = json.loads(path.read_text())
+    except FileNotFoundError:
+        print(f"check_bench: {path} not found — run `make bench` first")
+        return 1
+    except json.JSONDecodeError as exc:
+        print(f"check_bench: {path} is not valid JSON: {exc}")
+        return 1
+    failures = []
+    speedup = results.get("engine_round", {}).get("speedup")
+    if not isinstance(speedup, (int, float)):
+        failures.append("engine_round.speedup missing")
+    elif speedup < 1.0:
+        failures.append(
+            f"engine_round.speedup = {speedup:.3f} < 1.0 — the fleet-kernel "
+            "path is slower than the scalar oracle"
+        )
+    hits = results.get("cost_cache", {}).get("hits")
+    if not isinstance(hits, int):
+        failures.append("cost_cache.hits missing")
+    elif hits <= 0:
+        failures.append("cost_cache.hits = 0 — the cost cache never hit")
+    if failures:
+        for f in failures:
+            print(f"check_bench: FAIL: {f}")
+        return 1
+    print(
+        f"check_bench: OK — engine_round.speedup = {speedup:.3f}, "
+        f"cost_cache.hits = {hits}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        print(__doc__)
+        sys.exit(2)
+    sys.exit(check(Path(sys.argv[1])))
