@@ -5,7 +5,7 @@
 # installed package shadows neither (src/ simply wins on the path).
 export PYTHONPATH := src:.$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install lint test bench bench-check bench-all report examples chaos ci all
+.PHONY: install lint test bench bench-trace bench-check bench-all report examples chaos trace-lint ci all
 
 install:
 	pip install -e . --no-build-isolation
@@ -22,9 +22,13 @@ test: lint
 bench:
 	pytest benchmarks/test_perf_fleet.py --benchmark-only
 
-# Cheap regression gate on the committed BENCH_4.json numbers.
+# Tracer overhead + span export at paper scale; writes BENCH_5.json.
+bench-trace:
+	pytest benchmarks/test_perf_trace.py --benchmark-only
+
+# Cheap regression gate on the committed benchmark numbers.
 bench-check:
-	python tools/check_bench.py BENCH_4.json
+	python tools/check_bench.py BENCH_4.json BENCH_5.json
 
 bench-all:
 	pytest benchmarks/ --benchmark-only
@@ -43,7 +47,13 @@ chaos:
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null || exit 1; done
 
-ci: lint bench-check
+# Invariant-check the golden seeded chaos trace: every REQUEST resolves,
+# commits are acked, down racks stay silent (docs/observability.md).
+trace-lint:
+	PYTHONPATH=src python -m repro chaos --rounds 8 --size 4 --seed 2015 --trace /tmp/sheriff_chaos_golden.jsonl > /dev/null
+	PYTHONPATH=src python -m repro trace lint /tmp/sheriff_chaos_golden.jsonl
+
+ci: lint bench-check trace-lint
 	pytest tests/
 
 all: lint test bench-all

@@ -71,7 +71,7 @@ def _summary_key(summary):
     return d
 
 
-def _build_variant(*, workers, cache):
+def _build_variant(*, workers, cache, tracer=None):
     """Cluster + engine + monitored hot-region fleet, identical per variant."""
     cluster = _paper_cluster()
     pl = cluster.placement
@@ -93,13 +93,14 @@ def _build_variant(*, workers, cache):
         )
         monitors[v] = VMMonitor(series[:HISTORY_ROWS], config)
         future[v] = series[HISTORY_ROWS:]
-    sim = SheriffSimulation(
-        cluster, SheriffConfig(workers=workers, cache_cost_kernels=cache)
-    )
+    cfg = SheriffConfig(workers=workers, cache_cost_kernels=cache)
+    if tracer is not None:
+        cfg = cfg.replace(tracer=tracer)
+    sim = SheriffSimulation(cluster, cfg)
     return cluster, sim, monitors, future
 
 
-def run_engine_rounds(*, workers, cache, batched):
+def run_engine_rounds(*, workers, cache, batched, tracer=None):
     """Forecast-driven engine rounds at facility scale: timing + outcomes.
 
     The timed region is the full per-round pipeline — monitor one-step
@@ -107,7 +108,9 @@ def run_engine_rounds(*, workers, cache, batched):
     management round (plan + migrate), and the monitors ingesting the
     round's realized profiles.
     """
-    cluster, sim, monitors, future = _build_variant(workers=workers, cache=cache)
+    cluster, sim, monitors, future = _build_variant(
+        workers=workers, cache=cache, tracer=tracer
+    )
     summaries = []
     t0 = perf_counter()
     for r in range(ENGINE_ROUNDS):

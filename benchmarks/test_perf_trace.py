@@ -1,0 +1,144 @@
+"""Tracer-overhead benchmark: the observability zero-cost contract, priced.
+
+Behind ``make bench-trace``: runs the BENCH_4 fleet round (8-pod
+Fat-Tree, 1 280 hosts, forecast-driven alerts) in three configurations —
+
+* **null**: the default ``NULL_TRACER`` path (one ``enabled`` attribute
+  read per emitting site, zero event allocations);
+* **recording**: a :class:`~repro.obs.tracer.RecordingTracer` with the
+  lifecycle stitcher stamping ``trace_id``/``parent_id`` on every event;
+* **spans**: ``Profiler(record_spans=True)`` capturing the nested-span
+  flamegraph for the Chrome/Perfetto exporter.
+
+Results land in ``BENCH_5.json``; ``make bench-check``
+(``tools/check_bench.py``) gates CI on two claims from the PR 1
+contract: the NULL_TRACER run is byte-identical to the seed decisions,
+and full recording costs < 10 % of a fleet round's wall-clock.
+
+Timing noise note: the overhead fraction compares the *median* of three
+alternating passes per configuration — a single pass each puts
+scheduler jitter (easily 5 % on a loaded machine) straight into the
+gate.
+"""
+
+import json
+import statistics
+from pathlib import Path
+from time import perf_counter
+
+from benchmarks.conftest import run_once
+from benchmarks.test_perf_fleet import ENGINE_ROUNDS, SEED, run_engine_rounds
+from repro.analysis import format_table
+from repro.cluster import build_cluster
+from repro.config import SheriffConfig
+from repro.obs.export import chrome_trace
+from repro.obs.profiling import Profiler
+from repro.obs.tracer import RecordingTracer
+from repro.sim import SheriffSimulation, inject_fraction_alerts
+from repro.topology import build_fattree
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_5.json"
+TIMED_PASSES = 3
+SPAN_ROUNDS = 6
+
+
+def _timed_pass(tracer):
+    row = run_engine_rounds(workers=0, cache=True, batched=True, tracer=tracer)
+    decisions = (row["summaries"], row["final_placement"])
+    return row["seconds"], decisions
+
+
+def run_tracer_overhead():
+    """Median fleet-round wall-clock: null vs recording tracer."""
+    # warm-up (see benchmarks/test_perf_fleet.py docstring)
+    _timed_pass(None)
+    null_seconds, traced_seconds = [], []
+    null_decisions = traced_decisions = None
+    events = 0
+    for _ in range(TIMED_PASSES):
+        secs, null_decisions = _timed_pass(None)
+        null_seconds.append(secs)
+        tracer = RecordingTracer()
+        secs, traced_decisions = _timed_pass(tracer)
+        traced_seconds.append(secs)
+        events = len(tracer.events)
+    # the zero-cost contract, checked on the benchmark's own outputs
+    null_identical = traced_decisions == null_decisions
+    base = statistics.median(null_seconds)
+    traced = statistics.median(traced_seconds)
+    return {
+        "rounds": ENGINE_ROUNDS,
+        "passes": TIMED_PASSES,
+        "baseline_seconds": base,
+        "traced_seconds": traced,
+        "overhead_frac": (traced - base) / base,
+        "events": events,
+        "null_identical": null_identical,
+    }
+
+
+def run_span_export():
+    """Paper-scale spans: record a traced run and export the flamegraph."""
+    cluster = build_cluster(
+        build_fattree(8),
+        hosts_per_rack=40,
+        fill_fraction=0.5,
+        skew=1.1,
+        seed=SEED,
+        delay_sensitive_fraction=0.0,
+    )
+    profiler = Profiler(record_spans=True)
+    sim = SheriffSimulation(cluster, SheriffConfig(profiler=profiler))
+    for r in range(SPAN_ROUNDS):
+        alerts, vma = inject_fraction_alerts(
+            cluster, 0.05, time=r, seed=SEED + r
+        )
+        sim.run_round(alerts, vma)
+    t0 = perf_counter()
+    doc = chrome_trace(profiler)
+    export_seconds = perf_counter() - t0
+    events = doc["traceEvents"]
+    # valid trace_event JSON: serializable, complete events, sane nesting
+    json.dumps(doc)
+    assert events and all(e["ph"] == "X" for e in events)
+    assert all(e["dur"] >= 0.0 for e in events)
+    top = [e for e in events if e["args"]["depth"] == 0]
+    return {
+        "rounds": SPAN_ROUNDS,
+        "spans": len(events),
+        "top_level_spans": len(top),
+        "max_depth": max(e["args"]["depth"] for e in events),
+        "export_seconds": export_seconds,
+    }
+
+
+def run_suite():
+    return {
+        "seed": SEED,
+        "tracer_overhead": run_tracer_overhead(),
+        "span_export": run_span_export(),
+    }
+
+
+def test_tracer_overhead(benchmark, emit):
+    results = run_once(benchmark, run_suite)
+    RESULTS_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    over = results["tracer_overhead"]
+    emit(
+        format_table(
+            "Tracer overhead on the fleet round (BENCH_5.json)",
+            [
+                {
+                    "baseline_s": over["baseline_seconds"],
+                    "traced_s": over["traced_seconds"],
+                    "overhead_pct": 100.0 * over["overhead_frac"],
+                    "events": over["events"],
+                    "spans": results["span_export"]["spans"],
+                }
+            ],
+        )
+    )
+    # the PR 1 contract: disabled observability is free, enabled is cheap
+    assert over["null_identical"] is True
+    assert over["overhead_frac"] < 0.10
+    assert results["span_export"]["max_depth"] >= 1

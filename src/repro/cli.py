@@ -10,7 +10,15 @@
   chosen trace regime;
 * ``traces``   — Figs. 3–5: summary statistics of the synthetic suite;
 * ``approx``   — Sec. VI-C: empirical Local Search ratio vs the 3 + 2/p
-  bound.
+  bound;
+* ``trace``    — analyze a ``--trace`` JSONL file: ``summarize``,
+  ``lifecycle <vm>``, ``diff``, and the ``lint`` invariant checker.
+
+The simulator commands (``balance``, ``chaos``) additionally accept
+``--perfetto PATH`` (nested-span flamegraph as Chrome ``trace_event``
+JSON), ``--prom PATH`` (Prometheus text exposition of the metrics
+registry) and ``--metrics-out PATH`` (per-round metric snapshots as
+JSON-lines).
 
 Every command accepts ``--seed`` and prints plain aligned tables.  Two
 global flags hook into :mod:`repro.obs` on every subcommand:
@@ -80,6 +88,7 @@ def build_parser() -> argparse.ArgumentParser:
         "split inline, >= 2 = thread pool, -1 = one per CPU (results are "
         "identical either way; see docs/performance.md)",
     )
+    _exporter_flags(p)
 
     p = sub.add_parser(
         "sweep",
@@ -100,7 +109,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--series",
         choices=["weekly", "nonlinear", "mixed"],
         default="mixed",
-        help="trace regime to predict (was --trace before --trace meant events)",
+        help="synthetic workload regime to forecast",
     )
     p.add_argument("--train-frac", type=float, default=0.6)
     p.add_argument("--seed", type=int, default=2015)
@@ -147,6 +156,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--output", type=str, default=None, help="write the JSON report to a file"
     )
+    _exporter_flags(p)
 
     p = sub.add_parser(
         "report",
@@ -157,7 +167,69 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--full", action="store_true", help="benchmark-suite scales")
     p.add_argument("--output", type=str, default=None, help="write to file")
 
+    p = sub.add_parser(
+        "trace",
+        help="analyze a JSONL event trace (docs/observability.md)",
+    )
+    tsub = p.add_subparsers(dest="trace_command", required=True)
+
+    t = tsub.add_parser(
+        "summarize",
+        help="per-round event counts and alert-to-landed latency quantiles",
+    )
+    t.add_argument("path", help="trace file written with --trace PATH")
+    t.add_argument("--json", action="store_true", help="emit JSON")
+
+    t = tsub.add_parser(
+        "lifecycle", help="one VM's causal chains (attempt by attempt)"
+    )
+    t.add_argument("path", help="trace file written with --trace PATH")
+    t.add_argument("vm", type=int, help="VM id to follow")
+    t.add_argument("--json", action="store_true", help="emit JSON")
+
+    t = tsub.add_parser(
+        "diff", help="per-(round, kind) event-count deltas between two traces"
+    )
+    t.add_argument("a", help="baseline trace (e.g. a clean run)")
+    t.add_argument("b", help="compared trace (e.g. a chaos run)")
+    t.add_argument("--json", action="store_true", help="emit JSON")
+
+    t = tsub.add_parser(
+        "lint",
+        help="check protocol invariants (exit 1 on any violation)",
+    )
+    t.add_argument("path", help="trace file written with --trace PATH")
+    t.add_argument("--json", action="store_true", help="emit JSON")
+
     return parser
+
+
+def _exporter_flags(p: argparse.ArgumentParser) -> None:
+    """Observability exporter flags shared by the simulator commands."""
+    p.add_argument(
+        "--perfetto",
+        metavar="PATH",
+        dest="perfetto_path",
+        default=None,
+        help="record nested profiler spans and write Chrome/Perfetto "
+        "trace_event JSON to PATH (load in ui.perfetto.dev)",
+    )
+    p.add_argument(
+        "--prom",
+        metavar="PATH",
+        dest="prom_path",
+        default=None,
+        help="write the final metrics registry to PATH in Prometheus "
+        "text exposition format",
+    )
+    p.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        dest="metrics_out_path",
+        default=None,
+        help="stream one JSON line of per-round metrics to PATH "
+        "(next to the --trace event stream)",
+    )
 
 
 @contextmanager
@@ -175,6 +247,46 @@ def _tracer_for(args: argparse.Namespace):
             yield tracer
     else:
         yield NULL_TRACER
+
+
+@contextmanager
+def _exporters_for(args: argparse.Namespace):
+    """Exporter handles for a simulator command: (profiler, metrics, stream).
+
+    Each is ``None`` unless its flag was passed.  On exit the Perfetto
+    span export and the Prometheus snapshot are written from whatever the
+    command recorded.
+    """
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.profiling import Profiler
+
+    profiler = (
+        Profiler(record_spans=True)
+        if getattr(args, "perfetto_path", None)
+        else None
+    )
+    metrics = MetricsRegistry() if getattr(args, "prom_path", None) else None
+    stream = None
+    try:
+        if getattr(args, "metrics_out_path", None):
+            stream = open(args.metrics_out_path, "w")
+        yield profiler, metrics, stream
+    except OSError as exc:
+        print(f"error: cannot open exporter file: {exc}", file=sys.stderr)
+        raise SystemExit(2) from None
+    finally:
+        if stream is not None:
+            stream.close()
+        if profiler is not None:
+            from repro.obs.export import write_chrome_trace
+
+            with open(args.perfetto_path, "w") as fh:
+                write_chrome_trace(profiler, fh)
+        if metrics is not None:
+            from repro.obs.export import prometheus_text
+
+            with open(args.prom_path, "w") as fh:
+                fh.write(prometheus_text(metrics))
 
 
 def _emit(args: argparse.Namespace, plain: str, payload: dict) -> None:
@@ -211,11 +323,20 @@ def cmd_balance(args: argparse.Namespace) -> int:
     from repro.sim import SheriffSimulation, inject_fraction_alerts
 
     cluster = _cluster_for(args.topology, args.size, args.seed, skew=1.1)
-    with _tracer_for(args) as tracer:
+    with _tracer_for(args) as tracer, _exporters_for(args) as (
+        profiler,
+        metrics,
+        stream,
+    ):
         sim = SheriffSimulation(
             cluster,
             SheriffConfig(
-                balance_weight=25.0, workers=args.workers, tracer=tracer
+                balance_weight=25.0,
+                workers=args.workers,
+                tracer=tracer,
+                profiler=profiler,
+                metrics=metrics,
+                metrics_stream=stream,
             ),
         )
         for r in range(args.rounds):
@@ -243,6 +364,7 @@ def cmd_balance(args: argparse.Namespace) -> int:
         "rejects": sum(s.rejects for s in sim.history),
         "total_cost": sum(s.total_cost for s in sim.history),
         "timings": sim.timing_breakdown(),
+        "metrics": sim.metrics.as_dict(),
     }
     _emit(args, plain, payload)
     return 0
@@ -429,7 +551,11 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     from repro.config import SheriffConfig
     from repro.faults import ChannelPolicy, run_chaos_campaign
 
-    with _tracer_for(args) as tracer:
+    with _tracer_for(args) as tracer, _exporters_for(args) as (
+        profiler,
+        metrics,
+        stream,
+    ):
         report = run_chaos_campaign(
             topology=args.topology,
             size=args.size,
@@ -439,7 +565,12 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             channel=ChannelPolicy(
                 loss_probability=args.loss, max_retries=3, seed=args.seed
             ),
-            config=SheriffConfig(tracer=tracer),
+            config=SheriffConfig(
+                tracer=tracer,
+                profiler=profiler,
+                metrics=metrics,
+                metrics_stream=stream,
+            ),
         )
     if args.output:
         with open(args.output, "w") as fh:
@@ -475,6 +606,114 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_trace_or_die(path: str):
+    from repro.obs.tracer import load_trace
+
+    try:
+        return load_trace(path)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read trace: {exc}", file=sys.stderr)
+        raise SystemExit(2) from None
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.analysis import (
+        diff_traces,
+        lint_trace,
+        summarize_trace,
+        vm_lifecycle,
+    )
+
+    if args.trace_command == "summarize":
+        summary = summarize_trace(_load_trace_or_die(args.path))
+        if args.json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+            return 0
+        lat = summary["alert_to_landed_rounds"]
+        print(
+            f"{summary['events']} events over {summary['rounds']} rounds, "
+            f"{summary['attempts']} migration attempts"
+        )
+        for kind, count in summary["totals"].items():
+            print(f"  {kind:<22} {count}")
+        print(
+            f"alert->landed latency (rounds): "
+            f"p50={lat['p50']:g} p95={lat['p95']:g} p99={lat['p99']:g} "
+            f"max={lat['max']:g} over {lat['count']} landings"
+        )
+        return 0
+
+    if args.trace_command == "lifecycle":
+        life = vm_lifecycle(_load_trace_or_die(args.path), args.vm)
+        if args.json:
+            print(json.dumps(life, indent=2, sort_keys=True))
+            return 0
+        if not life["attempts"]:
+            print(f"vm {args.vm}: no events in trace")
+            return 0
+        for attempt in life["attempts"]:
+            parent = attempt["parent_id"] or "-"
+            print(
+                f"attempt {attempt['trace_id']} (parent {parent}) -> "
+                f"{attempt['outcome']}"
+            )
+            for ev in attempt["events"]:
+                extra = ", ".join(
+                    f"{k}={ev[k]}"
+                    for k in ("dst_host", "dst_rack", "reason", "attempts")
+                    if k in ev and ev[k] not in (None, "")
+                )
+                print(f"  round {ev.get('round')}: {ev['event']}"
+                      + (f" ({extra})" if extra else ""))
+        return 0
+
+    if args.trace_command == "diff":
+        diff = diff_traces(
+            _load_trace_or_die(args.a), _load_trace_or_die(args.b)
+        )
+        if args.json:
+            print(json.dumps(diff, indent=2, sort_keys=True))
+        elif diff["identical"]:
+            print(
+                f"traces agree: {diff['a_events']} events each, "
+                f"identical per-round census"
+            )
+        else:
+            print(
+                f"{diff['a_events']} vs {diff['b_events']} events; "
+                f"{len(diff['rows'])} differing (round, kind) rows:"
+            )
+            for row in diff["rows"]:
+                print(
+                    f"  round {row['round']}: {row['event']:<22} "
+                    f"{row['a']} -> {row['b']} ({row['delta']:+d})"
+                )
+        return 0
+
+    assert args.trace_command == "lint"
+    violations = lint_trace(_load_trace_or_die(args.path))
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "violations": [
+                        {"rule": v.rule, "line": v.line, "message": v.message}
+                        for v in violations
+                    ]
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    elif not violations:
+        print("trace is clean: all protocol invariants hold")
+    else:
+        for v in violations:
+            print(str(v))
+        print(f"{len(violations)} violation(s)")
+    return 1 if violations else 0
+
+
 _COMMANDS = {
     "balance": cmd_balance,
     "sweep": cmd_sweep,
@@ -483,6 +722,7 @@ _COMMANDS = {
     "approx": cmd_approx,
     "chaos": cmd_chaos,
     "report": cmd_report,
+    "trace": cmd_trace,
 }
 
 

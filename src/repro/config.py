@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field, fields, replace
-from typing import TYPE_CHECKING, Any, Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, Optional, TextIO
 
 from repro.obs.tracer import NULL_TRACER, Tracer
 
@@ -29,6 +29,7 @@ if TYPE_CHECKING:  # pragma: no cover - import-cycle-free typing only
     from repro.faults.channel import ChannelPolicy
     from repro.faults.schedule import FaultSchedule
     from repro.obs.metrics import MetricsRegistry
+    from repro.obs.profiling import Profiler
     from repro.sim.inflight import MigrationTiming
 
 __all__ = ["SheriffConfig", "resolve_config", "LEGACY_SIM_KWARGS"]
@@ -80,6 +81,18 @@ class SheriffConfig:
         the simulation create a private one.
     profile:
         Record wall-clock section timings (``RoundSummary.timings``).
+    profiler:
+        Pre-built :class:`~repro.obs.profiling.Profiler` to use instead
+        of a simulation-private one — pass
+        ``Profiler(record_spans=True)`` to capture nested spans for the
+        Chrome/Perfetto exporter.  Implies ``profile``-style timing when
+        set; ``None`` (default) keeps the historical behaviour.
+    metrics_stream:
+        Open text stream receiving one JSON line per round —
+        ``{"round": N, "metrics": {...}}``, the round's
+        :class:`~repro.obs.metrics.MetricsScope` window — next to the
+        event trace (the CLI's ``--metrics-out PATH``).  ``None``
+        disables the snapshot stream.
     fault_schedule:
         Deterministic fault-injection schedule (see
         :mod:`repro.faults`); ``None`` disables the fault layer entirely
@@ -102,6 +115,8 @@ class SheriffConfig:
     tracer: Tracer = field(default=NULL_TRACER)
     metrics: Optional["MetricsRegistry"] = None
     profile: bool = True
+    profiler: Optional["Profiler"] = None
+    metrics_stream: Optional[TextIO] = None
     fault_schedule: Optional["FaultSchedule"] = None
     channel_policy: Optional["ChannelPolicy"] = None
 

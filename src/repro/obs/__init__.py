@@ -11,12 +11,30 @@ Three independent, composable facilities:
   round totals from;
 * :mod:`repro.obs.profiling` — wall-clock section timers around
   PRIORITY, Kuhn–Munkres, REQUEST and Local Search, surfaced as the
-  per-round timing breakdown.
+  per-round timing breakdown, with optional nested-span recording.
+
+On top of these sit the causal layer and its tooling:
+
+* :mod:`repro.obs.correlate` — the :class:`LifecycleStitcher` that
+  stamps ``trace_id``/``parent_id`` attempt chains at emit time;
+* :mod:`repro.obs.export` — Prometheus text exposition
+  (:func:`prometheus_text`) and Chrome/Perfetto ``trace_event`` JSON
+  (:func:`chrome_trace`);
+* :mod:`repro.obs.analysis` — ``repro trace`` backends: summarize,
+  per-VM lifecycle, diff, and the protocol-invariant linter.
 
 See ``docs/observability.md`` for the event schema and metrics
 catalogue.
 """
 
+from repro.obs.analysis import (
+    LintViolation,
+    diff_traces,
+    lint_trace,
+    summarize_trace,
+    vm_lifecycle,
+)
+from repro.obs.correlate import LifecycleStitcher
 from repro.obs.events import (
     EVENT_TYPES,
     AlertDelivered,
@@ -31,6 +49,7 @@ from repro.obs.events import (
     RequestSent,
     TraceEvent,
 )
+from repro.obs.export import chrome_trace, prometheus_text, write_chrome_trace
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -38,13 +57,15 @@ from repro.obs.metrics import (
     MetricsRegistry,
     MetricsScope,
 )
-from repro.obs.profiling import NULL_PROFILER, NullProfiler, Profiler
+from repro.obs.profiling import NULL_PROFILER, NullProfiler, Profiler, Span
 from repro.obs.tracer import (
     NULL_TRACER,
+    TRACE_SCHEMA_VERSION,
     JsonlTracer,
     NullTracer,
     RecordingTracer,
     Tracer,
+    load_trace,
 )
 
 __all__ = [
@@ -73,4 +94,16 @@ __all__ = [
     "Profiler",
     "NullProfiler",
     "NULL_PROFILER",
+    "Span",
+    "LifecycleStitcher",
+    "TRACE_SCHEMA_VERSION",
+    "load_trace",
+    "prometheus_text",
+    "chrome_trace",
+    "write_chrome_trace",
+    "LintViolation",
+    "lint_trace",
+    "summarize_trace",
+    "vm_lifecycle",
+    "diff_traces",
 ]

@@ -43,9 +43,19 @@ class TraceEvent:
 
     ``round`` is the management-round index the event belongs to; ``None``
     means the event happened outside a round (e.g. offline forecasting).
+
+    ``trace_id`` correlates one migration attempt's causal chain
+    (alert → PRIORITY → REQUEST → commit → landing); ``parent_id`` links
+    a chain to the rack-level alert group that spawned it.  Both are
+    stamped by the tracer's :class:`~repro.obs.correlate.LifecycleStitcher`
+    at emit time — emitting sites never compute ids, so the disabled
+    path stays zero-cost and plan workers stay id-free (their queued
+    events are stitched when the main thread emits them on commit).
     """
 
     round: Optional[int] = None
+    trace_id: Optional[str] = None
+    parent_id: Optional[str] = None
 
     @property
     def kind(self) -> str:
@@ -53,10 +63,17 @@ class TraceEvent:
         return type(self).__name__
 
     def as_dict(self) -> dict:
-        """JSON-ready representation: ``{"event": kind, ...fields}``."""
+        """JSON-ready representation: ``{"event": kind, ...fields}``.
+
+        The correlation fields (``trace_id``/``parent_id``) are included
+        only when stamped, so uncorrelated traces keep the schema-1 row
+        shape.
+        """
         out = {"event": self.kind}
         for f in fields(self):
             v = getattr(self, f.name)
+            if v is None and f.name in ("trace_id", "parent_id"):
+                continue
             if isinstance(v, tuple):
                 v = list(v)
             out[f.name] = v

@@ -1,0 +1,163 @@
+"""Exporters: Prometheus text exposition and Chrome ``trace_event`` JSON.
+
+Two read-only views over the observability state:
+
+* :func:`prometheus_text` renders a
+  :class:`~repro.obs.metrics.MetricsRegistry` in the Prometheus text
+  exposition format (version 0.0.4) — counters and gauges as plain
+  samples, reservoir histograms as summaries with ``quantile`` labels,
+  bucketed histograms as native Prometheus histograms with cumulative
+  ``le`` buckets.
+* :func:`chrome_trace` renders a span-recording
+  :class:`~repro.obs.profiling.Profiler` as Chrome/Perfetto
+  ``trace_event`` JSON (complete ``"ph": "X"`` events), so
+  ``chrome://tracing`` or https://ui.perfetto.dev draws a management
+  round as a flamegraph.
+
+Both are pure functions over already-collected state; neither touches
+the simulation hot path.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Dict, List, Optional
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profiling import Profiler
+
+__all__ = ["prometheus_text", "chrome_trace", "write_chrome_trace"]
+
+_PROM_PREFIX = "sheriff_"
+
+
+def _prom_name(name: str) -> str:
+    """Metric name with the exporter namespace prefix applied once."""
+    if name.startswith(_PROM_PREFIX):
+        return name
+    return _PROM_PREFIX + name
+
+
+def _prom_labels(labels: Dict[str, str], extra: Optional[Dict[str, str]] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(merged.items()))
+    return "{" + inner + "}"
+
+
+def _fmt(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(float(value))
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format.
+
+    Instruments are grouped per family with one ``# TYPE`` line each;
+    families appear in registration order (deterministic for identical
+    runs), label sets in registration order within a family.
+    """
+    families: Dict[str, List[object]] = {}
+    order: List[str] = []
+    for metric in registry.instruments():
+        name = metric.name  # type: ignore[attr-defined]
+        if name not in families:
+            families[name] = []
+            order.append(name)
+        families[name].append(metric)
+
+    lines: List[str] = []
+    for name in order:
+        members = families[name]
+        first = members[0]
+        pname = _prom_name(name)
+        if isinstance(first, Counter):
+            lines.append(f"# TYPE {pname} counter")
+            for m in members:
+                lines.append(f"{pname}{_prom_labels(m.labels)} {_fmt(m.value)}")
+        elif isinstance(first, Gauge):
+            lines.append(f"# TYPE {pname} gauge")
+            for m in members:
+                lines.append(f"{pname}{_prom_labels(m.labels)} {_fmt(m.value)}")
+        else:
+            assert isinstance(first, Histogram)
+            if first.buckets is not None:
+                lines.append(f"# TYPE {pname} histogram")
+                for m in members:
+                    cumulative = 0
+                    for bound, count in zip(m.buckets, m.bucket_counts):
+                        cumulative += count
+                        lines.append(
+                            f"{pname}_bucket"
+                            f"{_prom_labels(m.labels, {'le': _fmt(bound)})} "
+                            f"{cumulative}"
+                        )
+                    cumulative += m.bucket_counts[-1]
+                    lines.append(
+                        f"{pname}_bucket{_prom_labels(m.labels, {'le': '+Inf'})} "
+                        f"{cumulative}"
+                    )
+                    lines.append(f"{pname}_sum{_prom_labels(m.labels)} {_fmt(m.sum)}")
+                    lines.append(f"{pname}_count{_prom_labels(m.labels)} {m.count}")
+            else:
+                lines.append(f"# TYPE {pname} summary")
+                for m in members:
+                    qs = m.quantiles()
+                    for label, q in (("p50", "0.5"), ("p95", "0.95"), ("p99", "0.99")):
+                        lines.append(
+                            f"{pname}{_prom_labels(m.labels, {'quantile': q})} "
+                            f"{_fmt(qs[label])}"
+                        )
+                    lines.append(f"{pname}_sum{_prom_labels(m.labels)} {_fmt(m.sum)}")
+                    lines.append(f"{pname}_count{_prom_labels(m.labels)} {m.count}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def chrome_trace(profiler: Profiler) -> Dict[str, object]:
+    """The profiler's recorded spans as a ``trace_event`` JSON document.
+
+    Spans become complete (``"ph": "X"``) events with microsecond
+    timestamps relative to the profiler's epoch; the management-round
+    index and nesting depth travel in ``args``.  All spans land on one
+    pid/tid — the simulator's decision loop is single-threaded at emit
+    time — so the nesting renders purely from time containment, which is
+    exactly how the spans were recorded.
+    """
+    events: List[Dict[str, object]] = []
+    for span in profiler.spans:
+        args: Dict[str, object] = {"depth": span.depth}
+        if span.round is not None:
+            args["round"] = span.round
+        events.append(
+            {
+                "name": span.name,
+                "ph": "X",
+                "ts": round(span.start * 1e6, 3),
+                "dur": round(span.duration * 1e6, 3),
+                "pid": 1,
+                "tid": 1,
+                "cat": "sheriff",
+                "args": args,
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"exporter": "repro.obs.export.chrome_trace"},
+    }
+
+
+def write_chrome_trace(profiler: Profiler, stream: IO[str]) -> int:
+    """Serialize :func:`chrome_trace` to *stream*; returns the span count."""
+    doc = chrome_trace(profiler)
+    json.dump(doc, stream)
+    stream.write("\n")
+    return len(doc["traceEvents"])  # type: ignore[arg-type]

@@ -26,11 +26,16 @@ Design notes
 from __future__ import annotations
 
 import math
+import random
+import zlib
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import ObservabilityError
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "MetricsScope"]
+
+RESERVOIR_SIZE = 512
+"""Bounded per-histogram sample reservoir (Vitter's Algorithm R)."""
 
 LabelKey = Tuple[Tuple[str, str], ...]
 MetricKey = Tuple[str, LabelKey]
@@ -93,6 +98,13 @@ class Gauge:
 class Histogram:
     """Streaming distribution: count/sum/min/max plus optional buckets.
 
+    Quantiles come from a bounded reservoir (Algorithm R, capacity
+    :data:`RESERVOIR_SIZE`): memory stays O(1) per histogram no matter
+    how many observations stream through, unlike an unbounded sample
+    list.  The reservoir RNG is seeded from the instrument's formatted
+    key via CRC-32 — *not* Python's per-process-salted ``hash()`` — so
+    identical observation streams yield identical quantiles run-to-run.
+
     Parameters
     ----------
     buckets:
@@ -123,6 +135,8 @@ class Histogram:
         self.bucket_counts: List[int] = (
             [0] * (len(self.buckets) + 1) if self.buckets is not None else []
         )
+        self._reservoir: List[float] = []
+        self._rng = random.Random(zlib.crc32(_format_key(key).encode()))
 
     @property
     def name(self) -> str:
@@ -151,7 +165,47 @@ class Histogram:
                     break
             else:
                 self.bucket_counts[-1] += 1
+        if len(self._reservoir) < RESERVOIR_SIZE:
+            self._reservoir.append(v)
+        else:
+            j = self._rng.randrange(self.count)
+            if j < RESERVOIR_SIZE:
+                self._reservoir[j] = v
         self._registry._record(self._key, v)
+
+    def quantile(self, q: float) -> float:
+        """Reservoir estimate of the *q*-quantile (0 <= q <= 1).
+
+        Exact while the stream fits the reservoir (fewer than
+        :data:`RESERVOIR_SIZE` observations); a uniform-sample estimate
+        beyond.  Linear interpolation between order statistics; ``0.0``
+        on an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError(f"quantile {q} outside [0, 1]")
+        if not self._reservoir:
+            return 0.0
+        ordered = sorted(self._reservoir)
+        pos = q * (len(ordered) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = pos - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    def quantiles(self) -> Dict[str, float]:
+        """The standard reporting trio: ``{"p50", "p95", "p99"}``."""
+        ordered = sorted(self._reservoir)
+        out: Dict[str, float] = {}
+        for label, q in (("p50", 0.5), ("p95", 0.95), ("p99", 0.99)):
+            if not ordered:
+                out[label] = 0.0
+                continue
+            pos = q * (len(ordered) - 1)
+            lo = int(pos)
+            hi = min(lo + 1, len(ordered) - 1)
+            frac = pos - lo
+            out[label] = ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+        return out
 
 
 class MetricsScope:
@@ -311,6 +365,7 @@ class MetricsRegistry:
                 if m.count:
                     entry["min"] = m.min
                     entry["max"] = m.max
+                    entry.update(m.quantiles())
                 if m.buckets is not None:
                     entry["buckets"] = {
                         **{str(b): c for b, c in zip(m.buckets, m.bucket_counts)},

@@ -7,6 +7,14 @@ machinery wraps its hot stages (``priority``, ``matching``, ``request``,
 ``RoundSummary.timings`` and — via ``Profiler.totals`` — as the CLI's
 ``--json`` timing breakdown.
 
+With ``Profiler(record_spans=True)`` each section entry/exit is also
+recorded as a :class:`Span` — nested, since sections open inside other
+sections (``matching`` inside a shim's round inside the engine round) —
+and the span list exports to Chrome/Perfetto ``trace_event`` JSON via
+:func:`repro.obs.export.chrome_trace`, rendering a round as a
+flamegraph.  Span recording is off by default: the flat accumulators
+stay the zero-overhead production path.
+
 :data:`NULL_PROFILER` is the disabled singleton: its ``section`` returns
 a shared re-entrant no-op context manager, so a disabled profiler costs
 one method call and no timer reads.
@@ -14,10 +22,30 @@ one method call and no timer reads.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from time import perf_counter
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
-__all__ = ["Profiler", "NullProfiler", "NULL_PROFILER"]
+__all__ = ["Profiler", "NullProfiler", "NULL_PROFILER", "Span"]
+
+
+@dataclass
+class Span:
+    """One recorded section execution, positioned in the nesting tree.
+
+    ``start``/``duration`` are ``perf_counter`` seconds relative to the
+    profiler's construction; ``depth`` is the section-stack depth at
+    entry (0 = top level); ``parent`` indexes the enclosing span in
+    :attr:`Profiler.spans` (``None`` at top level); ``round`` is the
+    management-round index active when the span opened.
+    """
+
+    name: str
+    start: float
+    duration: float
+    depth: int
+    parent: Optional[int]
+    round: Optional[int]
 
 
 class _NullSection:
@@ -46,7 +74,7 @@ class NullProfiler:
     def add(self, name: str, elapsed: float) -> None:
         pass
 
-    def begin_round(self) -> None:
+    def begin_round(self, index: Optional[int] = None) -> None:
         pass
 
     def round_timings(self) -> Dict[str, float]:
@@ -62,19 +90,25 @@ NULL_PROFILER = NullProfiler()
 
 
 class _Section:
-    __slots__ = ("_profiler", "_name", "_t0")
+    __slots__ = ("_profiler", "_name", "_t0", "_index")
 
     def __init__(self, profiler: "Profiler", name: str) -> None:
         self._profiler = profiler
         self._name = name
         self._t0 = 0.0
+        self._index = -1
 
     def __enter__(self) -> "_Section":
         self._t0 = perf_counter()
+        if self._profiler._record_spans:
+            self._index = self._profiler._open_span(self._name, self._t0)
         return self
 
     def __exit__(self, *exc) -> None:
-        self._profiler._add(self._name, perf_counter() - self._t0)
+        t1 = perf_counter()
+        self._profiler._add(self._name, t1 - self._t0)
+        if self._index >= 0:
+            self._profiler._close_span(self._index, t1)
 
 
 class Profiler:
@@ -82,21 +116,54 @@ class Profiler:
 
     ``totals`` holds seconds per section since construction; the
     per-round window (``begin_round`` / ``round_timings``) holds the same
-    breakdown for the current round only.
+    breakdown for the current round only.  With ``record_spans=True``
+    every section execution additionally lands on :attr:`spans` as a
+    nested :class:`Span` (see :func:`repro.obs.export.chrome_trace`).
     """
 
     enabled: bool = True
 
-    def __init__(self) -> None:
+    def __init__(self, *, record_spans: bool = False) -> None:
         self.totals: Dict[str, float] = {}
         self.counts: Dict[str, int] = {}
         self._round: Optional[Dict[str, float]] = None
+        self._record_spans = record_spans
+        self.spans: List[Span] = []
+        self._stack: List[int] = []
+        self._epoch = perf_counter()
+        self.current_round: Optional[int] = None
+
+    @property
+    def record_spans(self) -> bool:
+        return self._record_spans
 
     def _add(self, name: str, elapsed: float) -> None:
         self.totals[name] = self.totals.get(name, 0.0) + elapsed
         self.counts[name] = self.counts.get(name, 0) + 1
         if self._round is not None:
             self._round[name] = self._round.get(name, 0.0) + elapsed
+
+    # -- span bookkeeping (only touched when record_spans is on) ------- #
+    def _open_span(self, name: str, t0: float) -> int:
+        index = len(self.spans)
+        self.spans.append(
+            Span(
+                name=name,
+                start=t0 - self._epoch,
+                duration=0.0,
+                depth=len(self._stack),
+                parent=self._stack[-1] if self._stack else None,
+                round=self.current_round,
+            )
+        )
+        self._stack.append(index)
+        return index
+
+    def _close_span(self, index: int, t1: float) -> None:
+        span = self.spans[index]
+        span.duration = t1 - self._epoch - span.start
+        if self._stack and self._stack[-1] == index:
+            self._stack.pop()
 
     def section(self, name: str) -> _Section:
         """Context manager timing one block under *name*."""
@@ -107,14 +174,34 @@ class Profiler:
 
         Used by the parallel plan phase: workers time their own sections
         locally (the shared profiler is not touched off the main thread)
-        and the engine folds the measurements in afterwards.
+        and the engine folds the measurements in afterwards.  When spans
+        are recorded, the fold lands as a zero-depth span ending *now* —
+        the true worker-local start is not observable from this thread.
         """
         self._add(name, elapsed)
+        if self._record_spans:
+            end = perf_counter() - self._epoch
+            self.spans.append(
+                Span(
+                    name=name,
+                    start=max(0.0, end - elapsed),
+                    duration=elapsed,
+                    depth=len(self._stack),
+                    parent=self._stack[-1] if self._stack else None,
+                    round=self.current_round,
+                )
+            )
 
     # ------------------------------------------------------------------ #
-    def begin_round(self) -> None:
-        """Reset the per-round window (engine calls this at round start)."""
+    def begin_round(self, index: Optional[int] = None) -> None:
+        """Reset the per-round window (engine calls this at round start).
+
+        *index* labels subsequent spans with the management-round number;
+        older callers that pass nothing keep round-less spans.
+        """
         self._round = {}
+        if index is not None:
+            self.current_round = index
 
     def round_timings(self) -> Dict[str, float]:
         """Seconds per section accumulated since ``begin_round``."""

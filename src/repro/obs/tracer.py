@@ -14,13 +14,24 @@ every layer without coupling:
 defaults to; :class:`RecordingTracer` keeps events in memory (tests,
 notebooks); :class:`JsonlTracer` streams them to a JSON-lines file (the
 CLI's ``--trace PATH``).
+
+Both enabled tracers run a
+:class:`~repro.obs.correlate.LifecycleStitcher` in their ``emit`` path
+by default, stamping ``trace_id``/``parent_id`` onto every event so the
+flat stream carries per-attempt causal chains (pass ``correlate=False``
+for schema-1 behaviour).
+
+JSONL traces written by :class:`JsonlTracer` start with a header line
+``{"schema_version": 2}``; :func:`load_trace` reads them back (header or
+no header) as a list of event dicts for the ``repro trace`` CLI.
 """
 
 from __future__ import annotations
 
 import json
-from typing import IO, List, Optional, Protocol, runtime_checkable
+from typing import IO, Any, Dict, List, Optional, Protocol, runtime_checkable
 
+from repro.obs.correlate import LifecycleStitcher
 from repro.obs.events import TraceEvent
 
 __all__ = [
@@ -29,7 +40,13 @@ __all__ = [
     "RecordingTracer",
     "JsonlTracer",
     "NULL_TRACER",
+    "TRACE_SCHEMA_VERSION",
+    "load_trace",
 ]
+
+TRACE_SCHEMA_VERSION = 2
+"""Current JSONL trace schema: v2 adds the header line and the
+``trace_id``/``parent_id`` correlation fields."""
 
 
 @runtime_checkable
@@ -70,16 +87,21 @@ class RecordingTracer:
 
     enabled: bool = True
 
-    def __init__(self) -> None:
+    def __init__(self, *, correlate: bool = True) -> None:
         self.events: List[TraceEvent] = []
         self.current_round: Optional[int] = None
+        self._stitcher = LifecycleStitcher() if correlate else None
 
     def begin_round(self, index: int) -> None:
         self.current_round = index
+        if self._stitcher is not None:
+            self._stitcher.begin_round(index)
 
     def emit(self, event: TraceEvent) -> None:
         if event.round is None:
             event.round = self.current_round
+        if self._stitcher is not None:
+            self._stitcher.stamp(event)
         self.events.append(event)
 
     # ------------------------------------------------------------------ #
@@ -98,35 +120,51 @@ class RecordingTracer:
 class JsonlTracer:
     """Streaming tracer: one JSON object per line on *stream*.
 
+    The first line written is the schema header
+    ``{"schema_version": 2}``; every subsequent line is one event dict.
+    The stream is flushed at each :meth:`begin_round`, so a crashed or
+    faulted run leaves complete rounds on disk.
+
     Parameters
     ----------
     stream:
         Open text file object; the caller owns it unless this tracer was
         built with :meth:`open`, in which case :meth:`close` closes it.
+    correlate:
+        Stamp lifecycle ``trace_id``/``parent_id`` fields (default on).
     """
 
     enabled: bool = True
 
-    def __init__(self, stream: IO[str]) -> None:
+    def __init__(self, stream: IO[str], *, correlate: bool = True) -> None:
         self.stream = stream
         self.current_round: Optional[int] = None
         self._owns_stream = False
         self.emitted = 0
+        self._stitcher = LifecycleStitcher() if correlate else None
+        self.stream.write(
+            json.dumps({"schema_version": TRACE_SCHEMA_VERSION}) + "\n"
+        )
 
     @classmethod
-    def open(cls, path: str) -> "JsonlTracer":
+    def open(cls, path: str, *, correlate: bool = True) -> "JsonlTracer":
         """Create a tracer writing to *path* (truncates; close with
         :meth:`close` or use as a context manager)."""
-        tracer = cls(open(path, "w"))
+        tracer = cls(open(path, "w"), correlate=correlate)
         tracer._owns_stream = True
         return tracer
 
     def begin_round(self, index: int) -> None:
         self.current_round = index
+        if self._stitcher is not None:
+            self._stitcher.begin_round(index)
+        self.stream.flush()
 
     def emit(self, event: TraceEvent) -> None:
         if event.round is None:
             event.round = self.current_round
+        if self._stitcher is not None:
+            self._stitcher.stamp(event)
         self.stream.write(json.dumps(event.as_dict()) + "\n")
         self.emitted += 1
 
@@ -139,3 +177,32 @@ class JsonlTracer:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+def load_trace(path: str) -> List[Dict[str, Any]]:
+    """Read a JSONL trace back as a list of event dicts.
+
+    Accepts both schema-2 files (leading ``{"schema_version": N}``
+    header, which is skipped) and headerless schema-1 files; blank lines
+    are ignored.  Raises ``ValueError`` on a header from a future schema
+    or on a row without an ``"event"`` key.
+    """
+    events: List[Dict[str, Any]] = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            if "schema_version" in row and "event" not in row:
+                version = row["schema_version"]
+                if version > TRACE_SCHEMA_VERSION:
+                    raise ValueError(
+                        f"{path}:{lineno}: trace schema_version {version} "
+                        f"is newer than supported ({TRACE_SCHEMA_VERSION})"
+                    )
+                continue
+            if "event" not in row:
+                raise ValueError(f"{path}:{lineno}: row has no 'event' key")
+            events.append(row)
+    return events

@@ -21,6 +21,7 @@ historical loose keyword arguments still work but are deprecated.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Dict, List, Optional, Sequence
@@ -103,7 +104,10 @@ class SheriffSimulation:
         self.metrics: MetricsRegistry = (
             cfg.metrics if cfg.metrics is not None else MetricsRegistry()
         )
-        self.profiler = Profiler() if cfg.profile else NULL_PROFILER
+        if cfg.profiler is not None:
+            self.profiler = cfg.profiler
+        else:
+            self.profiler = Profiler() if cfg.profile else NULL_PROFILER
         self.cluster = cluster
         self.cost_model = CostModel(
             cluster, cfg.cost_params, cache=cfg.cache_cost_kernels
@@ -222,7 +226,7 @@ class SheriffSimulation:
         # bookkeeping below and the summary record (they can never disagree)
         now = len(self.history)
         tracer.begin_round(now)
-        self.profiler.begin_round()
+        self.profiler.begin_round(now)
         m = self.metrics
         with self.profiler.section("round"), m.scope() as scope:
             m.counter("sheriff_rounds_total").inc()
@@ -380,6 +384,12 @@ class SheriffSimulation:
             degraded=degraded,
         )
         self.history.append(summary)
+        if self.config.metrics_stream is not None:
+            # one snapshot per round: the scope window the summary read,
+            # streamed next to the event trace for offline correlation
+            self.config.metrics_stream.write(
+                json.dumps({"round": now, "metrics": scope.as_dict()}) + "\n"
+            )
         return summary
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,142 @@
+"""Exporters: Prometheus text exposition, Chrome spans, reservoir quantiles."""
+
+import json
+
+from repro.obs.export import chrome_trace, prometheus_text, write_chrome_trace
+from repro.obs.metrics import RESERVOIR_SIZE, MetricsRegistry
+from repro.obs.profiling import Profiler
+
+
+class TestHistogramQuantiles:
+    def test_exact_while_stream_fits_reservoir(self):
+        m = MetricsRegistry()
+        h = m.histogram("latency")
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(1.0) == 100.0
+        assert h.quantile(0.5) == 50.5
+        qs = h.quantiles()
+        assert qs["p50"] == 50.5
+        assert abs(qs["p95"] - 95.05) < 1e-9
+
+    def test_reservoir_stays_bounded(self):
+        m = MetricsRegistry()
+        h = m.histogram("big")
+        for v in range(10 * RESERVOIR_SIZE):
+            h.observe(float(v))
+        assert len(h._reservoir) == RESERVOIR_SIZE
+        assert h.count == 10 * RESERVOIR_SIZE
+        # sampled estimate still lands in the right region
+        assert 0.3 < h.quantile(0.5) / (10 * RESERVOIR_SIZE) < 0.7
+
+    def test_deterministic_across_registries(self):
+        def fill():
+            h = MetricsRegistry().histogram("d", rack=3)
+            for v in range(5000):
+                h.observe(float((v * 37) % 1000))
+            return h.quantiles()
+
+        assert fill() == fill()
+
+    def test_quantiles_in_as_dict(self):
+        m = MetricsRegistry()
+        h = m.histogram("x")
+        h.observe(2.0)
+        h.observe(4.0)
+        entry = m.as_dict()["x"]
+        assert entry["p50"] == 3.0
+        assert entry["p99"] >= entry["p50"]
+
+
+class TestPrometheusText:
+    def test_counter_gauge_and_summary_families(self):
+        m = MetricsRegistry()
+        m.counter("sheriff_rounds_total").inc(3)
+        m.counter("requests_total", rack=1).inc(2)
+        m.gauge("sheriff_workload_std").set(1.25)
+        h = m.histogram("move_cost", rack=1)
+        h.observe(5.0)
+        h.observe(7.0)
+        text = prometheus_text(m)
+        assert "# TYPE sheriff_rounds_total counter" in text
+        assert "sheriff_rounds_total 3.0" in text
+        # namespace prefix applied exactly once
+        assert "# TYPE sheriff_requests_total counter" in text
+        assert 'sheriff_requests_total{rack="1"} 2.0' in text
+        assert "sheriff_sheriff" not in text
+        assert "# TYPE sheriff_workload_std gauge" in text
+        assert "# TYPE sheriff_move_cost summary" in text
+        assert 'sheriff_move_cost{quantile="0.5",rack="1"} 6.0' in text
+        assert 'sheriff_move_cost_count{rack="1"} 2' in text
+        assert 'sheriff_move_cost_sum{rack="1"} 12.0' in text
+
+    def test_bucketed_histogram_exports_cumulative_le(self):
+        m = MetricsRegistry()
+        h = m.histogram("lat", buckets=[1.0, 5.0])
+        for v in (0.5, 0.7, 3.0, 9.0):
+            h.observe(v)
+        text = prometheus_text(m)
+        assert "# TYPE sheriff_lat histogram" in text
+        assert 'sheriff_lat_bucket{le="1.0"} 2' in text
+        assert 'sheriff_lat_bucket{le="5.0"} 3' in text
+        assert 'sheriff_lat_bucket{le="+Inf"} 4' in text
+        assert "sheriff_lat_count 4" in text
+
+    def test_empty_registry_exports_empty(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+
+class TestChromeTrace:
+    def test_nested_sections_become_nested_spans(self):
+        p = Profiler(record_spans=True)
+        p.begin_round(0)
+        with p.section("round"):
+            with p.section("priority"):
+                pass
+            with p.section("matching"):
+                pass
+        doc = chrome_trace(p)
+        events = doc["traceEvents"]
+        assert [e["name"] for e in events] == ["round", "priority", "matching"]
+        outer, inner, second = events
+        assert outer["ph"] == "X"
+        assert outer["args"]["depth"] == 0
+        assert inner["args"]["depth"] == 1
+        assert inner["args"]["round"] == 0
+        # time containment: children inside the parent window
+        assert outer["ts"] <= inner["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1e-6
+        assert second["ts"] >= inner["ts"] + inner["dur"] - 1e-6
+
+    def test_span_parents_form_a_tree(self):
+        p = Profiler(record_spans=True)
+        with p.section("a"):
+            with p.section("b"):
+                with p.section("c"):
+                    pass
+        assert [s.parent for s in p.spans] == [None, 0, 1]
+
+    def test_spans_off_by_default_keeps_flat_totals(self):
+        p = Profiler()
+        with p.section("x"):
+            pass
+        assert p.spans == []
+        assert "x" in p.totals
+
+    def test_write_chrome_trace_is_valid_json(self, tmp_path):
+        p = Profiler(record_spans=True)
+        with p.section("round"):
+            pass
+        path = tmp_path / "spans.json"
+        with open(path, "w") as fh:
+            count = write_chrome_trace(p, fh)
+        assert count == 1
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"][0]["name"] == "round"
+
+    def test_worker_folds_land_as_spans(self):
+        p = Profiler(record_spans=True)
+        p.add("plan/w0", 0.002)
+        assert p.spans[-1].name == "plan/w0"
+        assert p.spans[-1].duration == 0.002

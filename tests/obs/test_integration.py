@@ -258,6 +258,43 @@ class TestObservabilityIsPassive:
             totals["migrations"]
         )
 
+    def test_tracing_is_passive_under_seeded_chaos(self):
+        """Tracer-on chaos campaigns report byte-identically to tracer-off.
+
+        The faults layer is the hardest case for the zero-cost contract:
+        the unreliable channel, fault injector and evacuation paths all
+        branch on ``tracer.enabled``, and the lifecycle stitcher now runs
+        inside every enabled emit.  The seeded campaign report is
+        byte-stable (``make chaos`` cmp contract), so comparing reports
+        proves the traced decision path identical.
+        """
+        import json
+
+        from repro.faults import ChannelPolicy, run_chaos_campaign
+
+        def run(tracer):
+            cfg = SheriffConfig(tracer=tracer) if tracer else None
+            return run_chaos_campaign(
+                topology="fattree",
+                size=4,
+                rounds=8,
+                seed=2015,
+                alert_fraction=0.1,
+                channel=ChannelPolicy(
+                    loss_probability=0.1, max_retries=3, seed=2015
+                ),
+                config=cfg,
+            )
+
+        plain = json.dumps(run(None), sort_keys=True)
+        tracer = RecordingTracer()
+        traced = json.dumps(run(tracer), sort_keys=True)
+        assert traced == plain
+        # and the traced run really did record the fault vocabulary
+        kinds = set(tracer.kinds())
+        assert "FaultInjected" in kinds
+        assert "RequestSent" in kinds
+
     def test_profiler_breakdown_has_pipeline_sections(self):
         cluster = _cluster()
         sim = SheriffSimulation(cluster)

@@ -1,0 +1,186 @@
+"""The ``repro trace`` toolchain: summarize, lifecycle, diff, lint."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.analysis import (
+    diff_traces,
+    lint_trace,
+    summarize_trace,
+    vm_lifecycle,
+)
+from repro.obs.tracer import load_trace
+
+
+@pytest.fixture(scope="module")
+def chaos_trace(tmp_path_factory):
+    """One seeded chaos campaign's trace — the golden lint subject."""
+    path = tmp_path_factory.mktemp("trace") / "chaos.jsonl"
+    rc = main(
+        [
+            "chaos", "--size", "4", "--rounds", "8", "--seed", "2015",
+            "--trace", str(path),
+        ]
+    )
+    assert rc == 0
+    return path
+
+
+class TestSummarize:
+    def test_counts_and_latency(self, chaos_trace):
+        events = load_trace(chaos_trace)
+        summary = summarize_trace(events)
+        assert summary["events"] == len(events)
+        assert summary["rounds"] == 8
+        assert summary["attempts"] > 0
+        assert summary["totals"]["RequestSent"] > 0
+        lat = summary["alert_to_landed_rounds"]
+        assert lat["count"] == summary["totals"].get("MigrationLanded", 0)
+        assert 0.0 <= lat["p50"] <= lat["p95"] <= lat["p99"] <= lat["max"]
+
+    def test_cli_json(self, chaos_trace, capsys):
+        assert main(["trace", "summarize", str(chaos_trace), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rounds"] == 8
+
+
+class TestLifecycle:
+    def test_follows_one_vm(self, chaos_trace):
+        events = load_trace(chaos_trace)
+        vm = next(e["vm"] for e in events if e["event"] == "MigrationLanded")
+        life = vm_lifecycle(events, vm)
+        assert life["attempts"]
+        landed = [
+            a for a in life["attempts"] if a["outcome"] == "MigrationLanded"
+        ]
+        assert landed
+        chain = [e["event"] for e in landed[0]["events"]]
+        assert chain[0] == "RequestSent"
+        assert "MigrationCommitted" in chain
+
+    def test_cli_plain(self, chaos_trace, capsys):
+        events = load_trace(chaos_trace)
+        vm = next(e["vm"] for e in events if e["event"] == "RequestSent")
+        assert main(["trace", "lifecycle", str(chaos_trace), str(vm)]) == 0
+        out = capsys.readouterr().out
+        assert "attempt r" in out
+
+
+class TestDiff:
+    def test_identical_traces_diff_empty(self, chaos_trace):
+        events = load_trace(chaos_trace)
+        assert diff_traces(events, events)["identical"] is True
+
+    def test_mutation_shows_up(self, chaos_trace):
+        events = load_trace(chaos_trace)
+        mutated = [e for e in events if e["event"] != "FaultInjected"]
+        diff = diff_traces(events, mutated)
+        assert diff["identical"] is False
+        assert all(r["event"] == "FaultInjected" for r in diff["rows"])
+        assert sum(r["delta"] for r in diff["rows"]) < 0
+
+    def test_cli_exit_zero_either_way(self, chaos_trace, tmp_path, capsys):
+        other = tmp_path / "other.jsonl"
+        other.write_text(
+            "\n".join(
+                json.dumps(e)
+                for e in load_trace(chaos_trace)
+                if e["event"] != "AlertDelivered"
+            )
+            + "\n"
+        )
+        assert main(["trace", "diff", str(chaos_trace), str(other)]) == 0
+        assert "AlertDelivered" in capsys.readouterr().out
+
+
+class TestLint:
+    def test_golden_chaos_trace_is_clean(self, chaos_trace):
+        assert lint_trace(load_trace(chaos_trace)) == []
+
+    def test_cli_exit_codes(self, chaos_trace, tmp_path, capsys):
+        assert main(["trace", "lint", str(chaos_trace)]) == 0
+        capsys.readouterr()
+
+    def _mutate(self, chaos_trace, tmp_path, drop=None, name="bad.jsonl"):
+        events = load_trace(chaos_trace)
+        if drop is not None:
+            hit = next(i for i, e in enumerate(events) if e["event"] == drop)
+            events = events[:hit] + events[hit + 1 :]
+        path = tmp_path / name
+        path.write_text("\n".join(json.dumps(e) for e in events) + "\n")
+        return path
+
+    def test_dropped_ack_is_caught(self, chaos_trace, tmp_path, capsys):
+        bad = self._mutate(chaos_trace, tmp_path, drop="RequestAcked")
+        violations = lint_trace(load_trace(bad))
+        rules = {v.rule for v in violations}
+        assert "resolution" in rules or "commit-unacked" in rules
+        assert main(["trace", "lint", str(bad)]) == 1
+        capsys.readouterr()
+
+    def test_commit_without_ack_is_caught(self, tmp_path):
+        events = [
+            {"event": "RequestSent", "round": 0, "vm": 1, "dst_host": 2,
+             "dst_rack": 0},
+            {"event": "RequestRejected", "round": 0, "vm": 1, "dst_host": 2,
+             "dst_rack": 0, "reason": "capacity"},
+            {"event": "MigrationCommitted", "round": 0, "vm": 1, "dst_host": 2},
+        ]
+        violations = lint_trace(events)
+        assert [v.rule for v in violations] == ["commit-unacked"]
+
+    def test_landed_without_commit_is_caught(self):
+        events = [
+            {"event": "MigrationLanded", "round": 1, "vm": 4, "dst_host": 3},
+        ]
+        assert [v.rule for v in lint_trace(events)] == ["landed-uncommitted"]
+
+    def test_double_resolution_is_caught(self):
+        events = [
+            {"event": "RequestSent", "round": 0, "vm": 1, "dst_host": 2,
+             "dst_rack": 0},
+            {"event": "RequestRejected", "round": 0, "vm": 1, "dst_host": 2,
+             "dst_rack": 0, "reason": "capacity"},
+            {"event": "RequestAcked", "round": 0, "vm": 1, "dst_host": 2,
+             "dst_rack": 0},
+        ]
+        assert [v.rule for v in lint_trace(events)] == ["resolution"]
+
+    def test_ack_then_timeout_is_allowed(self):
+        # lossy channel lease expiry: receiver ACKed, every reply leg
+        # lost, sender timed out and the reservation was cancelled
+        events = [
+            {"event": "RequestSent", "round": 0, "vm": 1, "dst_host": 2,
+             "dst_rack": 0},
+            {"event": "RequestAcked", "round": 0, "vm": 1, "dst_host": 2,
+             "dst_rack": 0},
+            {"event": "RequestTimedOut", "round": 0, "vm": 1, "dst_host": 2,
+             "dst_rack": 0, "attempts": 3},
+        ]
+        assert lint_trace(events) == []
+
+    def test_down_rack_activity_is_caught(self):
+        events = [
+            {"event": "FaultInjected", "round": 2, "fault_kind": "shim_down",
+             "target": 1, "detail": "until-round-5"},
+            {"event": "PrioritySelected", "round": 3, "rack": 1,
+             "factor": "ALPHA", "selected": []},
+            {"event": "PrioritySelected", "round": 5, "rack": 1,
+             "factor": "ALPHA", "selected": []},
+        ]
+        violations = lint_trace(events)
+        # round 3 is inside the outage; round 5 is after auto-recovery
+        assert [v.rule for v in violations] == ["down-rack"]
+        assert violations[0].line == 1
+
+    def test_corrupted_trace_id_is_caught(self, chaos_trace, tmp_path):
+        events = load_trace(chaos_trace)
+        hit = next(
+            i for i, e in enumerate(events)
+            if e["event"] == "RequestAcked" and "trace_id" in e
+        )
+        events[hit]["trace_id"] = "r99.v424242"
+        violations = lint_trace(events)
+        assert "correlation" in {v.rule for v in violations}

@@ -15,6 +15,7 @@ from repro.obs.tracer import (
     NullTracer,
     RecordingTracer,
     Tracer,
+    load_trace,
 )
 
 
@@ -79,14 +80,40 @@ class TestJsonlTracer:
             )
             assert t.emitted == 2
         lines = path.read_text().splitlines()
-        assert len(lines) == 2
-        first = json.loads(lines[0])
+        assert len(lines) == 3  # schema header + two events
+        header = json.loads(lines[0])
+        assert header == {"schema_version": 2}
+        first = json.loads(lines[1])
         assert first["event"] == "PrioritySelected"
         assert first["round"] == 7
         assert first["selected"] == [1, 4]  # tuples serialize as lists
-        second = json.loads(lines[1])
+        assert first["trace_id"] == "r7.k2"
+        second = json.loads(lines[2])
         assert second["event"] == "MatchingSolved"
         assert second["fallback"] is False
+
+    def test_load_trace_round_trips(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTracer.open(path) as t:
+            t.begin_round(0)
+            t.emit(AlertDelivered(rack=1, alert_kind="SERVER", magnitude=0.9))
+        events = load_trace(path)
+        assert len(events) == 1
+        assert events[0]["event"] == "AlertDelivered"
+        assert events[0]["round"] == 0
+
+    def test_load_trace_accepts_headerless_schema_1(self, tmp_path):
+        path = tmp_path / "old.jsonl"
+        path.write_text('{"event": "AlertDelivered", "rack": 0}\n')
+        assert load_trace(path)[0]["rack"] == 0
+
+    def test_load_trace_rejects_future_schema(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text('{"schema_version": 99}\n')
+        import pytest
+
+        with pytest.raises(ValueError):
+            load_trace(path)
 
 
 class TestEventShapes:

@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs.tracer import load_trace
 
 
 class TestParser:
@@ -109,7 +110,7 @@ class TestMachineOutput:
             ]
         )
         assert code == 0
-        events = [json.loads(line) for line in trace.read_text().splitlines()]
+        events = load_trace(trace)
         assert events, "trace file must not be empty"
         kinds = {e["event"] for e in events}
         assert "AlertDelivered" in kinds
@@ -154,9 +155,7 @@ class TestReport:
 
         trace = tmp_path / "report.jsonl"
         assert main(["report", "--seed", "7", "--trace", str(trace)]) == 0
-        kinds = {
-            json.loads(line)["event"] for line in trace.read_text().splitlines()
-        }
+        kinds = {e["event"] for e in load_trace(trace)}
         fault_kinds = {
             "FaultInjected", "HostCrashed", "RequestTimedOut",
             "MigrationAborted",
@@ -177,9 +176,7 @@ class TestChaosTrace:
             ]
         )
         assert rc == 0
-        kinds = {
-            json.loads(line)["event"] for line in trace.read_text().splitlines()
-        }
+        kinds = {e["event"] for e in load_trace(trace)}
         assert {
             "FaultInjected", "HostCrashed", "RequestTimedOut",
             "MigrationAborted", "RequestSent", "MigrationCommitted",

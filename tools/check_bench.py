@@ -1,15 +1,21 @@
 #!/usr/bin/env python
-"""Gate CI on committed fleet-kernel benchmark results.
+"""Gate CI on committed benchmark results.
 
-Usage: ``python tools/check_bench.py BENCH_4.json``
+Usage: ``python tools/check_bench.py BENCH_4.json [BENCH_5.json ...]``
 
-Reads the results file ``make bench`` writes and fails (exit code 1) when
-the optimized engine round is *slower* than the scalar oracle — i.e. when
-``engine_round.speedup`` drops below 1.0.  The bench itself asserts the
-stronger paper-scale target (>= 1.3) when it runs; this check is the
-cheap regression tripwire for environments that only re-validate the
-committed numbers.  Also sanity-checks that the incremental cost cache
-actually served queries (a 0-hit cache was the bug this PR removed).
+Reads the results files the ``make bench`` targets write and fails (exit
+code 1) when a committed claim no longer holds.  The benches themselves
+assert the stronger targets when they run; these checks are the cheap
+regression tripwires for environments that only re-validate the
+committed numbers.  The schema is dispatched per file:
+
+* **BENCH_4** (fleet kernels): ``engine_round.speedup >= 1.0`` — the
+  vectorized path must not be slower than the scalar oracle — and
+  ``cost_cache.hits > 0`` (a 0-hit cache was the bug PR 4 removed).
+* **BENCH_5** (tracer overhead): ``tracer_overhead.null_identical`` —
+  the NULL_TRACER run decided byte-identically to the traced run — and
+  ``tracer_overhead.overhead_frac < 0.10`` — full event recording plus
+  lifecycle stitching costs under 10 % of a fleet round.
 """
 
 from __future__ import annotations
@@ -17,18 +23,10 @@ from __future__ import annotations
 import json
 import sys
 from pathlib import Path
+from typing import List
 
 
-def check(path: Path) -> int:
-    try:
-        results = json.loads(path.read_text())
-    except FileNotFoundError:
-        print(f"check_bench: {path} not found — run `make bench` first")
-        return 1
-    except json.JSONDecodeError as exc:
-        print(f"check_bench: {path} is not valid JSON: {exc}")
-        return 1
-    failures = []
+def _check_bench_4(results: dict, failures: List[str]) -> str:
     speedup = results.get("engine_round", {}).get("speedup")
     if not isinstance(speedup, (int, float)):
         failures.append("engine_round.speedup missing")
@@ -43,18 +41,70 @@ def check(path: Path) -> int:
     elif hits <= 0:
         failures.append("cost_cache.hits = 0 — the cost cache never hit")
     if failures:
-        for f in failures:
-            print(f"check_bench: FAIL: {f}")
-        return 1
-    print(
-        f"check_bench: OK — engine_round.speedup = {speedup:.3f}, "
-        f"cost_cache.hits = {hits}"
+        return ""
+    return f"engine_round.speedup = {speedup:.3f}, cost_cache.hits = {hits}"
+
+
+def _check_bench_5(results: dict, failures: List[str]) -> str:
+    over = results.get("tracer_overhead", {})
+    identical = over.get("null_identical")
+    if identical is not True:
+        failures.append(
+            "tracer_overhead.null_identical is not true — the traced run "
+            "decided differently from the NULL_TRACER run"
+        )
+    frac = over.get("overhead_frac")
+    if not isinstance(frac, (int, float)):
+        failures.append("tracer_overhead.overhead_frac missing")
+    elif frac >= 0.10:
+        failures.append(
+            f"tracer_overhead.overhead_frac = {frac:.3f} >= 0.10 — event "
+            "recording costs more than 10% of a fleet round"
+        )
+    spans = results.get("span_export", {}).get("spans")
+    if not isinstance(spans, int) or spans <= 0:
+        failures.append("span_export.spans missing or zero")
+    if failures:
+        return ""
+    return (
+        f"tracer overhead = {100.0 * frac:.1f}% (null-identical), "
+        f"{spans} spans exported"
     )
+
+
+def _dispatch(results: dict):
+    if "tracer_overhead" in results:
+        return _check_bench_5
+    if "engine_round" in results:
+        return _check_bench_4
+    return None
+
+
+def check(path: Path) -> int:
+    try:
+        results = json.loads(path.read_text())
+    except FileNotFoundError:
+        print(f"check_bench: {path} not found — run `make bench` first")
+        return 1
+    except json.JSONDecodeError as exc:
+        print(f"check_bench: {path} is not valid JSON: {exc}")
+        return 1
+    checker = _dispatch(results)
+    if checker is None:
+        print(f"check_bench: {path}: unrecognized results schema")
+        return 1
+    failures: List[str] = []
+    summary = checker(results, failures)
+    if failures:
+        for f in failures:
+            print(f"check_bench: {path.name}: FAIL: {f}")
+        return 1
+    print(f"check_bench: {path.name}: OK — {summary}")
     return 0
 
 
 if __name__ == "__main__":
-    if len(sys.argv) != 2:
+    if len(sys.argv) < 2:
         print(__doc__)
         sys.exit(2)
-    sys.exit(check(Path(sys.argv[1])))
+    sys.exit(max(check(Path(arg)) for arg in sys.argv[1:]))
