@@ -5,7 +5,7 @@
 # installed package shadows neither (src/ simply wins on the path).
 export PYTHONPATH := src:.$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install lint test bench bench-trace bench-check bench-all report examples chaos trace-lint ci all
+.PHONY: install lint test bench bench-trace bench-check bench-all report examples chaos trace-lint serve-smoke ci all
 
 install:
 	pip install -e . --no-build-isolation
@@ -53,7 +53,12 @@ trace-lint:
 	PYTHONPATH=src python -m repro chaos --rounds 8 --size 4 --seed 2015 --trace /tmp/sheriff_chaos_golden.jsonl > /dev/null
 	PYTHONPATH=src python -m repro trace lint /tmp/sheriff_chaos_golden.jsonl
 
-ci: lint bench-check trace-lint
+# Boot `repro serve` against a seeded replay, poll /healthz, scrape
+# /metrics, SIGTERM, assert a clean drain (docs/service.md ops story).
+serve-smoke:
+	PYTHONPATH=src python tools/serve_smoke.py
+
+ci: lint bench-check trace-lint serve-smoke
 	pytest tests/
 
 all: lint test bench-all

@@ -17,7 +17,10 @@ organized bottom-up:
 * :mod:`repro.sim` — the round-based simulator with regional,
   centralized-optimal and reactive managers;
 * :mod:`repro.obs` — structured tracing, the metrics registry and
-  profiling hooks (see ``docs/observability.md``).
+  profiling hooks (see ``docs/observability.md``);
+* :mod:`repro.service` — the event-driven core: typed event bus,
+  blackboard round controller and the always-on ``repro serve`` driver
+  (see ``docs/service.md``).
 
 The common entry points re-export here, so one import line suffices:
 
@@ -75,6 +78,13 @@ _LAZY_EXPORTS = {
     "FaultSchedule": "repro.faults",
     "ChannelPolicy": "repro.faults",
     "run_chaos_campaign": "repro.faults",
+    "EventBus": "repro.service.bus",
+    "BlackboardController": "repro.service.blackboard",
+    "KnowledgeSource": "repro.service.blackboard",
+    "ServiceEvent": "repro.service.events",
+    "SERVICE_EVENT_TYPES": "repro.service.events",
+    "ServeSettings": "repro.service.server",
+    "SheriffService": "repro.service.server",
 }
 
 __all__ = ["errors", "ReproError", "__version__", *_LAZY_EXPORTS]
@@ -98,6 +108,10 @@ if TYPE_CHECKING:  # pragma: no cover - static names for type checkers
         RecordingTracer,
         Tracer,
     )
+    from repro.service.blackboard import BlackboardController, KnowledgeSource
+    from repro.service.bus import EventBus
+    from repro.service.events import SERVICE_EVENT_TYPES, ServiceEvent
+    from repro.service.server import ServeSettings, SheriffService
     from repro.sim.driver import run_managed_simulation
     from repro.sim.engine import RoundSummary, SheriffSimulation
     from repro.topology import build_bcube, build_fattree

@@ -12,13 +12,16 @@
 * ``approx``   — Sec. VI-C: empirical Local Search ratio vs the 3 + 2/p
   bound;
 * ``trace``    — analyze a ``--trace`` JSONL file: ``summarize``,
-  ``lifecycle <vm>``, ``diff``, and the ``lint`` invariant checker.
+  ``lifecycle <vm>``, ``diff``, and the ``lint`` invariant checker;
+* ``serve``    — the always-on service: continuous alert ingest with
+  bounded-queue backpressure, live ``/healthz`` + ``/metrics`` HTTP
+  endpoints and graceful drain on SIGTERM (see ``docs/service.md``).
 
-The simulator commands (``balance``, ``chaos``) additionally accept
-``--perfetto PATH`` (nested-span flamegraph as Chrome ``trace_event``
-JSON), ``--prom PATH`` (Prometheus text exposition of the metrics
-registry) and ``--metrics-out PATH`` (per-round metric snapshots as
-JSON-lines).
+Every simulation-running command (``balance``, ``sweep``, ``approx``,
+``chaos``, ``serve``) additionally accepts ``--perfetto PATH``
+(nested-span flamegraph as Chrome ``trace_event`` JSON), ``--prom
+PATH`` (Prometheus text exposition of the metrics registry) and
+``--metrics-out PATH`` (per-round metric snapshots as JSON-lines).
 
 Every command accepts ``--seed`` and prints plain aligned tables.  Two
 global flags hook into :mod:`repro.obs` on every subcommand:
@@ -69,11 +72,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     common = _common_flags()
+    exporters = _exporter_flags()
 
     p = sub.add_parser(
         "balance",
         help="workload balancing over rounds (Figs. 9/10)",
-        parents=[common],
+        parents=[common, exporters],
     )
     p.add_argument("--topology", choices=["fattree", "bcube"], default="fattree")
     p.add_argument("--size", type=int, default=8, help="pods (fattree) / switches per level (bcube)")
@@ -88,12 +92,11 @@ def build_parser() -> argparse.ArgumentParser:
         "split inline, >= 2 = thread pool, -1 = one per CPU (results are "
         "identical either way; see docs/performance.md)",
     )
-    _exporter_flags(p)
 
     p = sub.add_parser(
         "sweep",
         help="regional vs centralized sweep (Figs. 11-14)",
-        parents=[common],
+        parents=[common, exporters],
     )
     p.add_argument("--topology", choices=["fattree", "bcube"], default="fattree")
     p.add_argument(
@@ -131,7 +134,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "approx",
         help="Local Search ratio vs 3 + 2/p (Sec. VI-C)",
-        parents=[common],
+        parents=[common, exporters],
     )
     p.add_argument("--trials", type=int, default=20)
     p.add_argument("--swap-size", type=int, default=1)
@@ -140,7 +143,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "chaos",
         help="seeded fault-injection campaign (docs/robustness.md)",
-        parents=[common],
+        parents=[common, exporters],
     )
     p.add_argument("--topology", choices=["fattree", "bcube"], default="fattree")
     p.add_argument("--size", type=int, default=4)
@@ -156,7 +159,72 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--output", type=str, default=None, help="write the JSON report to a file"
     )
-    _exporter_flags(p)
+
+    p = sub.add_parser(
+        "serve",
+        help="always-on service: continuous ingest, /healthz, /metrics "
+        "(docs/service.md)",
+        parents=[common, exporters],
+    )
+    p.add_argument("--topology", choices=["fattree", "bcube"], default="fattree")
+    p.add_argument("--size", type=int, default=4)
+    p.add_argument("--seed", type=int, default=2015)
+    p.add_argument(
+        "--source",
+        type=str,
+        default="replay",
+        help="alert source: 'replay' (seeded synthetic trace), a JSONL "
+        "path, or '-' for stdin",
+    )
+    p.add_argument(
+        "--alert-fraction",
+        type=float,
+        default=0.05,
+        help="per-tick alerting VM fraction (replay source only)",
+    )
+    p.add_argument(
+        "--rounds",
+        type=int,
+        default=0,
+        help="replay ticks to ingest; 0 = replay forever (stop with "
+        "SIGTERM or --max-rounds)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=0, help="shim plan workers (see balance)"
+    )
+    p.add_argument(
+        "--config",
+        type=str,
+        default=None,
+        help="SheriffConfig JSON file (SheriffConfig.to_dict schema)",
+    )
+    p.add_argument("--host", type=str, default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=0, help="HTTP port; 0 picks a free one"
+    )
+    p.add_argument(
+        "--interval",
+        type=float,
+        default=0.05,
+        help="seconds between management-round ticks",
+    )
+    p.add_argument(
+        "--queue-limit",
+        type=int,
+        default=1024,
+        help="ingest queue capacity before the shed policy applies",
+    )
+    p.add_argument(
+        "--shed-policy",
+        choices=["drop-oldest", "drop-newest", "block"],
+        default="drop-oldest",
+    )
+    p.add_argument(
+        "--max-rounds",
+        type=int,
+        default=None,
+        help="hard stop after N management rounds",
+    )
 
     p = sub.add_parser(
         "report",
@@ -204,8 +272,14 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _exporter_flags(p: argparse.ArgumentParser) -> None:
-    """Observability exporter flags shared by the simulator commands."""
+def _exporter_flags() -> argparse.ArgumentParser:
+    """Exporter flags every simulation-running subcommand shares.
+
+    A ``parents=`` parser like :func:`_common_flags`, so ``balance``,
+    ``sweep``, ``approx``, ``chaos`` and ``serve`` expose the identical
+    ``--perfetto`` / ``--prom`` / ``--metrics-out`` surface.
+    """
+    p = argparse.ArgumentParser(add_help=False)
     p.add_argument(
         "--perfetto",
         metavar="PATH",
@@ -230,6 +304,7 @@ def _exporter_flags(p: argparse.ArgumentParser) -> None:
         help="stream one JSON line of per-round metrics to PATH "
         "(next to the --trace event stream)",
     )
+    return p
 
 
 @contextmanager
@@ -380,17 +455,26 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         regional_migration_round,
     )
 
-    profiler = Profiler()
     sizes = [int(x) for x in args.sizes.split(",") if x.strip()]
     rows = []
-    with _tracer_for(args) as tracer:
+    with _tracer_for(args) as tracer, _exporters_for(args) as (
+        xprofiler,
+        metrics,
+        _stream,  # sweep has no per-round metrics window to stream
+    ):
+        profiler = xprofiler if xprofiler is not None else Profiler()
         for size in sizes:
             cluster = _cluster_for(args.topology, size, args.seed, skew=0.5)
             cm = CostModel(cluster)
             _, vma = inject_fraction_alerts(cluster, 0.05, seed=args.seed)
             cands = sorted(vma)
             reg = regional_migration_round(
-                cluster, cm, cands, tracer=tracer, profiler=profiler
+                cluster,
+                cm,
+                cands,
+                tracer=tracer,
+                profiler=profiler,
+                metrics=metrics,
             )
             cen = centralized_migration_round(
                 cluster, cm, cands, tracer=tracer, profiler=profiler
@@ -511,10 +595,10 @@ def cmd_approx(args: argparse.Namespace) -> int:
     from repro.kmedian import KMedianInstance, exact_kmedian, local_search
     from repro.obs.profiling import Profiler
 
-    profiler = Profiler()
     rng = np.random.default_rng(args.seed)
     ratios = []
-    with _tracer_for(args):
+    with _tracer_for(args), _exporters_for(args) as (xprofiler, metrics, _stream):
+        profiler = xprofiler if xprofiler is not None else Profiler()
         for trial in range(args.trials):
             n = int(rng.integers(8, 14))
             k = int(rng.integers(2, min(5, n - 1)))
@@ -523,6 +607,11 @@ def cmd_approx(args: argparse.Namespace) -> int:
             res = local_search(inst, p=args.swap_size, seed=trial, profiler=profiler)
             if opt > 1e-12:
                 ratios.append(res.cost / opt)
+                if metrics is not None:
+                    metrics.counter("kmedian_trials_total").inc()
+                    metrics.histogram("kmedian_approx_ratio").observe(
+                        res.cost / opt
+                    )
     bound = 3.0 + 2.0 / args.swap_size
     results = {
         "max_ratio": float(np.max(ratios)),
@@ -583,6 +672,99 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     ) + "\ntotals: " + json.dumps(report["totals"], sort_keys=True)
     _emit(args, plain, report)
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.config import SheriffConfig
+    from repro.errors import ConfigurationError
+    from repro.service.ingest import JsonlAlertSource, ReplayAlertSource
+    from repro.service.server import ServeSettings, SheriffService
+    from repro.sim import SheriffSimulation
+
+    if args.config:
+        try:
+            with open(args.config) as fh:
+                cfg = SheriffConfig.from_dict(json.load(fh))
+        except (OSError, ValueError, ConfigurationError) as exc:
+            print(f"error: cannot load config: {exc}", file=sys.stderr)
+            raise SystemExit(2) from None
+    else:
+        cfg = SheriffConfig(balance_weight=25.0)
+    try:
+        settings = ServeSettings(
+            host=args.host,
+            port=args.port,
+            round_interval=args.interval,
+            queue_limit=args.queue_limit,
+            shed_policy=args.shed_policy,
+            max_rounds=args.max_rounds,
+        )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2) from None
+    cluster = _cluster_for(args.topology, args.size, args.seed, skew=1.1)
+    with _tracer_for(args) as tracer, _exporters_for(args) as (
+        profiler,
+        metrics,
+        stream,
+    ):
+        sim = SheriffSimulation(
+            cluster,
+            cfg.replace(
+                workers=args.workers,
+                tracer=tracer,
+                profiler=profiler,
+                metrics=metrics,
+                metrics_stream=stream,
+            ),
+        )
+        if args.source == "replay":
+            source = ReplayAlertSource(
+                cluster,
+                fraction=args.alert_fraction,
+                rounds=args.rounds,
+                seed=args.seed,
+            )
+        else:
+            source = JsonlAlertSource(args.source)
+        service = SheriffService(sim, source, settings)
+
+        async def _serve():
+            runner = asyncio.create_task(service.run())
+            while service.bound_port is None and not runner.done():
+                await asyncio.sleep(0.005)
+            if service.bound_port is not None:
+                # the ready line: smoke tests parse this to find the port
+                print(
+                    json.dumps(
+                        {
+                            "serving": True,
+                            "host": settings.host,
+                            "port": service.bound_port,
+                        }
+                    ),
+                    flush=True,
+                )
+            return await runner
+
+        report = asyncio.run(_serve())
+    payload = {
+        "command": "serve",
+        "topology": args.topology,
+        "size": args.size,
+        "seed": args.seed,
+        "source": args.source,
+        **report,
+    }
+    _emit(
+        args,
+        "serve: "
+        + ", ".join(f"{k}={report[k]}" for k in sorted(report)),
+        payload,
+    )
+    return 0 if report["clean_drain"] else 1
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -721,6 +903,7 @@ _COMMANDS = {
     "traces": cmd_traces,
     "approx": cmd_approx,
     "chaos": cmd_chaos,
+    "serve": cmd_serve,
     "report": cmd_report,
     "trace": cmd_trace,
 }

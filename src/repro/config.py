@@ -30,6 +30,7 @@ if TYPE_CHECKING:  # pragma: no cover - import-cycle-free typing only
     from repro.faults.schedule import FaultSchedule
     from repro.obs.metrics import MetricsRegistry
     from repro.obs.profiling import Profiler
+    from repro.service.bus import EventBus
     from repro.sim.inflight import MigrationTiming
 
 __all__ = ["SheriffConfig", "resolve_config", "LEGACY_SIM_KWARGS"]
@@ -100,6 +101,14 @@ class SheriffConfig:
     channel_policy:
         Lossy REQUEST/ACK channel model (loss probability, timeout,
         bounded retry); ``None`` keeps the reliable in-process channel.
+    event_bus:
+        Pre-built :class:`~repro.service.bus.EventBus` the simulation's
+        round scheduler publishes on — pass one to subscribe to the
+        service events (``RoundOpened``, ``AlertRaised``,
+        ``RackPlanned``, ``RoundClosed``, …) from outside the engine,
+        e.g. the serve-mode driver or a determinism audit with
+        ``EventBus(record=True)``.  ``None`` (default) gives the
+        simulation a private bus (reachable as ``sim.bus``).
     """
 
     cost_params: Optional["CostParams"] = None
@@ -119,11 +128,116 @@ class SheriffConfig:
     metrics_stream: Optional[TextIO] = None
     fault_schedule: Optional["FaultSchedule"] = None
     channel_policy: Optional["ChannelPolicy"] = None
+    event_bus: Optional["EventBus"] = None
 
     def replace(self, **changes: Any) -> "SheriffConfig":
         """A copy of this config with *changes* applied."""
         return replace(self, **changes)
 
+    def to_dict(self) -> Dict[str, Any]:
+        """This config as a JSON-serializable dict (``from_dict`` inverse).
+
+        Only the *declarative* knobs serialize: scalars plus the nested
+        ``cost_params`` / ``migration_timing`` dataclasses.  Runtime
+        handles (tracer, metrics registry, profiler, streams, fault
+        schedule, channel policy, event bus) describe live objects, not
+        configuration — a config carrying a non-default one raises
+        :class:`~repro.errors.ConfigurationError` rather than silently
+        dropping it from the round trip.
+        """
+        from dataclasses import asdict
+
+        from repro.errors import ConfigurationError
+
+        live = [
+            name
+            for name, default in _RUNTIME_HANDLE_DEFAULTS.items()
+            if getattr(self, name) is not default
+        ]
+        if live:
+            raise ConfigurationError(
+                "cannot serialize runtime handle(s) to JSON: "
+                + ", ".join(live)
+            )
+        data: Dict[str, Any] = {
+            name: getattr(self, name) for name in _SCALAR_FIELDS
+        }
+        if self.cost_params is not None:
+            data["cost_params"] = asdict(self.cost_params)
+        if self.migration_timing is not None:
+            data["migration_timing"] = asdict(self.migration_timing)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SheriffConfig":
+        """Build a config from :meth:`to_dict` output (e.g. a JSON file).
+
+        Unknown keys raise :class:`~repro.errors.ConfigurationError` so a
+        typo'd ``--config`` file fails loudly instead of silently running
+        the defaults.
+        """
+        from repro.errors import ConfigurationError
+
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"config must be a JSON object, got {type(data).__name__}"
+            )
+        allowed = _SCALAR_FIELDS | {"cost_params", "migration_timing"}
+        unknown = sorted(set(data) - allowed)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown config key(s): {', '.join(unknown)} "
+                f"(allowed: {', '.join(sorted(allowed))})"
+            )
+        kwargs: Dict[str, Any] = {
+            k: v for k, v in data.items() if k in _SCALAR_FIELDS
+        }
+        if data.get("cost_params") is not None:
+            from repro.costs.model import CostParams
+
+            try:
+                kwargs["cost_params"] = CostParams(**data["cost_params"])
+            except TypeError as exc:
+                raise ConfigurationError(f"bad cost_params: {exc}") from None
+        if data.get("migration_timing") is not None:
+            from repro.sim.inflight import MigrationTiming
+
+            try:
+                kwargs["migration_timing"] = MigrationTiming(
+                    **data["migration_timing"]
+                )
+            except TypeError as exc:
+                raise ConfigurationError(
+                    f"bad migration_timing: {exc}"
+                ) from None
+        return cls(**kwargs)
+
+
+_SCALAR_FIELDS = frozenset(
+    {
+        "alpha",
+        "beta",
+        "balance_weight",
+        "migration_cooldown",
+        "with_flows",
+        "flow_rate",
+        "workers",
+        "cache_cost_kernels",
+        "profile",
+    }
+)
+"""Fields that serialize directly in :meth:`SheriffConfig.to_dict`."""
+
+_RUNTIME_HANDLE_DEFAULTS = {
+    "tracer": NULL_TRACER,
+    "metrics": None,
+    "profiler": None,
+    "metrics_stream": None,
+    "fault_schedule": None,
+    "channel_policy": None,
+    "event_bus": None,
+}
+"""Live-object fields excluded from JSON round-trips (default sentinels)."""
 
 LEGACY_SIM_KWARGS = frozenset(
     {
@@ -163,10 +277,13 @@ def resolve_config(
         )
     deprecated = sorted(set(legacy) & LEGACY_SIM_KWARGS)
     if deprecated:
+        replacements = ", ".join(
+            f"{key} -> SheriffConfig.{key}" for key in deprecated
+        )
         warnings.warn(
             f"passing {', '.join(deprecated)} to {owner}() directly is "
-            f"deprecated; build a SheriffConfig instead "
-            f"(e.g. SheriffConfig({deprecated[0]}=...))",
+            f"deprecated and will be removed in release 2.0; set the "
+            f"replacement SheriffConfig field instead ({replacements})",
             DeprecationWarning,
             stacklevel=stacklevel,
         )

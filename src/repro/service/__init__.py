@@ -1,0 +1,96 @@
+"""The event-driven service core (see ``docs/service.md``).
+
+* :mod:`repro.service.events` — typed bus events (``AlertRaised``,
+  ``RackPlanned``, ``RequestSent``, ``MigrationCommitted``,
+  ``RoundClosed``, ``FaultInjected``, …);
+* :mod:`repro.service.bus` — the deterministic in-process
+  :class:`EventBus` (priority dispatch, run-to-completion);
+* :mod:`repro.service.blackboard` — :class:`BlackboardController` and
+  :class:`KnowledgeSource`, the prioritized-contributor scheduler;
+* :mod:`repro.service.round` — the management round expressed as
+  knowledge sources over a :class:`RoundBlackboard` (what
+  ``SheriffSimulation.run_round`` drives);
+* :mod:`repro.service.ingest` — continuous alert sources for serve
+  mode (seeded trace replay, JSONL streams);
+* :mod:`repro.service.server` — the asyncio always-on driver behind
+  ``repro serve`` (bounded-queue backpressure, ``/healthz`` +
+  ``/metrics``, graceful drain).
+
+Re-exports resolve lazily (PEP 562) so that ``repro.sim.engine`` can
+import :mod:`repro.service.round` without dragging in the asyncio
+server — which itself imports the engine — keeping the import graph
+cycle-free (``make lint`` checks this).
+"""
+
+from typing import TYPE_CHECKING
+
+_LAZY_EXPORTS = {
+    "ServiceEvent": "repro.service.events",
+    "RoundOpened": "repro.service.events",
+    "AlertRaised": "repro.service.events",
+    "AlertShed": "repro.service.events",
+    "FaultInjected": "repro.service.events",
+    "RackPlanned": "repro.service.events",
+    "RequestSent": "repro.service.events",
+    "MigrationCommitted": "repro.service.events",
+    "RoundClosed": "repro.service.events",
+    "ServiceStateChanged": "repro.service.events",
+    "SERVICE_EVENT_TYPES": "repro.service.events",
+    "EventBus": "repro.service.bus",
+    "Subscription": "repro.service.bus",
+    "KnowledgeSource": "repro.service.blackboard",
+    "FunctionSource": "repro.service.blackboard",
+    "BlackboardController": "repro.service.blackboard",
+    "RoundBlackboard": "repro.service.round",
+    "ROUND_KNOWLEDGE_SOURCES": "repro.service.round",
+    "build_round_controller": "repro.service.round",
+    "ReplayAlertSource": "repro.service.ingest",
+    "JsonlAlertSource": "repro.service.ingest",
+    "ServeSettings": "repro.service.server",
+    "SheriffService": "repro.service.server",
+}
+
+__all__ = sorted(_LAZY_EXPORTS)
+
+if TYPE_CHECKING:  # pragma: no cover - static names for type checkers
+    from repro.service.blackboard import (
+        BlackboardController,
+        FunctionSource,
+        KnowledgeSource,
+    )
+    from repro.service.bus import EventBus, Subscription
+    from repro.service.events import (
+        SERVICE_EVENT_TYPES,
+        AlertRaised,
+        AlertShed,
+        FaultInjected,
+        MigrationCommitted,
+        RackPlanned,
+        RequestSent,
+        RoundClosed,
+        RoundOpened,
+        ServiceEvent,
+        ServiceStateChanged,
+    )
+    from repro.service.ingest import JsonlAlertSource, ReplayAlertSource
+    from repro.service.round import (
+        ROUND_KNOWLEDGE_SOURCES,
+        RoundBlackboard,
+        build_round_controller,
+    )
+    from repro.service.server import ServeSettings, SheriffService
+
+
+def __getattr__(name: str):
+    module = _LAZY_EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module 'repro.service' has no attribute {name!r}")
+    from importlib import import_module
+
+    value = getattr(import_module(module), name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

@@ -1,0 +1,159 @@
+"""Blackboard controller: prioritized knowledge sources over shared state.
+
+The classic blackboard architecture, specialized for determinism: a
+*blackboard* (any mutable object) holds the working state of one
+problem, *knowledge sources* declare when they can contribute
+(:meth:`KnowledgeSource.ready`) and what they do
+(:meth:`KnowledgeSource.run`), and the *controller* repeatedly picks
+the highest-priority ready source until none remains.  Selection is a
+pure function of (source priorities, registration order, blackboard
+state), so a seeded problem replays identically.
+
+Sheriff's management round maps onto this shape directly (see
+:mod:`repro.service.round`): fault injection, alert dispatch,
+in-flight landings, freeze-set computation, per-rack planning, FCFS
+commit and round close are each one knowledge source, and the round
+scheduler in :class:`~repro.sim.engine.SheriffSimulation` is the
+controller's driver.  Knowledge sources publish
+:class:`~repro.service.events.ServiceEvent` notifications on the bus
+as they contribute, which is how the serve-mode driver and metric
+bridges observe progress without touching engine internals.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.service.bus import EventBus
+from repro.service.events import ServiceEvent
+
+__all__ = ["KnowledgeSource", "FunctionSource", "BlackboardController"]
+
+
+class KnowledgeSource:
+    """One contributor to the blackboard.
+
+    Subclasses override :meth:`ready` (precondition on the blackboard)
+    and :meth:`run` (the contribution; may publish events on *bus*).
+    ``triggers`` documents which event kinds make this source ready —
+    purely descriptive metadata used by ``docs/service.md`` tables and
+    introspection, the controller itself schedules off :meth:`ready`.
+    """
+
+    name: str = "ks"
+    priority: int = 0
+    triggers: Tuple[str, ...] = ()
+
+    def ready(self, board) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def run(self, board, bus: EventBus) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<KS {self.name} priority={self.priority}>"
+
+
+class FunctionSource(KnowledgeSource):
+    """A knowledge source built from two callables (tests, ad-hoc wiring)."""
+
+    def __init__(
+        self,
+        name: str,
+        ready: Callable[[object], bool],
+        run: Callable[[object, EventBus], None],
+        *,
+        priority: int = 0,
+        triggers: Sequence[str] = (),
+    ) -> None:
+        self.name = name
+        self.priority = priority
+        self.triggers = tuple(triggers)
+        self._ready = ready
+        self._run = run
+
+    def ready(self, board) -> bool:
+        return self._ready(board)
+
+    def run(self, board, bus: EventBus) -> None:
+        self._run(board, bus)
+
+
+class ControlError(ReproError):
+    """The controller detected a scheduling bug (non-quiescing sources)."""
+
+
+class BlackboardController:
+    """Deterministic scheduler over registered knowledge sources.
+
+    Parameters
+    ----------
+    bus:
+        The event bus handed to every source's :meth:`~KnowledgeSource.run`
+        and used for the controller's own ingest subscription.
+    sources:
+        Initial knowledge sources (more via :meth:`register`).
+    max_steps:
+        Safety valve: one :meth:`run` invocation may fire at most this
+        many source activations before raising :class:`ControlError`
+        (a source whose ``ready`` never goes false would otherwise spin
+        forever).
+    """
+
+    def __init__(
+        self,
+        bus: EventBus,
+        sources: Sequence[KnowledgeSource] = (),
+        *,
+        max_steps: int = 100_000,
+    ) -> None:
+        self.bus = bus
+        self.max_steps = max_steps
+        self._seq = 0
+        # (-priority, registration seq) — stable, deterministic ordering
+        self._sources: List[Tuple[Tuple[int, int], KnowledgeSource]] = []
+        self.board: Optional[object] = None
+        """The currently bound blackboard (one problem at a time)."""
+        for src in sources:
+            self.register(src)
+
+    # ------------------------------------------------------------------ #
+    def register(self, source: KnowledgeSource) -> None:
+        """Add *source*; order among equal priorities is registration order."""
+        self._seq += 1
+        self._sources.append(((-source.priority, self._seq), source))
+        self._sources.sort(key=lambda entry: entry[0])
+
+    @property
+    def sources(self) -> List[KnowledgeSource]:
+        """Registered sources in scheduling order (highest priority first)."""
+        return [src for _, src in self._sources]
+
+    def bind(self, board: Optional[object]) -> None:
+        """Attach (or with ``None`` detach) the working blackboard."""
+        self.board = board
+
+    # ------------------------------------------------------------------ #
+    def step(self) -> Optional[KnowledgeSource]:
+        """Run the single highest-priority ready source; ``None`` if idle."""
+        board = self.board
+        if board is None:
+            raise ControlError("no blackboard bound; call bind() first")
+        for _, source in self._sources:
+            if source.ready(board):
+                source.run(board, self.bus)
+                return source
+        return None
+
+    def run(self) -> int:
+        """Drive the bound blackboard to quiescence; returns activations."""
+        steps = 0
+        while self.step() is not None:
+            steps += 1
+            if steps > self.max_steps:
+                raise ControlError(
+                    f"knowledge sources did not quiesce within "
+                    f"{self.max_steps} activations (scheduling bug?)"
+                )
+        return steps

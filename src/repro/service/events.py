@@ -1,0 +1,178 @@
+"""Typed service events — the vocabulary of the Sheriff event bus.
+
+These are *control-plane* events: they announce what the always-on
+service core is doing (a round opened, an alert arrived, a rack was
+planned, migrations committed) so that schedulers, the serve-mode
+driver, metrics bridges and tests can react without reaching into the
+engine.  They are distinct from the *observability* trace events in
+:mod:`repro.obs.events`, which record fine-grained per-decision facts
+for offline analysis; a service event typically summarizes many trace
+events (one :class:`RackPlanned` per shim vs one ``PrioritySelected``
+per Alg. 2 invocation).
+
+All events are frozen dataclasses: once published they are immutable,
+so every subscriber sees the same value regardless of dispatch order.
+The full taxonomy (fields, publisher, ordering guarantees) is
+documented in ``docs/service.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import List, Optional, Tuple
+
+from repro.alerts.alert import Alert
+
+__all__ = [
+    "ServiceEvent",
+    "RoundOpened",
+    "AlertRaised",
+    "AlertShed",
+    "FaultInjected",
+    "RackPlanned",
+    "RequestSent",
+    "MigrationCommitted",
+    "RoundClosed",
+    "ServiceStateChanged",
+    "SERVICE_EVENT_TYPES",
+]
+
+
+@dataclass(frozen=True)
+class ServiceEvent:
+    """Base class of every bus event.
+
+    ``round`` is the management-round index the event belongs to;
+    ``None`` means the event happened outside any round (service
+    lifecycle, shed decisions while the planner is busy).
+    """
+
+    round: Optional[int] = None
+
+    @property
+    def kind(self) -> str:
+        """Stable event-type name (the class name)."""
+        return type(self).__name__
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation: ``{"event": kind, ...fields}``."""
+        out = {"event": self.kind}
+        for f in fields(self):
+            v = getattr(self, f.name)
+            if isinstance(v, Alert):
+                v = {
+                    "kind": v.kind.name,
+                    "rack": v.rack,
+                    "magnitude": v.magnitude,
+                    "host": v.host,
+                    "switch": v.switch,
+                    "vm": v.vm,
+                }
+            if isinstance(v, tuple):
+                v = list(v)
+            out[f.name] = v
+        return out
+
+
+@dataclass(frozen=True)
+class RoundOpened(ServiceEvent):
+    """The scheduler opened a management round (ingest window closed)."""
+
+    alerts: int = 0
+
+
+@dataclass(frozen=True)
+class AlertRaised(ServiceEvent):
+    """One ALERT message entered the service core.
+
+    Published by the round scheduler (batch mode) or the serve-mode
+    ingest loop (continuous mode); the blackboard controller's ingest
+    subscriber appends it to the current round's working set.
+    """
+
+    rack: int = -1
+    alert_kind: str = ""
+    magnitude: float = 0.0
+    alert: Optional[Alert] = None
+    """The full message; carried so knowledge sources need no lookup."""
+
+
+@dataclass(frozen=True)
+class AlertShed(ServiceEvent):
+    """Backpressure: an alert was dropped because the ingest queue was
+    full (see ``ServeSettings.shed_policy``)."""
+
+    rack: int = -1
+    policy: str = ""
+    queue_depth: int = 0
+
+
+@dataclass(frozen=True)
+class FaultInjected(ServiceEvent):
+    """The fault layer fired at the top of a round."""
+
+    injected: int = 0
+    degraded: bool = False
+
+
+@dataclass(frozen=True)
+class RackPlanned(ServiceEvent):
+    """One shim finished Alg. 1 for the round (plan + execute)."""
+
+    rack: int = -1
+    alerts_processed: int = 0
+    selected: Tuple[int, ...] = ()
+    requested: int = 0
+    acked: int = 0
+    rejected: int = 0
+
+
+@dataclass(frozen=True)
+class RequestSent(ServiceEvent):
+    """A shim's REQUEST batch left for the one-hop neighbor racks.
+
+    Aggregated per rack: ``count`` REQUEST messages were issued by
+    VMMIGRATION (the per-message story lives in the obs trace as
+    individual ``RequestSent`` trace events)."""
+
+    rack: int = -1
+    count: int = 0
+
+
+@dataclass(frozen=True)
+class MigrationCommitted(ServiceEvent):
+    """The round's FCFS commit applied one reserved migration."""
+
+    vm: int = -1
+    dst_host: int = -1
+
+
+@dataclass(frozen=True)
+class RoundClosed(ServiceEvent):
+    """A management round fully completed (summary recorded)."""
+
+    alerts: int = 0
+    migrations: int = 0
+    total_cost: float = 0.0
+    degraded: bool = False
+
+
+@dataclass(frozen=True)
+class ServiceStateChanged(ServiceEvent):
+    """The serve-mode driver changed lifecycle state
+    (``starting`` → ``serving`` → ``draining`` → ``stopped``)."""
+
+    state: str = ""
+
+
+SERVICE_EVENT_TYPES: List[type] = [
+    RoundOpened,
+    AlertRaised,
+    AlertShed,
+    FaultInjected,
+    RackPlanned,
+    RequestSent,
+    MigrationCommitted,
+    RoundClosed,
+    ServiceStateChanged,
+]

@@ -1,0 +1,184 @@
+"""Continuous alert sources for ``repro serve``.
+
+A *source* yields batches of ``(Alert, magnitude)`` pairs — one batch
+per ingest tick — through its :meth:`batches` iterator.  The serve
+driver feeds every pair through the bounded ingest queue (shedding
+under backpressure, see :class:`~repro.service.server.SheriffService`)
+and the round scheduler drains whatever is queued when a round fires,
+so a batch is *not* guaranteed to be planned as one round — that
+coupling is exactly what the always-on core removes.
+
+Two sources ship:
+
+* :class:`ReplayAlertSource` — seeded synthetic replay against a live
+  cluster via :func:`~repro.sim.scenario.inject_fraction_alerts`; the
+  sampling follows the cluster's *current* placement, so replayed load
+  reacts to the migrations the service performs (a closed loop, like
+  the paper's monitors would);
+* :class:`JsonlAlertSource` — externally produced alerts from a JSONL
+  file or stdin, one object per line::
+
+      {"rack": 3, "kind": "server", "host": 17, "vm": 204,
+       "magnitude": 0.91, "time": 12}
+
+  Consecutive rows sharing a ``time`` value form one batch; rows
+  without ``time`` are one batch each.  Unknown keys are rejected so
+  schema typos fail loudly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterator, List, Optional, Tuple, Union
+
+from repro.alerts.alert import Alert, AlertKind
+from repro.errors import ConfigurationError
+
+__all__ = ["AlertBatch", "ReplayAlertSource", "JsonlAlertSource"]
+
+AlertBatch = List[Tuple[Alert, float]]
+
+_ALERT_KEYS = frozenset(
+    {"rack", "kind", "magnitude", "host", "switch", "vm", "time"}
+)
+
+
+class ReplayAlertSource:
+    """Seeded synthetic alert replay (the serve-mode default).
+
+    Parameters
+    ----------
+    cluster:
+        The live cluster the service manages; sampling reads its current
+        placement each tick.
+    fraction:
+        Per-tick alerting VM fraction (Sec. VI-B rule).
+    rounds:
+        Number of ticks to replay; ``0`` replays forever (stop the
+        service with SIGTERM / ``max_rounds``).
+    seed:
+        Base seed; tick ``t`` uses ``seed + t`` like the batch CLI, so a
+        serve run and a ``balance`` run see the same alert streams.
+    """
+
+    def __init__(
+        self,
+        cluster,
+        *,
+        fraction: float = 0.05,
+        rounds: int = 0,
+        seed: int = 2015,
+        start_time: int = 0,
+    ) -> None:
+        if rounds < 0:
+            raise ConfigurationError(f"rounds must be >= 0, got {rounds}")
+        self.cluster = cluster
+        self.fraction = fraction
+        self.rounds = rounds
+        self.seed = seed
+        self.start_time = start_time
+
+    def batches(self) -> Iterator[AlertBatch]:
+        from repro.sim.scenario import inject_fraction_alerts
+
+        t = self.start_time
+        while self.rounds == 0 or t < self.start_time + self.rounds:
+            alerts, vm_alerts = inject_fraction_alerts(
+                self.cluster, self.fraction, time=t, seed=self.seed + t
+            )
+            yield [
+                (a, vm_alerts.get(a.vm, float(a.magnitude))) for a in alerts
+            ]
+            t += 1
+
+
+class JsonlAlertSource:
+    """Alerts parsed from a JSONL stream (path, ``"-"`` for stdin, or an
+    open file object).  Ends at EOF; a malformed line raises
+    :class:`~repro.errors.ConfigurationError` naming the line number."""
+
+    def __init__(self, source: Union[str, IO[str]]) -> None:
+        self._path: Optional[str] = None
+        self._fh: Optional[IO[str]] = None
+        if isinstance(source, str):
+            self._path = source
+        else:
+            self._fh = source
+
+    def _open(self) -> IO[str]:
+        if self._fh is not None:
+            return self._fh
+        if self._path == "-":
+            import sys
+
+            self._fh = sys.stdin
+        else:
+            assert self._path is not None
+            self._fh = open(self._path, "r")
+        return self._fh
+
+    def close(self) -> None:
+        """Close the underlying stream (unblocks a pending read)."""
+        if self._fh is not None and self._path not in (None, "-"):
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+
+    @staticmethod
+    def parse_line(line: str, lineno: int) -> Tuple[Alert, float, Optional[int]]:
+        """One JSONL row → ``(alert, magnitude, time)``."""
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"line {lineno}: not JSON: {exc}") from None
+        if not isinstance(row, dict):
+            raise ConfigurationError(f"line {lineno}: expected an object")
+        unknown = sorted(set(row) - _ALERT_KEYS)
+        if unknown:
+            raise ConfigurationError(
+                f"line {lineno}: unknown key(s): {', '.join(unknown)}"
+            )
+        try:
+            kind = AlertKind(row.get("kind", "server"))
+        except ValueError:
+            raise ConfigurationError(
+                f"line {lineno}: unknown alert kind {row.get('kind')!r}"
+            ) from None
+        if "rack" not in row:
+            raise ConfigurationError(f"line {lineno}: missing 'rack'")
+        magnitude = float(row.get("magnitude", 1.0))
+        alert = Alert(
+            kind=kind,
+            rack=int(row["rack"]),
+            magnitude=magnitude,
+            host=row.get("host"),
+            switch=row.get("switch"),
+            vm=row.get("vm"),
+            time=int(row.get("time", 0)),
+        )
+        t = row.get("time")
+        return alert, magnitude, (int(t) if t is not None else None)
+
+    def batches(self) -> Iterator[AlertBatch]:
+        fh = self._open()
+        batch: AlertBatch = []
+        batch_time: Optional[int] = None
+        for lineno, line in enumerate(fh, start=1):
+            if not line.strip():
+                continue
+            alert, magnitude, t = self.parse_line(line, lineno)
+            if t is None:
+                # untimed rows never coalesce
+                if batch:
+                    yield batch
+                    batch, batch_time = [], None
+                yield [(alert, magnitude)]
+                continue
+            if batch and t != batch_time:
+                yield batch
+                batch = []
+            batch_time = t
+            batch.append((alert, magnitude))
+        if batch:
+            yield batch

@@ -8,6 +8,18 @@ record metrics.  Shims run logically in parallel; the FCFS receiver
 protocol (Alg. 4) is what keeps their concurrent reservations conflict-
 free, exactly as in the paper.
 
+Since the service-core refactor, :meth:`SheriffSimulation.run_round` is
+a *seeded deterministic scheduler* over the event-driven core in
+:mod:`repro.service`: it publishes ``RoundOpened`` and one
+``AlertRaised`` per alert on the simulation's
+:class:`~repro.service.bus.EventBus`, then drives the
+:class:`~repro.service.blackboard.BlackboardController` (whose
+knowledge sources wrap the historical stage implementations — see
+:mod:`repro.service.round`) to quiescence.  The cascade executes the
+exact statement order of the old monolithic round, so all byte-identity
+contracts survive; ``repro serve`` reuses the same core for continuous
+alert ingestion (see ``docs/service.md``).
+
 Observability: the engine threads one :class:`~repro.obs.tracer.Tracer`,
 one :class:`~repro.obs.metrics.MetricsRegistry` and one
 :class:`~repro.obs.profiling.Profiler` through every shim, the receiver
@@ -23,24 +35,24 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from time import perf_counter
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.alerts.alert import Alert
 from repro.cluster.cluster import Cluster
-from repro.cluster.snapshot import FleetSnapshot
 from repro.config import SheriffConfig, resolve_config
 from repro.costs.model import CostModel
 from repro.errors import SimulationError
 from repro.migration.manager import RoundReport, ShimManager
 from repro.migration.request import ReceiverRegistry
 from repro.migration.reroute import FlowTable
-from repro.obs.events import AlertDelivered, MigrationLanded
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiling import NULL_PROFILER, Profiler
-from repro.parallel.pool import WorkerPool, auto_inline
+from repro.parallel.pool import WorkerPool
+from repro.service.bus import EventBus
+from repro.service.events import AlertRaised, RoundClosed, RoundOpened
+from repro.service.round import RoundBlackboard, build_round_controller
 from repro.sim.inflight import InFlightTracker, MigrationTiming, TimedReceiverRegistry
 
 __all__ = ["RoundSummary", "SheriffSimulation"]
@@ -145,6 +157,13 @@ class SheriffSimulation:
         self.migration_cooldown = cfg.migration_cooldown
         self._last_move: Dict[int, int] = {}
         self._pool: Optional[WorkerPool] = None
+        # service core: the round runs as a blackboard-controller cascade
+        # driven over this bus (see docs/service.md); an external bus from
+        # the config lets serve-mode drivers and tests observe the rounds
+        self.bus: EventBus = (
+            cfg.event_bus if cfg.event_bus is not None else EventBus()
+        )
+        self.controller = build_round_controller(self, self.bus)
         # fault layer — only constructed when configured, so fault-free
         # simulations take exactly the historical code paths (the PR 2
         # byte-identity contract).  Imported lazily to keep sim <-> faults
@@ -221,150 +240,40 @@ class SheriffSimulation:
         """
         if self.receivers.pending:
             raise SimulationError("uncommitted reservations from a previous round")
-        tracer = self.tracer
         # the round index: computed once, shared by the timed-migration
-        # bookkeeping below and the summary record (they can never disagree)
+        # bookkeeping in the knowledge sources and the summary record
+        # (they can never disagree)
         now = len(self.history)
-        tracer.begin_round(now)
+        self.tracer.begin_round(now)
         self.profiler.begin_round(now)
         m = self.metrics
-        with self.profiler.section("round"), m.scope() as scope:
-            m.counter("sheriff_rounds_total").inc()
-            m.counter("sheriff_alerts_total").inc(len(alerts))
-            fault_info = None
-            if self.faults is not None:
-                # environment acts first: crashes/outages land before the
-                # round's alerts are dispatched, so std_before reflects the
-                # state the shims actually plan against
-                with self.profiler.section("faults"):
-                    fault_info = self.faults.begin_round(now)
-            std_before = self.cluster.workload_std()
-            by_rack: Dict[int, List[Alert]] = {}
-            for alert in alerts:
-                by_rack.setdefault(alert.rack, []).append(alert)
-                if tracer.enabled:
-                    tracer.emit(
-                        AlertDelivered(
+        board = RoundBlackboard(
+            sim=self, now=now, vm_alerts=vm_alerts, host_load=host_load
+        )
+        self.controller.bind(board)
+        try:
+            with self.profiler.section("round"), m.scope() as scope:
+                m.counter("sheriff_rounds_total").inc()
+                m.counter("sheriff_alerts_total").inc(len(alerts))
+                # the seeded deterministic scheduler: announce the round,
+                # feed every alert over the bus, then drive the blackboard
+                # cascade (faults → census → dispatch → landings → freeze
+                # → plan → commit → close) to quiescence — the same
+                # statement order as the historical monolithic round
+                self.bus.publish(RoundOpened(round=now, alerts=len(alerts)))
+                for alert in alerts:
+                    self.bus.publish(
+                        AlertRaised(
+                            round=now,
                             rack=alert.rack,
                             alert_kind=alert.kind.name,
                             magnitude=float(alert.magnitude),
-                            host=alert.host,
-                            switch=alert.switch,
+                            alert=alert,
                         )
                     )
-            if self.inflight is not None:
-                assert isinstance(self.receivers, TimedReceiverRegistry)
-                self.receivers.set_round(now)
-                for vm, host in self.inflight.complete_due(now):
-                    # landing starts the post-migration cooldown
-                    self._last_move[vm] = now
-                    m.counter("sheriff_migrations_landed_total").inc()
-                    if tracer.enabled:
-                        tracer.emit(MigrationLanded(vm=vm, dst_host=host))
-            frozen = frozenset(
-                vm
-                for vm, moved_at in self._last_move.items()
-                if now - moved_at < self.migration_cooldown
-            )
-            if self.inflight is not None:
-                frozen = frozen | self.inflight.vms_in_flight
-            skipped_racks: List[int] = []
-            if self.faults is not None:
-                lost = self.cluster.placement.lost_vms
-                if lost:
-                    frozen = frozen | frozenset(lost)
-            reports: List[RoundReport] = []
-            racks = sorted(by_rack)
-            for rack in racks:
-                if rack not in self.managers:
-                    raise SimulationError(f"alert addressed to unknown rack {rack}")
-            if self.faults is not None and self.faults.down_racks:
-                # a rack with a dead shim plans nothing this round; its
-                # alerts are dropped (nobody is listening), not queued
-                down = self.faults.down_racks
-                skipped_racks = [r for r in racks if r in down]
-                racks = [r for r in racks if r not in down]
-            if self.config.workers != 0 and racks:
-                # plan/execute split: pure per-rack work (classification,
-                # PRIORITY, cost matrices, first matching) fans out over
-                # the pool against round-static shared state, then the
-                # order-sensitive REQUEST/commit half runs serialized in
-                # rack order — byte-identical to the interleaved loop.
-                # The SoA fleet snapshot is built once here and shared
-                # read-only by every planner.
-                self.cost_model.sync_cache()
-                # fleet prime: one stacked Eq. (1) kernel for every VM the
-                # planners could query, so per-rack block builds hit the
-                # cache instead of looping the scalar kernel
-                self.cost_model.prime_cost_vectors(
-                    v for v in vm_alerts if v not in frozen
-                )
-                snapshot = FleetSnapshot(self.cluster.placement)
-
-                def plan_one(rack: int):
-                    return self.managers[rack].plan_round(
-                        by_rack[rack], vm_alerts, frozen, host_load,
-                        snapshot=snapshot,
-                    )
-
-                with self.profiler.section("plan"):
-                    if auto_inline(self.config.workers, len(racks)):
-                        # workers=-1 below the pool break-even: plan
-                        # inline without ever creating the pool
-                        t0 = perf_counter()
-                        plans = [plan_one(rack) for rack in racks]
-                        worker_secs = {"w0": perf_counter() - t0}
-                    else:
-                        plans, worker_secs = self._plan_pool().map_ordered(
-                            plan_one, racks
-                        )
-                for worker, secs in sorted(worker_secs.items()):
-                    self.profiler.add(f"plan/{worker}", secs)
-                for plan in plans:
-                    reports.append(
-                        self.managers[plan.rack].execute_plan(plan, self._port)
-                    )
-            else:
-                for rack in racks:
-                    reports.append(
-                        self.managers[rack].process_round(
-                            by_rack[rack], vm_alerts, self._port, frozen, host_load
-                        )
-                    )
-            commit_failed: List = []
-            with self.profiler.section("commit"):
-                if self.faults is not None:
-                    # degraded-mode commit: a reservation whose move fails
-                    # (destination crashed after the ACK, pre-copy cannot
-                    # converge) is rolled back and reported — the round
-                    # always completes, never half-applies
-                    moved, commit_failed = self.receivers.commit_round_tolerant()
-                    for vm, host, reason in commit_failed:
-                        m.counter("sheriff_rollbacks_total").inc()
-                        if tracer.enabled:
-                            from repro.obs.events import MigrationAborted
-
-                            tracer.emit(
-                                MigrationAborted(
-                                    vm=vm, dst_host=host, reason=reason
-                                )
-                            )
-                else:
-                    moved = self.receivers.commit_round()
-            m.counter("sheriff_migrations_committed_total").inc(len(moved))
-            if self.inflight is None:
-                for vm, host in moved:
-                    self._last_move[vm] = now
-                    m.counter("sheriff_migrations_landed_total").inc()
-                    if tracer.enabled:
-                        tracer.emit(MigrationLanded(vm=vm, dst_host=host))
-            std_after = self.cluster.workload_std()
-            m.gauge("sheriff_workload_std").set(std_after)
-            degraded = bool(skipped_racks) or bool(commit_failed) or (
-                fault_info is not None and fault_info.degraded
-            )
-            if degraded:
-                m.counter("sheriff_degraded_rounds_total").inc()
+                self.controller.run()
+        finally:
+            self.controller.bind(None)
         summary = RoundSummary(
             round_index=now,
             alerts=len(alerts),
@@ -374,14 +283,14 @@ class SheriffSimulation:
             total_cost=scope.total("sheriff_migration_cost_total"),
             search_space=int(scope.total("sheriff_search_space_total")),
             unplaced=int(scope.total("sheriff_unplaced_total")),
-            workload_std_before=std_before,
-            workload_std_after=std_after,
-            reports=reports,
+            workload_std_before=board.std_before,
+            workload_std_after=board.std_after,
+            reports=board.reports,
             timings=self.profiler.round_timings(),
-            faults=fault_info.injected if fault_info is not None else 0,
+            faults=board.fault_info.injected if board.fault_info is not None else 0,
             retries=int(scope.total("sheriff_channel_retries_total")),
             rollbacks=int(scope.total("sheriff_rollbacks_total")),
-            degraded=degraded,
+            degraded=board.degraded,
         )
         self.history.append(summary)
         if self.config.metrics_stream is not None:
@@ -390,6 +299,15 @@ class SheriffSimulation:
             self.config.metrics_stream.write(
                 json.dumps({"round": now, "metrics": scope.as_dict()}) + "\n"
             )
+        self.bus.publish(
+            RoundClosed(
+                round=now,
+                alerts=summary.alerts,
+                migrations=summary.migrations,
+                total_cost=summary.total_cost,
+                degraded=summary.degraded,
+            )
+        )
         return summary
 
     # ------------------------------------------------------------------ #

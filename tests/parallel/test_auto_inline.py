@@ -79,9 +79,11 @@ class TestEngineAutoMode:
         np.testing.assert_array_equal(base.placement.vm_host, auto.placement.vm_host)
 
     def test_pool_still_used_above_threshold(self, monkeypatch):
-        import repro.sim.engine as engine_mod
+        # planning lives in the service core's PlanSource since the
+        # event-bus refactor
+        import repro.service.round as round_mod
 
-        monkeypatch.setattr(engine_mod, "auto_inline", lambda w, n: False)
+        monkeypatch.setattr(round_mod, "auto_inline", lambda w, n: False)
         cluster = _small_cluster()
         sim = SheriffSimulation(cluster, config=SheriffConfig(workers=-1))
         alerts, vm_alerts = inject_fraction_alerts(cluster, 0.2, time=0, seed=11)

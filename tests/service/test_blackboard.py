@@ -1,0 +1,103 @@
+"""BlackboardController scheduling: priority, quiescence, runaway guard."""
+
+import pytest
+
+from repro.service.blackboard import (
+    BlackboardController,
+    ControlError,
+    FunctionSource,
+)
+from repro.service.bus import EventBus
+
+
+class Board:
+    """A tiny two-phase blackboard for scheduling tests."""
+
+    def __init__(self):
+        self.steps = []
+        self.a_done = False
+        self.b_done = False
+
+
+def _source(name, ready, run, priority=0):
+    return FunctionSource(name, ready, run, priority=priority)
+
+
+def _controller(*sources):
+    return BlackboardController(EventBus(), sources)
+
+
+class TestScheduling:
+    def test_highest_priority_ready_source_runs_first(self):
+        def run_a(board, bus):
+            board.steps.append("a")
+            board.a_done = True
+
+        def run_b(board, bus):
+            board.steps.append("b")
+            board.b_done = True
+
+        ctl = _controller(
+            _source("b", lambda b: b.a_done and not b.b_done, run_b, priority=1),
+            _source("a", lambda b: not b.a_done, run_a, priority=5),
+        )
+        board = Board()
+        ctl.bind(board)
+        assert ctl.run() == 2
+        assert board.steps == ["a", "b"]
+
+    def test_registration_order_breaks_priority_ties(self):
+        seen = []
+
+        def once(tag):
+            fired = []
+
+            def ready(board):
+                return not fired
+
+            def run(board, bus):
+                fired.append(tag)
+                seen.append(tag)
+
+            return _source(tag, ready, run, priority=0)
+
+        ctl = _controller(once("first"), once("second"))
+        ctl.bind(Board())
+        ctl.run()
+        assert seen == ["first", "second"]
+
+    def test_step_returns_none_when_quiescent(self):
+        ctl = _controller(_source("never", lambda b: False, lambda b, bus: None))
+        ctl.bind(Board())
+        assert ctl.step() is None
+        assert ctl.run() == 0
+
+    def test_sources_property_lists_scheduling_order(self):
+        lo = _source("lo", lambda b: False, lambda b, bus: None, priority=1)
+        hi = _source("hi", lambda b: False, lambda b, bus: None, priority=9)
+        ctl = _controller(lo, hi)
+        assert [s.name for s in ctl.sources] == ["hi", "lo"]
+
+
+class TestGuards:
+    def test_unbound_board_raises(self):
+        ctl = _controller()
+        with pytest.raises(ControlError, match="bind"):
+            ctl.step()
+
+    def test_runaway_source_trips_max_steps(self):
+        ctl = BlackboardController(
+            EventBus(),
+            [_source("spin", lambda b: True, lambda b, bus: None)],
+            max_steps=50,
+        )
+        ctl.bind(Board())
+        with pytest.raises(ControlError, match="quiesce"):
+            ctl.run()
+
+    def test_bind_none_detaches(self):
+        ctl = _controller()
+        ctl.bind(Board())
+        ctl.bind(None)
+        with pytest.raises(ControlError):
+            ctl.step()

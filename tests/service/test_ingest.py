@@ -1,0 +1,100 @@
+"""Alert sources for serve mode: JSONL parsing and seeded replay."""
+
+import io
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.errors import ConfigurationError
+from repro.service.ingest import JsonlAlertSource, ReplayAlertSource
+from repro.topology import build_fattree
+
+
+def _jsonl(*lines):
+    return JsonlAlertSource(io.StringIO("\n".join(lines) + "\n"))
+
+
+class TestJsonlParsing:
+    def test_rows_sharing_a_time_form_one_batch(self):
+        src = _jsonl(
+            '{"rack": 0, "kind": "server", "host": 1, "vm": 2, "magnitude": 0.5, "time": 0}',
+            '{"rack": 1, "kind": "server", "host": 5, "vm": 6, "magnitude": 0.7, "time": 0}',
+            '{"rack": 2, "kind": "local_tor", "magnitude": 1.2, "time": 1}',
+        )
+        batches = list(src.batches())
+        assert [len(b) for b in batches] == [2, 1]
+        (alert, magnitude) = batches[0][0]
+        assert (alert.rack, alert.host, alert.vm, magnitude) == (0, 1, 2, 0.5)
+        assert batches[1][0][0].kind.value == "local_tor"
+
+    def test_untimed_rows_never_coalesce(self):
+        src = _jsonl(
+            '{"rack": 0, "kind": "local_tor", "magnitude": 1.0}',
+            '{"rack": 1, "kind": "local_tor", "magnitude": 1.0}',
+        )
+        assert [len(b) for b in src.batches()] == [1, 1]
+
+    def test_blank_lines_skipped(self):
+        src = _jsonl(
+            '{"rack": 0, "kind": "local_tor", "magnitude": 1.0, "time": 3}',
+            "",
+            '{"rack": 1, "kind": "local_tor", "magnitude": 1.0, "time": 3}',
+        )
+        assert [len(b) for b in src.batches()] == [2]
+
+    def test_unknown_key_rejected(self):
+        src = _jsonl('{"rack": 0, "kind": "local_tor", "magnitude": 1, "rak": 2}')
+        with pytest.raises(ConfigurationError, match="line 1.*rak"):
+            list(src.batches())
+
+    def test_unknown_kind_rejected(self):
+        src = _jsonl('{"rack": 0, "kind": "spine", "magnitude": 1.0}')
+        with pytest.raises(ConfigurationError, match="spine"):
+            list(src.batches())
+
+    def test_missing_rack_rejected(self):
+        src = _jsonl('{"kind": "local_tor", "magnitude": 1.0}')
+        with pytest.raises(ConfigurationError, match="rack"):
+            list(src.batches())
+
+    def test_malformed_json_names_the_line(self):
+        src = _jsonl(
+            '{"rack": 0, "kind": "local_tor", "magnitude": 1.0}',
+            "{not json",
+        )
+        with pytest.raises(ConfigurationError, match="line 2"):
+            list(src.batches())
+
+    def test_non_object_row_rejected(self):
+        src = _jsonl("[1, 2, 3]")
+        with pytest.raises(ConfigurationError, match="object"):
+            list(src.batches())
+
+
+class TestReplay:
+    def _cluster(self):
+        return build_cluster(
+            build_fattree(4),
+            hosts_per_rack=4,
+            fill_fraction=0.5,
+            skew=1.1,
+            seed=7,
+            delay_sensitive_fraction=0.0,
+        )
+
+    def test_bounded_rounds(self):
+        src = ReplayAlertSource(self._cluster(), fraction=0.1, rounds=3, seed=9)
+        batches = list(src.batches())
+        assert len(batches) == 3
+        assert all(batches)
+
+    def test_same_seed_same_stream(self):
+        a = ReplayAlertSource(self._cluster(), fraction=0.1, rounds=2, seed=9)
+        b = ReplayAlertSource(self._cluster(), fraction=0.1, rounds=2, seed=9)
+        sig_a = [[(al.rack, al.vm, m) for al, m in batch] for batch in a.batches()]
+        sig_b = [[(al.rack, al.vm, m) for al, m in batch] for batch in b.batches()]
+        assert sig_a == sig_b
+
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ReplayAlertSource(self._cluster(), rounds=-1)

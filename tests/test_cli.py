@@ -181,3 +181,110 @@ class TestChaosTrace:
             "FaultInjected", "HostCrashed", "RequestTimedOut",
             "MigrationAborted", "RequestSent", "MigrationCommitted",
         } <= kinds
+
+
+class TestServeCommand:
+    def test_serve_bounded_replay(self, capsys):
+        rc = main(
+            [
+                "serve", "--size", "4", "--rounds", "3", "--max-rounds", "6",
+                "--interval", "0.01", "--seed", "2015", "--json",
+            ]
+        )
+        assert rc == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        ready = json.loads(lines[0])
+        assert ready["serving"] and ready["port"] > 0
+        report = json.loads("\n".join(lines[1:]))
+        assert report["command"] == "serve"
+        assert report["clean_drain"]
+        assert report["planned"] == report["ingested"] > 0
+
+    def test_serve_jsonl_source(self, capsys, tmp_path):
+        feed = tmp_path / "alerts.jsonl"
+        feed.write_text(
+            '{"rack": 0, "kind": "local_tor", "magnitude": 1.5, "time": 0}\n'
+            '{"rack": 1, "kind": "local_tor", "magnitude": 1.2, "time": 0}\n'
+        )
+        rc = main(
+            [
+                "serve", "--size", "4", "--source", str(feed),
+                "--interval", "0.01", "--json",
+            ]
+        )
+        assert rc == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        report = json.loads("\n".join(lines[1:]))
+        assert report["ingested"] == 2
+
+    def test_serve_config_file(self, capsys, tmp_path):
+        from repro.config import SheriffConfig
+
+        cfg = tmp_path / "cfg.json"
+        cfg.write_text(json.dumps(SheriffConfig(balance_weight=10.0).to_dict()))
+        rc = main(
+            [
+                "serve", "--size", "4", "--rounds", "2", "--config", str(cfg),
+                "--interval", "0.01", "--json",
+            ]
+        )
+        assert rc == 0
+
+    def test_serve_rejects_bad_config(self, tmp_path, capsys):
+        cfg = tmp_path / "cfg.json"
+        cfg.write_text('{"warp_factor": 9}')
+        with pytest.raises(SystemExit):
+            main(["serve", "--config", str(cfg)])
+
+
+class TestUniformExporterFlags:
+    """--perfetto/--prom/--metrics-out on every simulation-running command."""
+
+    def test_every_sim_command_has_the_flags(self):
+        parser = build_parser()
+        for cmd, extra in {
+            "balance": [],
+            "sweep": [],
+            "approx": [],
+            "chaos": [],
+            "serve": [],
+        }.items():
+            args = parser.parse_args([cmd, *extra])
+            assert hasattr(args, "perfetto_path"), cmd
+            assert hasattr(args, "prom_path"), cmd
+            assert hasattr(args, "metrics_out_path"), cmd
+
+    def test_sweep_perfetto_and_prom(self, capsys, tmp_path):
+        perfetto = tmp_path / "sweep.perfetto.json"
+        prom = tmp_path / "sweep.prom"
+        rc = main(
+            [
+                "sweep", "--sizes", "4", "--seed", "9",
+                "--perfetto", str(perfetto), "--prom", str(prom),
+            ]
+        )
+        assert rc == 0
+        spans = json.loads(perfetto.read_text())
+        assert spans["traceEvents"]
+        assert prom.exists()
+
+    def test_approx_prom(self, capsys, tmp_path):
+        prom = tmp_path / "approx.prom"
+        rc = main(
+            ["approx", "--trials", "3", "--seed", "3", "--prom", str(prom)]
+        )
+        assert rc == 0
+        text = prom.read_text()
+        assert "kmedian_trials_total" in text
+        assert "kmedian_approx_ratio" in text
+
+    def test_serve_prom_export(self, capsys, tmp_path):
+        prom = tmp_path / "serve.prom"
+        rc = main(
+            [
+                "serve", "--size", "4", "--rounds", "2",
+                "--interval", "0.01", "--prom", str(prom), "--json",
+            ]
+        )
+        assert rc == 0
+        assert "sheriff_rounds_total" in prom.read_text()

@@ -1,0 +1,77 @@
+"""SheriffConfig JSON round-trips and the legacy-kwarg deprecation path."""
+
+import json
+
+import pytest
+
+from repro.config import SheriffConfig, resolve_config
+from repro.costs.model import CostParams
+from repro.errors import ConfigurationError
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.inflight import MigrationTiming
+
+
+class TestRoundTrip:
+    def test_defaults_round_trip(self):
+        cfg = SheriffConfig()
+        assert SheriffConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_scalars_round_trip_through_json(self):
+        cfg = SheriffConfig(
+            alpha=0.2,
+            beta=0.3,
+            balance_weight=12.5,
+            migration_cooldown=5,
+            with_flows=True,
+            flow_rate=0.1,
+            workers=4,
+            cache_cost_kernels=False,
+            profile=False,
+        )
+        wire = json.dumps(cfg.to_dict(), sort_keys=True)
+        assert SheriffConfig.from_dict(json.loads(wire)) == cfg
+
+    def test_nested_dataclasses_round_trip(self):
+        cfg = SheriffConfig(
+            cost_params=CostParams(),
+            migration_timing=MigrationTiming(),
+        )
+        back = SheriffConfig.from_dict(json.loads(json.dumps(cfg.to_dict())))
+        assert back.cost_params == cfg.cost_params
+        assert back.migration_timing == cfg.migration_timing
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="ballance_weight"):
+            SheriffConfig.from_dict({"ballance_weight": 25.0})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ConfigurationError, match="object"):
+            SheriffConfig.from_dict([1, 2])
+
+    def test_bad_nested_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="cost_params"):
+            SheriffConfig.from_dict({"cost_params": {"warp_factor": 9}})
+
+    def test_runtime_handles_refuse_to_serialize(self):
+        cfg = SheriffConfig(metrics=MetricsRegistry())
+        with pytest.raises(ConfigurationError, match="metrics"):
+            cfg.to_dict()
+
+    def test_event_bus_refuses_to_serialize(self):
+        from repro.service.bus import EventBus
+
+        with pytest.raises(ConfigurationError, match="event_bus"):
+            SheriffConfig(event_bus=EventBus()).to_dict()
+
+
+class TestLegacyKwargs:
+    def test_warning_names_replacement_and_release(self):
+        with pytest.warns(DeprecationWarning) as rec:
+            resolve_config(None, {"balance_weight": 25.0})
+        message = str(rec[0].message)
+        assert "SheriffConfig.balance_weight" in message
+        assert "removed in release 2.0" in message
+
+    def test_unknown_kwarg_still_a_type_error(self):
+        with pytest.raises(TypeError, match="warp"):
+            resolve_config(None, {"warp": 1})

@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""End-to-end smoke test for ``repro serve`` (the `make serve-smoke` gate).
+
+Boots the real CLI as a subprocess against a seeded endless replay
+source, then exercises the full operational story:
+
+1. parse the ready line for the bound port;
+2. poll ``GET /healthz`` until the service reports it is serving and
+   has completed at least one management round;
+3. scrape ``GET /metrics`` and assert the engine's round counter is
+   exposed in Prometheus text format;
+4. send SIGTERM and assert the process drains gracefully: exit code 0
+   and a final JSON report with ``clean_drain: true``.
+
+Exits non-zero (with a reason on stderr) on any violation; a hard
+deadline guards against hangs so CI never wedges.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+DEADLINE_S = 60.0
+SERVE_CMD = [
+    sys.executable,
+    "-m",
+    "repro",
+    "serve",
+    "--size",
+    "4",
+    "--seed",
+    "2015",
+    "--rounds",
+    "0",  # endless: only our SIGTERM stops it
+    "--interval",
+    "0.05",
+    "--json",
+]
+
+
+def fail(proc: subprocess.Popen, reason: str) -> int:
+    print(f"serve-smoke: FAIL: {reason}", file=sys.stderr)
+    proc.kill()
+    proc.wait()
+    return 1
+
+
+def fetch(port: int, path: str) -> str:
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}{path}", timeout=5
+    ) as resp:
+        return resp.read().decode()
+
+
+def main() -> int:
+    start = time.monotonic()
+    proc = subprocess.Popen(
+        SERVE_CMD,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    assert proc.stdout is not None
+
+    # 1. the ready line announces the bound port
+    ready_line = proc.stdout.readline()
+    try:
+        ready = json.loads(ready_line)
+        port = int(ready["port"])
+    except (ValueError, KeyError, TypeError):
+        return fail(proc, f"bad ready line: {ready_line!r}")
+    print(f"serve-smoke: serving on port {port}")
+
+    # 2. poll /healthz until a round has completed
+    health = None
+    while time.monotonic() - start < DEADLINE_S:
+        try:
+            health = json.loads(fetch(port, "/healthz"))
+        except (urllib.error.URLError, OSError, ValueError):
+            health = None
+        if health and health.get("rounds", 0) >= 1:
+            break
+        time.sleep(0.1)
+    else:
+        return fail(proc, f"no round completed before deadline ({health})")
+    if health.get("status") != "serving":
+        return fail(proc, f"unexpected /healthz status: {health}")
+    print(f"serve-smoke: healthy after {health['rounds']} round(s)")
+
+    # 3. the metrics endpoint speaks Prometheus and counts rounds
+    try:
+        metrics = fetch(port, "/metrics")
+    except (urllib.error.URLError, OSError) as exc:
+        return fail(proc, f"/metrics unreachable: {exc}")
+    if "sheriff_rounds_total" not in metrics:
+        return fail(proc, "sheriff_rounds_total missing from /metrics")
+    print("serve-smoke: /metrics exposes sheriff_rounds_total")
+
+    # 4. graceful drain on SIGTERM
+    proc.send_signal(signal.SIGTERM)
+    try:
+        out, err = proc.communicate(timeout=DEADLINE_S)
+    except subprocess.TimeoutExpired:
+        return fail(proc, "did not exit after SIGTERM")
+    if proc.returncode != 0:
+        print(err, file=sys.stderr)
+        return fail(proc, f"exit code {proc.returncode} after SIGTERM")
+    try:
+        report = json.loads(out)
+    except ValueError:
+        return fail(proc, f"final report is not JSON: {out!r}")
+    if not report.get("clean_drain"):
+        return fail(proc, f"drain dropped alerts: {report}")
+    print(
+        "serve-smoke: OK "
+        f"(rounds={report['rounds']}, ingested={report['ingested']}, "
+        f"migrations={report['migrations']})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
