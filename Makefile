@@ -5,7 +5,7 @@
 # installed package shadows neither (src/ simply wins on the path).
 export PYTHONPATH := src:.$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install lint test bench bench-trace bench-check bench-all report examples chaos trace-lint serve-smoke ci all
+.PHONY: install lint test bench bench-scale bench-trace bench-check bench-all report examples chaos trace-lint serve-smoke scale-smoke ci all
 
 install:
 	pip install -e . --no-build-isolation
@@ -18,9 +18,15 @@ lint:
 test: lint
 	pytest tests/
 
-# Fleet-kernel speedups at paper scale; writes BENCH_4.json at the root.
+# Fleet-kernel speedups at paper scale (BENCH_4.json) and the planner
+# pool's fat-tree scale ladder (BENCH_7.json), both at the repo root.
 bench:
 	pytest benchmarks/test_perf_fleet.py --benchmark-only
+	pytest benchmarks/test_perf_scale_ladder.py --benchmark-only
+
+# Just the scale ladder; writes BENCH_7.json.
+bench-scale:
+	pytest benchmarks/test_perf_scale_ladder.py --benchmark-only
 
 # Tracer overhead + span export at paper scale; writes BENCH_5.json.
 bench-trace:
@@ -28,7 +34,7 @@ bench-trace:
 
 # Cheap regression gate on the committed benchmark numbers.
 bench-check:
-	python tools/check_bench.py BENCH_4.json BENCH_5.json
+	python tools/check_bench.py BENCH_4.json BENCH_5.json BENCH_7.json
 
 bench-all:
 	pytest benchmarks/ --benchmark-only
@@ -58,7 +64,12 @@ trace-lint:
 serve-smoke:
 	PYTHONPATH=src python tools/serve_smoke.py
 
-ci: lint bench-check trace-lint serve-smoke
+# Fast deterministic slice of the BENCH_7 ladder: serial vs pooled vs
+# pod-sharded on a small fat-tree, byte-identity and clean pool teardown.
+scale-smoke:
+	PYTHONPATH=src python tools/scale_smoke.py
+
+ci: lint bench-check trace-lint serve-smoke scale-smoke
 	pytest tests/
 
 all: lint test bench-all

@@ -75,6 +75,7 @@ def _summary_key(summary):
     d = dataclasses.asdict(summary)
     d.pop("timings", None)
     d.pop("reports", None)
+    d.pop("pool", None)
     return d
 
 

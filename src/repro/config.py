@@ -69,6 +69,29 @@ class SheriffConfig:
         rounds fan out over a machine-sized pool.  All settings produce
         byte-identical results — only wall-clock and the timing breakdown
         change.
+    planner:
+        Which engine the non-serial plan phase runs on.  ``"thread"``
+        (default) keeps the historical per-round thread fan-out with the
+        ``workers=-1`` auto-inline heuristic.  ``"process"`` uses the
+        persistent :class:`~repro.parallel.planner.PlannerPool`: worker
+        processes fork once, attach once to shared-memory fleet segments
+        (:class:`~repro.parallel.shm.SharedFleet`) and receive only small
+        per-round repair messages; the round's racks are split into
+        contiguous shard chunks.  ``"sharded"`` is the same pool with
+        pod-aligned shards — each worker owns whole pods, so REQUEST/ACK
+        traffic between shards is (on a fat-tree) empty, and any
+        cross-shard request is counted by
+        ``sheriff_cross_shard_requests_total``.  All planners are
+        byte-identical to ``workers=0``.
+    shards:
+        Worker-process count for the ``"process"``/``"sharded"``
+        planners.  ``0`` (default) = one shard per pod for ``"sharded"``
+        and ``resolve_workers(workers)`` chunks for ``"process"``.
+    auto_inline_threshold:
+        Break-even for the ``workers=-1`` auto mode, in estimated task
+        cost units (alerted racks × alerted VMs).  Rounds cheaper than
+        this plan inline; at or above it they fan out.  Replaces the old
+        fixed task-count constant (see docs/performance.md).
     cache_cost_kernels:
         Memoize the shortest-path table per (topology, knobs) and per-VM
         Eq. (1) cost vectors per placement generation (invalidated for
@@ -120,6 +143,9 @@ class SheriffConfig:
     with_flows: bool = False
     flow_rate: float = 0.05
     workers: int = 0
+    planner: str = "thread"
+    shards: int = 0
+    auto_inline_threshold: int = 16384
     cache_cost_kernels: bool = True
     tracer: Tracer = field(default=NULL_TRACER)
     metrics: Optional["MetricsRegistry"] = None
@@ -222,6 +248,9 @@ _SCALAR_FIELDS = frozenset(
         "with_flows",
         "flow_rate",
         "workers",
+        "planner",
+        "shards",
+        "auto_inline_threshold",
         "cache_cost_kernels",
         "profile",
     }

@@ -339,13 +339,13 @@ class ShimManager:
             elif alert.kind is AlertKind.SERVER:
                 assert alert.host is not None
                 if snapshot is not None:
-                    cands = snapshot.candidates(
+                    cands = snapshot.alerted_candidates(
                         snapshot.vms_on_host(alert.host), vm_alerts
                     )
                 else:
                     vms = pl.vms_on_host(alert.host)
                     cands = [self._candidate(int(v), vm_alerts) for v in vms]
-                cands = [c for c in cands if c.alert > 0]
+                    cands = [c for c in cands if c.alert > 0]
                 t0 = perf_counter()
                 chosen = priority_select(cands, PriorityFactor.ONE)
                 t_priority += perf_counter() - t0
@@ -393,11 +393,14 @@ class ShimManager:
         self,
         plan: ShimPlan,
         receivers: ReceiverRegistry,
+        shard_map=None,
     ) -> RoundReport:
         """The serialized half of Alg. 1: reroutes, REQUESTs, bookkeeping.
 
         Main thread only; shims execute in deterministic rack order because
         the FCFS receiver protocol is order-sensitive by design.
+        *shard_map* (rack -> planner shard) makes the REQUEST loop count
+        cross-shard traffic when the plan came from a sharded pool.
         """
         report = RoundReport(rack=self.rack)
         report.alerts_processed = plan.alerts_processed
@@ -448,6 +451,7 @@ class ShimManager:
                 metrics=self.metrics,
                 profiler=self.profiler,
                 rack=self.rack,
+                shard_map=shard_map,
             )
         return report
 

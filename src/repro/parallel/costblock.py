@@ -40,6 +40,40 @@ __all__ = ["RackCostBlock", "build_cost_block", "run_planned_migration"]
 
 _EMPTY_I64 = np.empty(0, dtype=np.int64)
 
+# per-registry memo of the per-rack instrument tuple used by
+# :func:`run_planned_migration`: the registry's get-or-create is already
+# idempotent, this just skips ~9 label-key constructions per rack call
+_INSTRUMENTS: "WeakKeyDictionary" = None  # initialised below
+
+
+def _rack_instruments(metrics: MetricsRegistry, rack, cross: bool):
+    global _INSTRUMENTS
+    if _INSTRUMENTS is None:
+        from weakref import WeakKeyDictionary
+
+        _INSTRUMENTS = WeakKeyDictionary()
+    per_registry = _INSTRUMENTS.get(metrics)
+    if per_registry is None:
+        per_registry = _INSTRUMENTS[metrics] = {}
+    key = (rack, cross)
+    instruments = per_registry.get(key)
+    if instruments is None:
+        lbl = {"rack": rack} if rack is not None else {}
+        instruments = per_registry[key] = (
+            metrics.counter("sheriff_requests_sent_total", **lbl),
+            metrics.counter("sheriff_requests_acked_total", **lbl),
+            metrics.counter("sheriff_requests_rejected_total", **lbl),
+            metrics.counter("sheriff_migration_cost_total", **lbl),
+            metrics.counter("sheriff_search_space_total", **lbl),
+            metrics.counter("sheriff_unplaced_total", **lbl),
+            metrics.histogram("sheriff_matching_size", **lbl),
+            metrics.histogram("sheriff_move_cost", **lbl),
+            metrics.counter("sheriff_cross_shard_requests_total", **lbl)
+            if cross
+            else None,
+        )
+    return instruments
+
 
 @dataclass
 class RackCostBlock:
@@ -56,6 +90,11 @@ class RackCostBlock:
     host_racks: np.ndarray = field(default_factory=lambda: _EMPTY_I64.copy())
     true_cost: np.ndarray = field(default_factory=lambda: np.empty((0, 0)))
     cost: np.ndarray = field(default_factory=lambda: np.empty((0, 0)))
+    steer: np.ndarray = field(default_factory=lambda: np.empty(0))
+    """Per-host load-steering addend; ``cost = true_cost + steer[None, :]``.
+    Kept on the block so a planner pool can drop the derived ``cost``
+    matrix from the wire and have the owner rebuild it bit-identically
+    (same addition, same operands) from ``true_cost``."""
     first_rows: np.ndarray = field(default_factory=lambda: _EMPTY_I64.copy())
     first_assignment: np.ndarray = field(default_factory=lambda: _EMPTY_I64.copy())
     first_fallback: bool = False
@@ -128,13 +167,16 @@ def build_cost_block(
     else:
         load_frac = pl.host_used[hosts] / pl.host_capacity[hosts]
     steer = balance_weight * load_frac
+    block.steer = steer
 
     per_rack = cost_model.cost_rows(vms)
     gathered = per_rack[:, block.host_racks]
     need = pl.vm_capacity[np.asarray(vms, dtype=np.int64)]
     feasible = free[None, :] >= need[:, None]
     block.true_cost = np.where(feasible, gathered, np.inf)
-    block.cost = np.where(feasible, gathered + steer[None, :], np.inf)
+    # same floats as np.where(feasible, gathered + steer, inf):
+    # feasible entries add identically, infeasible stay inf (inf + s = inf)
+    block.cost = block.true_cost + steer[None, :]
 
     rows, sub = _trim_rows(block.cost, int(hosts.size))
     block.first_rows = rows
@@ -155,26 +197,33 @@ def run_planned_migration(
     metrics: Optional[MetricsRegistry] = None,
     profiler=NULL_PROFILER,
     rack: Optional[int] = None,
+    shard_map=None,
 ) -> MigrationStats:
     """Alg. 3's serialized half: REQUEST loop and retries over a block.
 
     Must run in the main thread, one rack at a time, in the same order the
     legacy path visits racks — the FCFS receiver protocol is order-
-    sensitive by design.
+    sensitive by design.  With *shard_map* (rack -> planner shard) every
+    REQUEST addressed to a host planned by a different shard increments
+    ``sheriff_cross_shard_requests_total`` — the pooled engine's measure
+    of how regional the pod decomposition really is (zero on a fat tree,
+    where destinations never leave the pod).
     """
     stats = MigrationStats()
     vms = block.vms
     hosts = block.hosts
     if metrics is not None:
-        lbl = {"rack": rack} if rack is not None else {}
-        c_sent = metrics.counter("sheriff_requests_sent_total", **lbl)
-        c_ack = metrics.counter("sheriff_requests_acked_total", **lbl)
-        c_rej = metrics.counter("sheriff_requests_rejected_total", **lbl)
-        c_cost = metrics.counter("sheriff_migration_cost_total", **lbl)
-        c_space = metrics.counter("sheriff_search_space_total", **lbl)
-        c_unplaced = metrics.counter("sheriff_unplaced_total", **lbl)
-        h_match = metrics.histogram("sheriff_matching_size", **lbl)
-        h_cost = metrics.histogram("sheriff_move_cost", **lbl)
+        (
+            c_sent,
+            c_ack,
+            c_rej,
+            c_cost,
+            c_space,
+            c_unplaced,
+            h_match,
+            h_cost,
+            c_cross,
+        ) = _rack_instruments(metrics, rack, shard_map is not None)
     if not vms:
         return stats
     if hosts.size == 0:
@@ -186,13 +235,27 @@ def run_planned_migration(
 
     # row indices into the block matrices still awaiting placement
     remaining_idx = list(range(len(vms)))
+    hosts_list = hosts.tolist()
+    host_racks_list = host_racks.tolist()
+    # per-request counter increments are batched into locals and flushed
+    # once after the loop: the registry sees the same sums (ints exactly;
+    # the float cost accumulates here in the same ack order, from 0.0,
+    # that the per-ack increments would have used inside the scope)
+    n_sent = n_ack = n_rej = n_cross = 0
+    cost_acc = 0.0
     for _ in range(max_iterations):
         if not remaining_idx:
             break
         stats.iterations += 1
-        idx = np.asarray(remaining_idx, dtype=np.int64)
-        cost = block.cost[idx]
-        true_cost = block.true_cost[idx]
+        if len(remaining_idx) == len(vms):
+            # nothing placed yet (always true on iteration 1): the block
+            # matrices are already row-aligned — no need to copy them
+            cost = block.cost
+            true_cost = block.true_cost
+        else:
+            idx = np.asarray(remaining_idx, dtype=np.int64)
+            cost = block.cost[idx]
+            true_cost = block.true_cost[idx]
         if stats.iterations == 1:
             stats.search_space = cost.size
             if metrics is not None:
@@ -233,18 +296,33 @@ def run_planned_migration(
                 )
             )
         progressed = False
-        next_idx = list(remaining_idx)
+        placed_rows = set()
         with profiler.section("request"):
-            for k, (rr, col) in enumerate(zip(rows, assignment)):
-                if col < 0 or not np.isfinite(sub[k, int(col)]):
+            # hoist the valid-pair test and both cost gathers out of the
+            # python loop; the per-request control flow below is unchanged
+            assign_arr = np.asarray(assignment, dtype=np.int64)
+            cols_safe = np.where(assign_arr >= 0, assign_arr, 0)
+            krange = np.arange(rows.size)
+            valid = (assign_arr >= 0) & np.isfinite(sub[krange, cols_safe])
+            taken_cost = true_cost[np.asarray(rows), cols_safe]
+            valid_list = valid.tolist()
+            rows_list = [int(r) for r in rows]
+            cols_list = cols_safe.tolist()
+            taken_list = taken_cost.tolist()
+            for k in range(len(rows_list)):
+                if not valid_list[k]:
                     continue
-                row = remaining_idx[int(rr)]
+                col = cols_list[k]
+                row = remaining_idx[rows_list[k]]
                 vm = vms[row]
-                host = int(hosts[int(col)])
-                dst_rack = int(host_racks[int(col)])
+                host = hosts_list[col]
+                dst_rack = host_racks_list[col]
                 stats.requested += 1
-                if metrics is not None:
-                    c_sent.inc()
+                n_sent += 1
+                if shard_map is not None and shard_map.get(dst_rack) != (
+                    shard_map.get(rack)
+                ):
+                    n_cross += 1
                 if tracer.enabled:
                     tracer.emit(
                         RequestSent(
@@ -253,24 +331,33 @@ def run_planned_migration(
                     )
                 outcome = receivers.request(vm, host, dst_rack)
                 if outcome is RequestOutcome.ACK:
-                    c = float(true_cost[int(rr), int(col)])
+                    c = taken_list[k]
                     stats.acked += 1
                     stats.total_cost += c
                     stats.moves.append((vm, host, c))
-                    next_idx.remove(row)
+                    placed_rows.add(row)
                     progressed = True
+                    n_ack += 1
+                    cost_acc += c
                     if metrics is not None:
-                        c_ack.inc()
-                        c_cost.inc(c)
                         h_cost.observe(c)
                 else:
                     stats.rejected += 1
-                    if metrics is not None:
-                        c_rej.inc()
-        remaining_idx = next_idx
+                    n_rej += 1
+        if placed_rows:
+            remaining_idx = [r for r in remaining_idx if r not in placed_rows]
         if not progressed:
             break
     stats.unplaced = [vms[i] for i in remaining_idx]
     if metrics is not None:
+        if n_sent:
+            c_sent.inc(n_sent)
+        if n_ack:
+            c_ack.inc(n_ack)
+            c_cost.inc(cost_acc)
+        if n_rej:
+            c_rej.inc(n_rej)
+        if c_cross is not None and n_cross:
+            c_cross.inc(n_cross)
         c_unplaced.inc(len(stats.unplaced))
     return stats

@@ -1,0 +1,585 @@
+"""Persistent planner worker pool over shared-memory fleet state.
+
+The BENCH_2 lesson: a throwaway ``ProcessPoolExecutor`` that re-pickles
+the fleet every round loses to serial (0.97×) no matter how parallel the
+planning is on paper.  :class:`PlannerPool` is the persistent replacement:
+
+* **Fork once, attach once.**  Workers fork from the fully-built
+  simulation, inheriting the static world (topology, transmission table,
+  managers, warm cost caches) copy-on-write, and keep running for the
+  simulation's lifetime.  The mutable placement arrays live in
+  :class:`~repro.parallel.shm.SharedFleet` segments; each worker's
+  ``Placement`` is rebound onto the shared views (read-only), so the
+  parent's per-round :meth:`~repro.parallel.shm.SharedFleet.ship` makes
+  fresh state visible to every worker with zero per-worker transfer.
+* **Repair messages, not snapshots.**  Per round each worker receives
+  only the small stuff: its shard's alerts, the round's ALERT dict and
+  frozen set, and the move-log delta since the last round — enough to
+  replay placement bookkeeping and incrementally repair its private
+  cost-vector cache, exactly like the parent does
+  (:meth:`repro.costs.model.CostModel.sync_cache`).
+* **Sharded planning.**  ``mode="process"`` splits racks into contiguous
+  chunks; ``mode="sharded"`` assigns whole *pods* to workers, mirroring
+  the paper's regional decomposition.  On a fat-tree every migration
+  destination is pod-local (``neighbor_racks``), so pod shards exchange
+  **zero** cross-shard REQUEST/ACK traffic; the execute phase counts any
+  cross-shard request (``sheriff_cross_shard_requests_total``) as it
+  routes them through the same (possibly lossy) receiver channel as
+  always.
+
+Byte-identity: workers run the very same ``plan_round`` against the very
+same values the inline path reads, and the serialized FCFS execute phase
+is untouched — so summaries and final placements stay byte-identical to
+``workers=0`` (enforced by ``tests/service/test_sharded_identity.py``
+against the golden pins).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+import traceback
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from multiprocessing import shared_memory
+
+from repro.alerts.alert import Alert, AlertKind
+from repro.cluster.shim import neighbor_racks
+from repro.cluster.snapshot import FleetSnapshot
+from repro.errors import ConfigurationError, SimulationError
+from repro.parallel.pool import resolve_workers
+from repro.parallel.shm import SharedFleet
+
+__all__ = ["PlannerPool", "pod_groups", "shard_racks"]
+
+# deterministic Alert wire codec: dataclass pickling dominates the payload
+# cost (~100 small objects a round), so alerts cross the pipe as two flat
+# arrays and are reconstructed field-for-field on the other side
+_KINDS = list(AlertKind)
+_KIND_CODE = {kind: i for i, kind in enumerate(_KINDS)}
+
+# block arrays that ride in the result arena instead of the pickled reply;
+# each is tagged (offset, dtype char, shape) so the owner can rebuild an
+# identically-typed view
+# arena handles whose unmap was deferred because a block view was still
+# exported at pool close; kept alive so their __del__ never fires early
+_ZOMBIE_ARENAS: list = []
+
+_ARENA_FIELDS = (
+    "cost",
+    "true_cost",
+    "hosts",
+    "host_racks",
+    "steer",
+    "first_rows",
+    "first_assignment",
+)
+
+
+def _encode_alerts(by_rack: Dict[int, list], racks: Sequence[int]):
+    """Flatten the shard's alerts (rack order, in-rack order preserved)."""
+    ints: List[Tuple[int, int, int, int, int, int]] = []
+    mags: List[float] = []
+    for rack in racks:
+        for a in by_rack[rack]:
+            ints.append(
+                (
+                    _KIND_CODE[a.kind],
+                    a.rack,
+                    a.time,
+                    -1 if a.vm is None else a.vm,
+                    -1 if a.host is None else a.host,
+                    -1 if a.switch is None else a.switch,
+                )
+            )
+            mags.append(a.magnitude)
+    return (
+        np.asarray(ints, dtype=np.int64).reshape(-1, 6),
+        np.asarray(mags, dtype=np.float64),
+    )
+
+
+def _decode_alerts(ints: np.ndarray, mags: np.ndarray) -> Dict[int, list]:
+    """Rebuild ``by_rack`` with Alert fields identical to the originals.
+
+    Bypasses the frozen-dataclass constructor (7 ``object.__setattr__``
+    calls plus ``__post_init__`` validation per alert): the fields came
+    out of real, already-validated alerts, so the direct ``__dict__``
+    assignment yields observationally identical objects at a fraction of
+    the cost.
+    """
+    by_rack: Dict[int, list] = {}
+    new = Alert.__new__
+    for row, mag in zip(ints.tolist(), mags.tolist()):
+        kind, rack, time, vm, host, switch = row
+        alert = new(Alert)
+        alert.__dict__.update(
+            kind=_KINDS[kind],
+            rack=rack,
+            magnitude=mag,
+            time=time,
+            vm=None if vm < 0 else vm,
+            host=None if host < 0 else host,
+            switch=None if switch < 0 else switch,
+        )
+        by_rack.setdefault(rack, []).append(alert)
+    return by_rack
+
+
+def pod_groups(topology) -> List[List[int]]:
+    """Racks grouped by pod (connected components of ``neighbor_racks``)."""
+    seen = set()
+    groups: List[List[int]] = []
+    for rack in range(topology.num_racks):
+        if rack in seen:
+            continue
+        pod = sorted({rack} | set(neighbor_racks(topology, rack)))
+        seen.update(pod)
+        groups.append(pod)
+    return groups
+
+
+def shard_racks(
+    topology, num_racks: int, *, mode: str, shards: int, workers: int
+) -> List[List[int]]:
+    """Static rack → shard assignment for a planner pool.
+
+    ``mode="sharded"`` keeps pods whole (contiguous pod runs per shard);
+    ``mode="process"`` chunks the rack range contiguously.  ``shards=0``
+    defaults to one shard per pod (sharded) or ``resolve_workers(workers)``
+    (process).
+    """
+    if mode == "sharded":
+        pods = pod_groups(topology)
+        n = shards if shards > 0 else len(pods)
+        n = max(1, min(n, len(pods)))
+        out: List[List[int]] = [[] for _ in range(n)]
+        # contiguous pod runs keep shard state cache-friendly and make
+        # the assignment easy to reason about in traces
+        per = (len(pods) + n - 1) // n
+        for i, pod in enumerate(pods):
+            out[min(i // per, n - 1)].extend(pod)
+        return [sorted(s) for s in out if s]
+    if mode == "process":
+        n = shards if shards > 0 else resolve_workers(workers)
+        n = max(1, min(n, num_racks))
+        bounds = np.array_split(np.arange(num_racks), n)
+        return [b.tolist() for b in bounds if b.size]
+    raise ConfigurationError(
+        f"planner mode must be 'process' or 'sharded', got {mode!r}"
+    )
+
+
+def _worker_main(conn, rack_ids: List[int], sim, fleet: SharedFleet) -> None:
+    """Worker loop: attach to shared state, plan shard racks per round."""
+    import gc
+
+    # the fork-inherited heap is effectively immortal in a worker: freeze
+    # it out of collection (avoids copy-on-write faults from gc touching
+    # shared pages) and drop the cyclic collector — per-round plan objects
+    # are acyclic and die by refcount
+    gc.freeze()
+    gc.disable()
+    fleet.forked()
+    pl = sim.cluster.placement
+    fleet.adopt(pl)
+    managers = {r: sim.managers[r] for r in rack_ids}
+    cost_model = sim.cost_model
+    rack_arr = np.asarray(sorted(rack_ids), dtype=np.int64)
+    covers_all = rack_arr.size == sim.cluster.num_racks
+    # result arena: the worker's float64 scratch segment for the round's
+    # cost matrices — a memcpy into shared memory instead of pickling the
+    # bulkiest part of the reply through the pipe.  Grown geometrically;
+    # the parent re-attaches whenever the spec in the reply changes.
+    arena: Optional[shared_memory.SharedMemory] = None
+    arena_np: Optional[np.ndarray] = None
+    arena_cap = 0
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        if msg[0] == "stop":
+            if arena is not None:
+                arena_np = None  # drop the exported view before close
+                try:
+                    arena.close()
+                    arena.unlink()
+                except (BufferError, FileNotFoundError):  # pragma: no cover
+                    pass
+            break
+        try:
+            payload = msg[1]
+            t0 = perf_counter()
+            # --- repair: replay the parent's move log delta ----------- #
+            delta = payload["moves"]
+            if delta.size:
+                moves = [tuple(m) for m in delta.tolist()]
+                pl._move_details.extend(moves)
+                pl._move_log.extend(m[0] for m in moves)
+                pl._generation = len(pl._move_details)
+            # SWITCH_FAIL and friends swap the whole cost model object;
+            # the parent ships the replacement exactly once
+            if payload["cost_model"] is not None:
+                cost_model = pickle.loads(payload["cost_model"])
+                for mgr in managers.values():
+                    mgr.cost_model = cost_model
+            if payload["flow_table"] is not None:
+                flow_table = pickle.loads(payload["flow_table"])
+                for mgr in managers.values():
+                    mgr.flow_table = flow_table
+            cost_model.sync_cache()
+            # --- rebuild the round's alert state from the flat arrays - #
+            # (same insertion order as the parent dict, identical float64
+            # values: dict order and magnitudes are observationally
+            # byte-identical to shipping the dict itself)
+            alert_ids = payload["alert_ids"]
+            vm_alerts = dict(
+                zip(alert_ids.tolist(), payload["alert_vals"].tolist())
+            )
+            frozen = frozenset(payload["frozen"].tolist())
+            primed = 0
+            if vm_alerts:
+                if covers_all:
+                    mine = alert_ids
+                else:
+                    mine = alert_ids[
+                        np.isin(pl.host_rack[pl.vm_host[alert_ids]], rack_arr)
+                    ]
+                to_prime = [int(v) for v in mine if v not in frozen]
+                cost_model.prime_cost_vectors(to_prime)
+                primed = len(to_prime)
+            # --- plan the shard's racks over the shared snapshot ------ #
+            snapshot = FleetSnapshot.from_shared(fleet, pl)
+            snapshot.prime_alerts(vm_alerts)
+            host_load = fleet.host_load if payload["has_host_load"] else None
+            shard_by_rack = _decode_alerts(
+                payload["alert_ints"], payload["alert_mags"]
+            )
+            plans = [
+                managers[r].plan_round(
+                    shard_by_rack.get(r, []),
+                    vm_alerts,
+                    frozen,
+                    host_load,
+                    snapshot=snapshot,
+                )
+                for r in payload["racks"]
+            ]
+            # move every block array into the result arena: a memcpy
+            # into shared memory plus (offset, dtype, shape) tags in the
+            # pickled reply, instead of ~7 ndarray pickles per rack
+            need = 0
+            for plan in plans:
+                block = plan.block
+                if block is None:
+                    continue
+                for name in _ARENA_FIELDS:
+                    arr = getattr(block, name)
+                    if arr is not None:
+                        need += (arr.nbytes + 7) & ~7
+            arena_spec = None
+            if need > arena_cap:
+                if arena is not None:
+                    arena_np = None  # drop the exported view before close
+                    arena.close()
+                    arena.unlink()
+                arena_cap = max(2 * need, 65536)
+                arena = shared_memory.SharedMemory(create=True, size=arena_cap)
+                arena_np = np.frombuffer(arena.buf, dtype=np.uint8)
+                arena_spec = arena.name
+            offsets: List[Optional[dict]] = []
+            off = 0
+            for plan in plans:
+                block = plan.block
+                if block is None:
+                    offsets.append(None)
+                    continue
+                tags = {}
+                for name in _ARENA_FIELDS:
+                    arr = getattr(block, name)
+                    if arr is None:
+                        continue
+                    if not arr.flags.c_contiguous:
+                        arr = np.ascontiguousarray(arr)
+                    n = arr.nbytes
+                    arena_np[off : off + n] = arr.view(np.uint8).reshape(-1)
+                    tags[name] = (off, arr.dtype.char, arr.shape)
+                    setattr(block, name, None)
+                    off = (off + n + 7) & ~7  # keep 8-byte alignment
+                offsets.append(tags)
+            conn.send(
+                ("ok", plans, perf_counter() - t0, primed, arena_spec, offsets)
+            )
+        except BaseException as exc:  # ship the failure, keep serving
+            conn.send(
+                ("err", f"{type(exc).__name__}: {exc}", traceback.format_exc())
+            )
+
+
+class PlannerPool:
+    """Persistent forked planner shards over a :class:`SharedFleet`.
+
+    Built lazily by the engine on the first pooled round (so workers fork
+    with warm caches), torn down by ``SheriffSimulation.close()``.
+    """
+
+    def __init__(self, sim, *, mode: str, shards: int = 0) -> None:
+        self.sim = sim
+        self.mode = mode
+        self.shard_map: Dict[int, int] = {}
+        self._assignments = shard_racks(
+            sim.cluster.topology,
+            sim.cluster.num_racks,
+            mode=mode,
+            shards=shards,
+            workers=sim.config.workers,
+        )
+        for idx, racks in enumerate(self._assignments):
+            for r in racks:
+                self.shard_map[r] = idx
+        self.fleet: Optional[SharedFleet] = None
+        self._procs: List[mp.Process] = []
+        self._conns: List = []
+        self._arenas: Dict[int, shared_memory.SharedMemory] = {}
+        # one full-arena view per (shard, dtype); per-block arrays are
+        # cheap slices of these instead of one np.frombuffer call each
+        self._arena_views: Dict[int, Dict[str, np.ndarray]] = {}
+        self._shipped_gen = 0
+        self._cost_model_id: Optional[int] = None
+        self.stats: Dict[str, float] = {
+            "attached": 0,
+            "ships": 0,
+            "repairs": 0,
+            "reships": 0,
+            "rounds": 0,
+            "attach_s": 0.0,
+            "ship_s": 0.0,
+            "send_s": 0.0,
+            "recv_s": 0.0,
+        }
+
+    # ------------------------------------------------------------------ #
+    @property
+    def started(self) -> bool:
+        return bool(self._procs)
+
+    def start(self) -> None:
+        """Create the shared segments and fork one worker per shard."""
+        if self.started:
+            return
+        t0 = perf_counter()
+        sim = self.sim
+        pl = sim.cluster.placement
+        self.fleet = SharedFleet.create(pl)
+        self._shipped_gen = pl.generation
+        self._cost_model_id = id(sim.cost_model)
+        ctx = mp.get_context("fork")
+        for idx, racks in enumerate(self._assignments):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child_conn, racks, sim, self.fleet),
+                name=f"sheriff-planner-{idx}",
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+        self.stats["attached"] = len(self._procs)
+        self.stats["attach_s"] = perf_counter() - t0
+
+    # ------------------------------------------------------------------ #
+    def plan_round(
+        self,
+        racks: Sequence[int],
+        by_rack: Dict[int, list],
+        vm_alerts: Dict[int, float],
+        frozen: frozenset,
+        host_load: Optional[np.ndarray] = None,
+    ) -> Tuple[list, Dict[str, float]]:
+        """Ship state, fan the round's racks out, gather plans in rack order.
+
+        Returns ``(plans, worker_seconds)`` like ``WorkerPool.map_ordered``
+        — plans sorted by rack, so the caller's serialized execute loop
+        visits racks exactly as the inline path does.
+        """
+        if not self.started:
+            self.start()
+        sim = self.sim
+        pl = sim.cluster.placement
+        assert self.fleet is not None
+        t0 = perf_counter()
+        self.fleet.ship(pl, host_load=host_load)
+        self.stats["ship_s"] += perf_counter() - t0
+        self.stats["ships"] += 1
+        self.stats["rounds"] += 1
+        moves = pl.moves_since(self._shipped_gen)
+        self._shipped_gen = pl.generation
+        if moves:
+            self.stats["repairs"] += 1
+        cost_blob = None
+        if id(sim.cost_model) != self._cost_model_id:
+            cost_blob = pickle.dumps(sim.cost_model)
+            self._cost_model_id = id(sim.cost_model)
+            self.stats["reships"] += 1
+        flow_blob = (
+            pickle.dumps(sim.flow_table) if sim.flow_table is not None else None
+        )
+        rack_set = set(racks)
+        # flat arrays, not python containers: ndarray (un)pickling is a
+        # buffer copy, while a dict/frozenset of the same size costs a
+        # python object per element on the worker side
+        n_alerts = len(vm_alerts)
+        payload_base = {
+            "moves": np.asarray(moves, dtype=np.int64).reshape(-1, 3),
+            "cost_model": cost_blob,
+            "flow_table": flow_blob,
+            "alert_ids": np.fromiter(
+                vm_alerts.keys(), dtype=np.int64, count=n_alerts
+            ),
+            "alert_vals": np.fromiter(
+                vm_alerts.values(), dtype=np.float64, count=n_alerts
+            ),
+            "frozen": np.fromiter(frozen, dtype=np.int64, count=len(frozen)),
+            "has_host_load": host_load is not None,
+        }
+        # every worker gets every round (even with no racks to plan) so
+        # all shards replay the same move history and stay repairable
+        t0 = perf_counter()
+        for idx, conn in enumerate(self._conns):
+            mine = sorted(r for r in self._assignments[idx] if r in rack_set)
+            alert_ints, alert_mags = _encode_alerts(by_rack, mine)
+            conn.send(
+                (
+                    "plan",
+                    {
+                        **payload_base,
+                        "racks": mine,
+                        "alert_ints": alert_ints,
+                        "alert_mags": alert_mags,
+                    },
+                )
+            )
+        self.stats["send_s"] += perf_counter() - t0
+        plans = []
+        worker_secs: Dict[str, float] = {}
+        errors = []
+        t0 = perf_counter()
+        for idx, conn in enumerate(self._conns):
+            try:
+                reply = conn.recv()
+            except (EOFError, OSError):
+                errors.append((idx, "worker died", ""))
+                continue
+            if reply[0] == "err":
+                errors.append((idx, reply[1], reply[2]))
+                continue
+            _, shard_plans, busy, _primed, arena_spec, offsets = reply
+            if arena_spec is not None:
+                self._arena_views.pop(idx, None)
+                old = self._arenas.pop(idx, None)
+                if old is not None:
+                    try:
+                        old.close()
+                    except BufferError:  # a stale view still exported:
+                        pass  # the mapping lives until it is collected
+                # forked workers share the parent's resource tracker, so
+                # the segment is already registered exactly once by the
+                # creating worker (which also owns the unlink)
+                seg = shared_memory.SharedMemory(name=arena_spec)
+                self._arenas[idx] = seg
+                self._arena_views[idx] = {}
+            views = self._arena_views.get(idx, {})
+            for plan, tags in zip(shard_plans, offsets):
+                block = plan.block
+                if block is None:
+                    continue
+                for name, (off, dchar, shape) in (tags or {}).items():
+                    # zero-copy view into the worker's arena; the worker
+                    # only rewrites it on the next plan_round, after this
+                    # round's execute has consumed every block
+                    typed = views.get(dchar)
+                    if typed is None:
+                        typed = np.frombuffer(
+                            self._arenas[idx].buf, dtype=np.dtype(dchar)
+                        )
+                        views[dchar] = typed
+                    count = 1
+                    for dim in shape:
+                        count *= dim
+                    start = off // typed.itemsize
+                    setattr(
+                        block, name, typed[start : start + count].reshape(shape)
+                    )
+                if block.cost is None and block.true_cost is not None:
+                    # fallback for replies that dropped the steered matrix
+                    # from the wire: the same addition the worker's build
+                    # performed — identical operands, bit-identical result
+                    block.cost = block.true_cost + block.steer[None, :]
+            plans.extend(shard_plans)
+            worker_secs[f"w{idx}"] = busy
+        self.stats["recv_s"] += perf_counter() - t0
+        if errors:
+            idx, summary, tb = errors[0]
+            raise SimulationError(
+                f"planner shard {idx} failed: {summary}\n{tb}"
+            )
+        plans.sort(key=lambda p: p.rack)
+        return plans, worker_secs
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Stop workers and release the shared segments (idempotent)."""
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (OSError, BrokenPipeError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._procs = []
+        self._conns = []
+        self._arena_views = {}  # drop exported views before closing
+        for seg in self._arenas.values():
+            try:
+                seg.close()
+            except BufferError:
+                # a caller still holds a block view into the arena: the
+                # mapping stays until that array dies, but parking the
+                # handle keeps SharedMemory.__del__ from re-raising at gc
+                _ZOMBIE_ARENAS.append(seg)
+            try:
+                # belt and braces if the worker was terminated mid-round;
+                # normally the worker unlinks its own arena on stop
+                seg.unlink()
+            except (BufferError, FileNotFoundError):
+                pass
+        self._arenas = {}
+        if self.fleet is not None:
+            self.fleet.close()
+            self.fleet = None
+
+    def __enter__(self) -> "PlannerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"PlannerPool(mode={self.mode!r}, shards={len(self._assignments)}, "
+            f"started={self.started})"
+        )

@@ -40,12 +40,37 @@ from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from time import perf_counter
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
-__all__ = ["AUTO_INLINE_TASK_THRESHOLD", "WorkerPool", "auto_inline", "resolve_workers"]
+__all__ = [
+    "AUTO_INLINE_COST_THRESHOLD",
+    "AUTO_INLINE_TASK_THRESHOLD",
+    "WorkerPool",
+    "auto_inline",
+    "resolve_workers",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
 
 _BACKENDS = ("serial", "thread", "process")
+
+
+class _TimedTask:
+    """Picklable wrapper measuring in-worker time for the process backend.
+
+    Process workers can't write into the host's timing dict, so each task
+    returns ``(result, elapsed, pid)`` and the host folds the elapsed
+    times into per-worker labels afterwards.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn):
+        self.fn = fn
+
+    def __call__(self, item):
+        t0 = perf_counter()
+        result = self.fn(item)
+        return result, perf_counter() - t0, os.getpid()
 
 
 def resolve_workers(workers: int) -> int:
@@ -69,16 +94,46 @@ auto mode therefore plans inline and leaves the pool untouched.
 """
 
 
+AUTO_INLINE_COST_THRESHOLD = 16384
+"""Fan-out break-even for the auto mode in estimated task-cost units.
+
+Task count alone misjudges skewed rounds: 64 racks with two alerted VMs
+each are cheaper to plan than 8 racks with 400 each, yet the count
+heuristic pools the former and inlines the latter.  Fan-out sites that
+know their per-task weight pass ``est_cost`` — for shim planning the
+number of (alerted rack, monitored VM) pairs, which is proportional to
+the PRIORITY + cost-block work actually fanned out — and the decision
+compares that against this measured break-even instead
+(``SheriffConfig.auto_inline_threshold`` overrides it per run).
+"""
+
+
 def auto_inline(
-    workers: int, num_tasks: int, threshold: int = AUTO_INLINE_TASK_THRESHOLD
+    workers: int,
+    num_tasks: int,
+    threshold: int = AUTO_INLINE_TASK_THRESHOLD,
+    *,
+    est_cost: Optional[int] = None,
+    cost_threshold: Optional[int] = None,
 ) -> bool:
     """Should an auto-sized (``workers < 0``) fan-out run inline?
 
     Explicit pool sizes (``workers >= 1``) always honor the user's choice;
-    only the auto mode second-guesses the fan-out, and only below the
-    measured break-even task count.
+    only the auto mode second-guesses the fan-out.  With *est_cost* the
+    decision runs on estimated work (vs. *cost_threshold*, default
+    :data:`AUTO_INLINE_COST_THRESHOLD`); otherwise it falls back to the
+    historical task-count break-even.
     """
-    return workers < 0 and num_tasks < threshold
+    if workers >= 0:
+        return False
+    if est_cost is not None:
+        limit = (
+            cost_threshold
+            if cost_threshold is not None
+            else AUTO_INLINE_COST_THRESHOLD
+        )
+        return est_cost < limit
+    return num_tasks < threshold
 
 
 class WorkerPool:
@@ -150,9 +205,15 @@ class WorkerPool:
 
         if self.backend == "process":
             ex = self._ensure_executor()
-            t0 = perf_counter()
-            results = list(ex.map(fn, items))
-            timings["w0"] = perf_counter() - t0  # host-side wall only
+            out = list(ex.map(_TimedTask(fn), items))
+            results = [r for r, _, _ in out]
+            by_pid: Dict[int, float] = {}
+            for _, elapsed, pid in out:
+                by_pid[pid] = by_pid.get(pid, 0.0) + elapsed
+            # stable per-run labels: pid order -> w0, w1, ... (actual
+            # in-worker busy time, not the host-side wall it used to be)
+            for i, pid in enumerate(sorted(by_pid)):
+                timings[f"w{i}"] = by_pid[pid]
             return results, timings
 
         ex = self._ensure_executor()

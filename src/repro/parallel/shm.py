@@ -1,0 +1,240 @@
+"""Shared-memory fleet state for persistent planner workers.
+
+The plan/execute split fans per-rack planning out to workers whose inputs
+are *round-static*: the placement arrays, the measured host loads and the
+round's alerts.  Re-pickling the fleet every round is what made the
+throwaway pools of BENCH_2 lose to serial — at paper scale the placement
+arrays alone are hundreds of kilobytes, shipped to every worker, every
+round.
+
+:class:`SharedFleet` removes that tax.  The three mutable placement
+arrays (``vm_host``, ``host_used``, ``host_alive``) plus the measured
+per-host load vector live in ``multiprocessing.shared_memory`` segments:
+
+* the **owner** (the engine process) creates the segments once and
+  :meth:`ship`\\ s the current arrays into them with three ``memcpy``-class
+  copies per round;
+* each **worker** attaches once — either by plain fork inheritance (the
+  mapping survives ``fork``) or by :meth:`attach` from the picklable
+  :meth:`spec` — and then sees every subsequent ship for free through the
+  shared mapping.  :meth:`adopt` rebinds a worker's ``Placement`` object
+  to the (read-only) shared views, so every forked reader — managers,
+  cost model, :class:`~repro.cluster.snapshot.FleetSnapshot` — observes
+  the parent's placement without any per-round transfer.  Per-round
+  bookkeeping deltas (the move log that drives incremental cost-cache
+  repair) ship separately as small messages; see
+  ``repro.parallel.planner``.
+
+Lifecycle (see docs/architecture.md): ``create -> [fork | attach] ->
+ship/repair per round -> close -> unlink``.  Unlink is crash-safe twice
+over: a ``weakref.finalize`` fires on owner teardown even when
+``close()`` is never called, and the stdlib ``resource_tracker`` reaps
+the segments if the owner dies uncleanly.  Workers explicitly unregister
+attached segments from their own resource tracker so a worker exit never
+yanks memory the owner still maps.
+"""
+
+from __future__ import annotations
+
+import weakref
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.placement import Placement
+from repro.errors import ConfigurationError
+
+__all__ = ["SharedFleet"]
+
+# (attribute, dtype, size-key): the round-mutable fleet state.  Static
+# arrays (capacities, rack map, values) never change after construction
+# and travel to workers by fork inheritance instead.
+_SEGMENTS: Tuple[Tuple[str, type, str], ...] = (
+    ("vm_host", np.int64, "num_vms"),
+    ("host_used", np.int64, "num_hosts"),
+    ("host_alive", np.bool_, "num_hosts"),
+    ("host_load", np.float64, "num_hosts"),
+)
+
+
+def _unregister(name: str) -> None:
+    """Detach *name* from this process's resource tracker (best effort)."""
+    try:
+        resource_tracker.unregister(f"/{name}", "shared_memory")
+    except (KeyError, OSError):
+        # not registered in this process, or the tracker already exited
+        pass
+
+
+def _cleanup(segments: Dict[str, shared_memory.SharedMemory]) -> None:
+    for seg in segments.values():
+        try:
+            seg.close()
+        except OSError:
+            pass
+        try:
+            seg.unlink()
+        except (OSError, FileNotFoundError):
+            pass
+
+
+class SharedFleet:
+    """Owner- or worker-side handle on the shared fleet segments."""
+
+    def __init__(
+        self,
+        segments: Dict[str, shared_memory.SharedMemory],
+        sizes: Dict[str, int],
+        *,
+        owner: bool,
+    ) -> None:
+        self._segments = segments
+        self._sizes = dict(sizes)
+        self._owner = owner
+        self.ships = 0
+        self.views: Dict[str, np.ndarray] = {}
+        for attr, dtype, size_key in _SEGMENTS:
+            n = self._sizes[size_key]
+            view = np.ndarray(n, dtype=dtype, buffer=segments[attr].buf)
+            if not owner:
+                view.flags.writeable = False  # workers must never mutate
+            self.views[attr] = view
+        self._finalizer = (
+            weakref.finalize(self, _cleanup, segments) if owner else None
+        )
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def create(cls, placement: Placement) -> "SharedFleet":
+        """Allocate the segments and fill them from *placement* (owner)."""
+        sizes = {"num_vms": placement.num_vms, "num_hosts": placement.num_hosts}
+        segments: Dict[str, shared_memory.SharedMemory] = {}
+        try:
+            for attr, dtype, size_key in _SEGMENTS:
+                nbytes = max(1, sizes[size_key] * np.dtype(dtype).itemsize)
+                segments[attr] = shared_memory.SharedMemory(
+                    create=True, size=nbytes
+                )
+        except OSError:
+            _cleanup(segments)
+            raise
+        fleet = cls(segments, sizes, owner=True)
+        fleet.ship(placement)
+        return fleet
+
+    @classmethod
+    def attach(cls, spec: Dict) -> "SharedFleet":
+        """Open existing segments by name (worker side, e.g. after spawn).
+
+        The attached segments are unregistered from this process's
+        resource tracker: only the owner may unlink.
+        """
+        segments: Dict[str, shared_memory.SharedMemory] = {}
+        try:
+            for attr, _, _ in _SEGMENTS:
+                seg = shared_memory.SharedMemory(name=spec["names"][attr])
+                _unregister(seg.name)
+                segments[attr] = seg
+        except OSError:
+            for seg in segments.values():
+                seg.close()
+            raise
+        return cls(segments, spec["sizes"], owner=False)
+
+    @property
+    def spec(self) -> Dict:
+        """Picklable description another process can :meth:`attach` to."""
+        return {
+            "names": {attr: seg.name for attr, seg in self._segments.items()},
+            "sizes": dict(self._sizes),
+        }
+
+    def forked(self) -> "SharedFleet":
+        """Demote a fork-inherited handle to a worker-side view.
+
+        After ``fork`` the child inherits the owner object — including its
+        unlink finalizer.  The worker must call this exactly once: it
+        disarms the finalizer (the parent owns the segments), drops write
+        access, and leaves the inherited zero-copy mapping in place.
+        """
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        self._owner = False
+        for view in self.views.values():
+            view.flags.writeable = False
+        return self
+
+    # ------------------------------------------------------------------ #
+    # round lifecycle
+    # ------------------------------------------------------------------ #
+    def ship(
+        self, placement: Placement, host_load: Optional[np.ndarray] = None
+    ) -> None:
+        """Copy the current fleet state into the segments (owner only)."""
+        if not self._owner:
+            raise ConfigurationError("only the owning process may ship state")
+        if placement.num_vms != self._sizes["num_vms"] or (
+            placement.num_hosts != self._sizes["num_hosts"]
+        ):
+            raise ConfigurationError(
+                "placement shape does not match the shared segments"
+            )
+        np.copyto(self.views["vm_host"], placement.vm_host)
+        np.copyto(self.views["host_used"], placement.host_used)
+        np.copyto(self.views["host_alive"], placement.host_alive)
+        if host_load is not None:
+            np.copyto(self.views["host_load"], host_load)
+        self.ships += 1
+
+    def adopt(self, placement: Placement) -> None:
+        """Rebind *placement*'s mutable arrays to the shared views.
+
+        Worker side.  Every object holding a reference to the placement —
+        managers, shim views, the cost model — transparently reads the
+        owner's shipped state afterwards.  The views are read-only, so an
+        accidental ``migrate()`` in a worker raises instead of corrupting
+        shared state.
+        """
+        if self._owner:
+            raise ConfigurationError(
+                "adopt() is worker-side; the owner keeps its private arrays"
+            )
+        placement.vm_host = self.views["vm_host"]
+        placement.host_used = self.views["host_used"]
+        placement.host_alive = self.views["host_alive"]
+
+    @property
+    def host_load(self) -> np.ndarray:
+        return self.views["host_load"]
+
+    # ------------------------------------------------------------------ #
+    # teardown
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Unmap (all sides); the owner also unlinks. Idempotent."""
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        self.views = {}
+        for seg in self._segments.values():
+            try:
+                seg.close()
+            except OSError:
+                pass
+            if self._owner:
+                try:
+                    seg.unlink()
+                except (OSError, FileNotFoundError):
+                    pass
+        self._segments = {}
+
+    def __repr__(self) -> str:
+        role = "owner" if self._owner else "worker"
+        return (
+            f"SharedFleet({role}, vms={self._sizes['num_vms']}, "
+            f"hosts={self._sizes['num_hosts']}, ships={self.ships})"
+        )

@@ -69,6 +69,12 @@ class EventBus:
         self._subscribers: Dict[
             Type[ServiceEvent], List[Tuple[Tuple[int, int], Handler, Subscription]]
         ] = {}
+        # event_type -> merged+sorted dispatch list; rebuilt lazily after
+        # any subscribe/unsubscribe (dispatch order is unchanged — the
+        # cache just avoids re-merging the MRO on every publish)
+        self._dispatch_cache: Dict[
+            Type[ServiceEvent], List[Tuple[Tuple[int, int], Handler, Subscription]]
+        ] = {}
         self._queue: Deque[ServiceEvent] = deque()
         self._dispatching = False
         self._seq = 0
@@ -97,11 +103,13 @@ class EventBus:
         key = (-priority, self._seq)
         sub = Subscription(self, event_type, key)
         self._subscribers.setdefault(event_type, []).append((key, handler, sub))
+        self._dispatch_cache.clear()
         return sub
 
     def _unsubscribe(self, sub: Subscription) -> None:
         entries = self._subscribers.get(sub.event_type, [])
         self._subscribers[sub.event_type] = [e for e in entries if e[2] is not sub]
+        self._dispatch_cache.clear()
 
     def subscriber_count(self, event_type: Type[ServiceEvent]) -> int:
         """Handlers that would see an event of exactly *event_type*."""
@@ -119,6 +127,10 @@ class EventBus:
         self.counts[event.kind] += 1
         if self.history is not None:
             self.history.append(event)
+        if not self._subscribers:
+            # nobody listening: the event would queue, drain and dispatch
+            # to an empty handler list — skip the machinery entirely
+            return
         self._queue.append(event)
         if not self._dispatching:
             self._drain()
@@ -126,11 +138,15 @@ class EventBus:
     def _handlers_for(
         self, event_type: Type[ServiceEvent]
     ) -> List[Tuple[Tuple[int, int], Handler, Subscription]]:
+        cached = self._dispatch_cache.get(event_type)
+        if cached is not None:
+            return cached
         merged: List[Tuple[Tuple[int, int], Handler, Subscription]] = []
         for klass in event_type.__mro__:
             if klass in self._subscribers:
                 merged.extend(self._subscribers[klass])
         merged.sort(key=lambda entry: entry[0])
+        self._dispatch_cache[event_type] = merged
         return merged
 
     def _drain(self) -> None:

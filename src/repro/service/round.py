@@ -240,7 +240,40 @@ class PlanSource(KnowledgeSource):
             board.skipped_racks = [r for r in racks if r in down]
             racks = [r for r in racks if r not in down]
         board.racks = racks
-        if sim.config.workers != 0 and racks:
+        if sim.config.planner != "thread" and racks:
+            # persistent pooled planning: forked shard workers read the
+            # shipped shared-memory fleet, plan their racks, and return
+            # plans that the order-sensitive REQUEST/commit half below
+            # executes serialized in rack order — byte-identical to the
+            # workers=0 loop (the sharded-identity suite pins this)
+            pool = sim._planner_pool()
+            before = dict(pool.stats)
+            with sim.profiler.section("plan"):
+                plans, worker_secs = pool.plan_round(
+                    racks,
+                    board.by_rack,
+                    board.vm_alerts,
+                    board.frozen,
+                    board.host_load,
+                )
+            for worker, secs in sorted(worker_secs.items()):
+                sim.profiler.add(f"plan/{worker}", secs)
+            m = sim.metrics
+            m.gauge("sheriff_pool_attached").set(pool.stats["attached"])
+            m.counter("sheriff_pool_ships_total").inc(
+                pool.stats["ships"] - before.get("ships", 0)
+            )
+            m.counter("sheriff_pool_repairs_total").inc(
+                pool.stats["repairs"] - before.get("repairs", 0)
+            )
+            shard_map = pool.shard_map
+            for plan in plans:
+                report = sim.managers[plan.rack].execute_plan(
+                    plan, sim._port, shard_map=shard_map
+                )
+                board.reports.append(report)
+                self._announce(board, bus, report)
+        elif sim.config.workers != 0 and racks:
             # plan/execute split: pure per-rack work (classification,
             # PRIORITY, cost matrices, first matching) fans out over
             # the pool against round-static shared state, then the
@@ -256,6 +289,7 @@ class PlanSource(KnowledgeSource):
                 v for v in board.vm_alerts if v not in board.frozen
             )
             snapshot = FleetSnapshot(sim.cluster.placement)
+            snapshot.prime_alerts(board.vm_alerts)
 
             def plan_one(rack: int):
                 return sim.managers[rack].plan_round(
@@ -267,7 +301,14 @@ class PlanSource(KnowledgeSource):
                 )
 
             with sim.profiler.section("plan"):
-                if auto_inline(sim.config.workers, len(racks)):
+                if auto_inline(
+                    sim.config.workers,
+                    len(racks),
+                    # weight the decision by the work actually fanned out
+                    # (alerted racks x monitored VMs), not rack count alone
+                    est_cost=len(racks) * len(board.vm_alerts),
+                    cost_threshold=sim.config.auto_inline_threshold,
+                ):
                     # workers=-1 below the pool break-even: plan
                     # inline without ever creating the pool
                     t0 = perf_counter()

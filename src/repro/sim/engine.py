@@ -49,6 +49,7 @@ from repro.migration.request import ReceiverRegistry
 from repro.migration.reroute import FlowTable
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiling import NULL_PROFILER, Profiler
+from repro.parallel.planner import PlannerPool
 from repro.parallel.pool import WorkerPool
 from repro.service.bus import EventBus
 from repro.service.events import AlertRaised, RoundClosed, RoundOpened
@@ -86,6 +87,10 @@ class RoundSummary:
     degraded: bool = False
     """A shim was down, a partition blocked replanning, or a commit was
     partially refused — the round completed in degraded mode."""
+    pool: Dict[str, float] = field(default_factory=dict)
+    """Persistent planner-pool reuse stats (cumulative: ``attached``
+    workers, state ``ships``, move-log ``repairs``, cost-model
+    ``reships``); empty when planning runs inline or on the thread pool."""
 
 
 class SheriffSimulation:
@@ -157,6 +162,7 @@ class SheriffSimulation:
         self.migration_cooldown = cfg.migration_cooldown
         self._last_move: Dict[int, int] = {}
         self._pool: Optional[WorkerPool] = None
+        self._planner: Optional[PlannerPool] = None
         # service core: the round runs as a blackboard-controller cascade
         # driven over this bus (see docs/service.md); an external bus from
         # the config lets serve-mode drivers and tests observe the rounds
@@ -213,11 +219,27 @@ class SheriffSimulation:
             )
         return self._pool
 
+    def _planner_pool(self) -> PlannerPool:
+        """The persistent forked planner pool (``planner="process"/"sharded"``).
+
+        Created lazily on the first pooled round so workers fork with every
+        warm-up side effect (primed cost caches, flow tables) already in
+        their copy-on-write image.
+        """
+        if self._planner is None:
+            self._planner = PlannerPool(
+                self, mode=self.config.planner, shards=self.config.shards
+            )
+        return self._planner
+
     def close(self) -> None:
-        """Release the worker pool (safe to call repeatedly; optional)."""
+        """Release worker pools and shared memory (safe to call repeatedly)."""
         if self._pool is not None:
             self._pool.close()
             self._pool = None
+        if self._planner is not None:
+            self._planner.close()
+            self._planner = None
 
     # ------------------------------------------------------------------ #
     def run_round(
@@ -291,6 +313,7 @@ class SheriffSimulation:
             retries=int(scope.total("sheriff_channel_retries_total")),
             rollbacks=int(scope.total("sheriff_rollbacks_total")),
             degraded=board.degraded,
+            pool=dict(self._planner.stats) if self._planner is not None else {},
         )
         self.history.append(summary)
         if self.config.metrics_stream is not None:

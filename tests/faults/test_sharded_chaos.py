@@ -1,0 +1,52 @@
+"""The chaos campaign over pooled planners: same bytes as the serial run.
+
+``run_chaos_campaign`` is the repo's worst-weather gauntlet — shim
+outages, host crashes, switch failures with live flow tables, a lossy
+ACK channel and timed (multi-round) migrations, all seeded.  Running it
+with ``planner="sharded"`` / ``planner="process"`` pushes every one of
+those behaviors through the persistent shared-memory worker path: fault
+state must arrive at the shards via the shipped fleet segments and the
+per-round repair messages, never drift a round behind, and the report —
+including the fault log and per-round degraded flags — must be
+byte-for-byte the serial engine's.
+"""
+
+import json
+
+import pytest
+
+from repro.config import SheriffConfig
+from repro.faults.campaign import run_chaos_campaign
+
+ROUNDS = 8
+SEED = 7
+
+
+def _report(config=None):
+    return run_chaos_campaign(size=4, rounds=ROUNDS, seed=SEED, config=config)
+
+
+@pytest.fixture(scope="module")
+def serial_report():
+    return _report(SheriffConfig(workers=0))
+
+
+@pytest.mark.parametrize(
+    "name, config",
+    [
+        ("sharded", SheriffConfig(planner="sharded")),
+        ("sharded_two", SheriffConfig(planner="sharded", shards=2)),
+        ("process", SheriffConfig(planner="process", workers=2)),
+    ],
+)
+def test_pooled_campaign_matches_serial(serial_report, name, config):
+    pooled = _report(config)
+    assert json.dumps(pooled, sort_keys=True) == json.dumps(
+        serial_report, sort_keys=True
+    )
+
+
+def test_sharded_campaign_is_reproducible():
+    a = _report(SheriffConfig(planner="sharded"))
+    b = _report(SheriffConfig(planner="sharded"))
+    assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)

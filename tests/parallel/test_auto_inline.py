@@ -40,6 +40,20 @@ class TestHeuristic:
         assert auto_inline(-1, 5, threshold=6)
         assert not auto_inline(-1, 5, threshold=5)
 
+    def test_cost_based_decision_overrides_task_count(self):
+        # many cheap tasks: count alone would pool, est_cost inlines
+        assert auto_inline(-1, 200, est_cost=400, cost_threshold=16384)
+        # few expensive tasks: count alone would inline, est_cost pools
+        assert not auto_inline(-1, 8, est_cost=20000, cost_threshold=16384)
+        # explicit worker counts still always pool
+        assert not auto_inline(4, 200, est_cost=1, cost_threshold=16384)
+
+    def test_cost_threshold_defaults(self):
+        from repro.parallel.pool import AUTO_INLINE_COST_THRESHOLD
+
+        assert auto_inline(-1, 999, est_cost=AUTO_INLINE_COST_THRESHOLD - 1)
+        assert not auto_inline(-1, 1, est_cost=AUTO_INLINE_COST_THRESHOLD)
+
 
 class TestEngineAutoMode:
     def test_small_run_never_creates_pool(self):
@@ -83,7 +97,7 @@ class TestEngineAutoMode:
         # event-bus refactor
         import repro.service.round as round_mod
 
-        monkeypatch.setattr(round_mod, "auto_inline", lambda w, n: False)
+        monkeypatch.setattr(round_mod, "auto_inline", lambda w, n, **k: False)
         cluster = _small_cluster()
         sim = SheriffSimulation(cluster, config=SheriffConfig(workers=-1))
         alerts, vm_alerts = inject_fraction_alerts(cluster, 0.2, time=0, seed=11)

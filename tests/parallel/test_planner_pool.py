@@ -1,0 +1,235 @@
+"""Unit coverage for the persistent planner pool's moving parts.
+
+The identity suites (``tests/service/test_sharded_identity.py``,
+``tests/faults/test_sharded_chaos.py``) pin the end-to-end contract;
+this file covers the mechanisms in isolation: pod discovery, the static
+rack partition, the alert wire codec, worker lifecycle and reuse stats,
+the result arena's reuse/growth protocol, and error marshalling from a
+failed shard back to the engine.
+"""
+
+import numpy as np
+import pytest
+
+from repro.alerts.alert import Alert, AlertKind
+from repro.cluster import build_cluster
+from repro.config import SheriffConfig
+from repro.errors import ConfigurationError, SimulationError
+from repro.parallel.planner import (
+    PlannerPool,
+    _decode_alerts,
+    _encode_alerts,
+    pod_groups,
+    shard_racks,
+)
+from repro.sim.engine import SheriffSimulation
+from repro.sim.scenario import inject_fraction_alerts
+from repro.topology import build_fattree
+
+SEED = 11
+
+
+def _cluster(k=4, hosts_per_rack=3):
+    return build_cluster(
+        build_fattree(k),
+        hosts_per_rack=hosts_per_rack,
+        fill_fraction=0.55,
+        skew=0.8,
+        seed=SEED,
+        delay_sensitive_fraction=0.1,
+    )
+
+
+class TestPodGroups:
+    def test_fattree_pods_partition_the_racks(self):
+        topo = build_fattree(4)
+        pods = pod_groups(topo)
+        assert len(pods) == 4
+        flat = sorted(r for pod in pods for r in pod)
+        assert flat == list(range(topo.num_racks))
+
+    def test_pods_are_disjoint_and_sorted(self):
+        pods = pod_groups(build_fattree(8))
+        seen = set()
+        for pod in pods:
+            assert pod == sorted(pod)
+            assert not (seen & set(pod))
+            seen.update(pod)
+
+
+class TestShardRacks:
+    def test_sharded_default_is_one_shard_per_pod(self):
+        topo = build_fattree(4)
+        shards = shard_racks(topo, topo.num_racks, mode="sharded", shards=0, workers=0)
+        assert len(shards) == 4
+        assert shards == pod_groups(topo)
+
+    def test_sharded_never_splits_a_pod(self):
+        topo = build_fattree(8)
+        pods = pod_groups(topo)
+        shards = shard_racks(topo, topo.num_racks, mode="sharded", shards=3, workers=0)
+        assert len(shards) == 3
+        for pod in pods:
+            owners = {i for i, s in enumerate(shards) if set(pod) & set(s)}
+            assert len(owners) == 1
+
+    def test_process_mode_chunks_contiguously(self):
+        topo = build_fattree(4)
+        shards = shard_racks(topo, topo.num_racks, mode="process", shards=3, workers=0)
+        flat = [r for s in shards for r in s]
+        assert flat == list(range(topo.num_racks))
+        for s in shards:
+            assert s == list(range(s[0], s[0] + len(s)))
+
+    def test_every_mode_covers_every_rack_exactly_once(self):
+        topo = build_fattree(4)
+        for mode, shards in [("sharded", 2), ("process", 5)]:
+            out = shard_racks(topo, topo.num_racks, mode=mode, shards=shards, workers=0)
+            flat = sorted(r for s in out for r in s)
+            assert flat == list(range(topo.num_racks))
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            shard_racks(build_fattree(4), 16, mode="magic", shards=0, workers=0)
+
+
+class TestAlertCodec:
+    def _alerts(self):
+        return {
+            2: [
+                Alert(kind=AlertKind.SERVER, rack=2, magnitude=0.7, time=3, vm=9, host=4),
+                Alert(kind=AlertKind.LOCAL_TOR, rack=2, magnitude=1.5, time=3),
+            ],
+            5: [
+                Alert(
+                    kind=AlertKind.OUTER_SWITCH, rack=5, magnitude=0.2, time=3, switch=1
+                ),
+            ],
+        }
+
+    def test_roundtrip_is_identical(self):
+        by_rack = self._alerts()
+        ints, mags = _encode_alerts(by_rack, sorted(by_rack))
+        decoded = _decode_alerts(ints, mags)
+        assert sorted(decoded) == sorted(by_rack)
+        for rack, alerts in by_rack.items():
+            assert decoded[rack] == alerts  # dataclass eq: field-for-field
+
+    def test_none_fields_survive(self):
+        decoded = _decode_alerts(
+            *_encode_alerts(self._alerts(), [2, 5])
+        )
+        a = decoded[2][1]
+        assert a.vm is None and a.host is None and a.switch is None
+        assert decoded[5][0].switch == 1
+
+    def test_empty_stream(self):
+        ints, mags = _encode_alerts({}, [])
+        assert _decode_alerts(ints, mags) == {}
+
+
+def _run_rounds(sim, cluster, rounds=3, fraction=0.2):
+    for r in range(rounds):
+        alerts, vma = inject_fraction_alerts(cluster, fraction, time=r, seed=SEED + r)
+        sim.run_round(alerts, vma)
+
+
+class TestLifecycleAndStats:
+    def test_pool_forks_once_and_ships_per_round(self):
+        cluster = _cluster()
+        sim = SheriffSimulation(cluster, SheriffConfig(planner="sharded"))
+        _run_rounds(sim, cluster, rounds=4)
+        pool = sim._planner_pool()
+        stats = pool.stats
+        assert stats["attached"] == len(pool._assignments)
+        assert stats["ships"] == 4  # one fleet ship per round, no re-forks
+        assert stats["attach_s"] > 0.0
+        sim.close()
+        # idempotent teardown: workers joined, segments released
+        sim.close()
+        assert not any(p.is_alive() for p in pool._procs)
+
+    def test_summary_carries_pool_stats(self):
+        cluster = _cluster()
+        sim = SheriffSimulation(cluster, SheriffConfig(planner="process", workers=2))
+        _run_rounds(sim, cluster, rounds=2)
+        assert sim.history[-1].pool["ships"] == 2
+        assert sim.history[-1].pool["attached"] >= 1
+        sim.close()
+
+    def test_arena_is_reused_across_rounds(self):
+        # the result arena is created on the first planned round and then
+        # reused (geometric growth): the parent re-attaches only when a
+        # worker announces a new segment name
+        cluster = _cluster()
+        sim = SheriffSimulation(cluster, SheriffConfig(planner="process", workers=1))
+        _run_rounds(sim, cluster, rounds=1, fraction=0.3)
+        pool = sim._planner_pool()
+        names_first = {idx: seg.name for idx, seg in pool._arenas.items()}
+        assert names_first  # at least one shard shipped block arrays
+        _run_rounds(sim, cluster, rounds=3, fraction=0.05)
+        names_later = {idx: seg.name for idx, seg in pool._arenas.items()}
+        # smaller rounds fit in the grown arena: no new segment appears
+        assert names_later == names_first
+        sim.close()
+
+    def test_blocks_arrive_through_the_arena(self):
+        cluster = _cluster()
+        sim = SheriffSimulation(cluster, SheriffConfig(planner="process", workers=1))
+        pool = sim._planner_pool()
+        alerts, vma = inject_fraction_alerts(cluster, 0.3, time=0, seed=SEED)
+        by_rack = {}
+        for a in alerts:
+            by_rack.setdefault(a.rack, []).append(a)
+        plans, worker_secs = pool.plan_round(
+            sorted(by_rack), by_rack, vma, frozenset(), None
+        )
+        assert worker_secs
+        got_block = False
+        for plan in plans:
+            block = plan.block
+            if block is None or block.true_cost is None:
+                continue
+            got_block = True
+            # the parent's matrices are views over the shard's arena
+            assert not block.true_cost.flags.owndata
+            assert block.cost.shape == block.true_cost.shape
+            np.testing.assert_array_equal(
+                block.cost, block.true_cost + block.steer[None, :]
+            )
+        assert got_block
+        sim.close()
+
+
+class TestErrorMarshalling:
+    def test_worker_failure_surfaces_as_simulation_error(self):
+        cluster = _cluster()
+        sim = SheriffSimulation(cluster, SheriffConfig(planner="process", workers=1))
+        pool = sim._planner_pool()
+        pool.start()
+        alerts, vma = inject_fraction_alerts(cluster, 0.2, time=0, seed=SEED)
+        by_rack = {}
+        for a in alerts:
+            by_rack.setdefault(a.rack, []).append(a)
+        # a nonsense VM id blows up inside the worker's prime step; the
+        # exception and its traceback must come back as SimulationError
+        with pytest.raises(SimulationError, match="planner shard"):
+            pool.plan_round(
+                sorted(by_rack), by_rack, {10**6: 1.0}, frozenset(), None
+            )
+        # the worker loop survives the failure and keeps serving
+        plans, _ = pool.plan_round(sorted(by_rack), by_rack, vma, frozenset(), None)
+        assert [p.rack for p in plans] == sorted(by_rack)
+        sim.close()
+
+    def test_malformed_payload_is_reported_not_fatal(self):
+        cluster = _cluster()
+        sim = SheriffSimulation(cluster, SheriffConfig(planner="process", workers=1))
+        pool = sim._planner_pool()
+        pool.start()
+        conn = pool._conns[0]
+        conn.send(("plan", {"moves": "not an ndarray"}))
+        reply = conn.recv()
+        assert reply[0] == "err"
+        assert "Traceback" in reply[2]
+        sim.close()

@@ -60,6 +60,7 @@ def summary_fields(summary):
     d = dataclasses.asdict(summary)
     d.pop("timings", None)
     d.pop("reports", None)
+    d.pop("pool", None)
     return d
 
 

@@ -1,0 +1,160 @@
+"""`FleetSnapshot.from_shared` equals in-process construction, always.
+
+The persistent planner workers never receive the placement on the wire:
+the owner ships ``vm_host`` / ``host_used`` / ``host_alive`` /
+``host_load`` into shared-memory segments each round, and a worker
+builds its round snapshot zero-copy over the mapping
+(:meth:`FleetSnapshot.from_shared`).  This suite holds the promise made
+in that constructor's docstring: through *arbitrary* ship/repair cycles
+— random migrations, host crashes and revivals, load re-measurements —
+the shared-memory snapshot is value-identical to a plain
+``FleetSnapshot(placement)`` built in the owner process after the same
+mutations.  Both worker attachment modes are exercised: an adopted
+placement (fork inheritance, arrays rebound to the segments) and the
+proxy view over a stale fork copy.
+"""
+
+from multiprocessing import resource_tracker
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import build_cluster
+from repro.cluster.snapshot import FleetSnapshot
+from repro.parallel.shm import SharedFleet
+from repro.topology import build_fattree
+
+common = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+SEED = 2015
+
+
+def _attach(fleet):
+    """Same-process worker attach for tests.
+
+    ``SharedFleet.attach`` unregisters the segments from the calling
+    process's resource tracker (worker-process semantics: only the owner
+    unlinks).  In-process the owner *is* the caller, so restore its
+    registrations or the eventual unlink would warn about unknown names.
+    """
+    worker = SharedFleet.attach(fleet.spec)
+    for name in fleet.spec["names"].values():
+        try:
+            resource_tracker.register(f"/{name}", "shared_memory")
+        except Exception:
+            pass
+    return worker
+
+
+def _cluster():
+    return build_cluster(
+        build_fattree(4),
+        hosts_per_rack=3,
+        fill_fraction=0.55,
+        skew=0.8,
+        seed=SEED,
+        delay_sensitive_fraction=0.1,
+    )
+
+
+# one mutation per draw: (kind, a, b) interpreted against the placement
+_mutation = st.tuples(
+    st.sampled_from(["migrate", "kill", "revive", "load"]),
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=0, max_value=10_000),
+)
+
+
+def _apply(placement, rng, kind, a, b):
+    """Apply one legal mutation derived from the draw (no-op if impossible)."""
+    if kind == "migrate":
+        vm = a % placement.num_vms
+        host = b % placement.num_hosts
+        if (
+            placement.host_alive[host]
+            and placement.vm_host[vm] >= 0
+            and placement.vm_host[vm] != host
+            and placement.free_capacity(host) >= placement.vm_capacity[vm]
+        ):
+            placement.migrate(vm, host)
+    elif kind == "kill":
+        host = a % placement.num_hosts
+        if placement.host_alive[host]:
+            placement.disable_host(host)
+    elif kind == "revive":
+        host = a % placement.num_hosts
+        if not placement.host_alive[host]:
+            placement.enable_host(host)
+
+
+def _assert_snapshots_equal(mine: FleetSnapshot, theirs: FleetSnapshot, placement):
+    hosts = np.arange(placement.num_hosts, dtype=np.int64)
+    np.testing.assert_array_equal(
+        mine.free_capacity(hosts), theirs.free_capacity(hosts)
+    )
+    np.testing.assert_array_equal(mine.host_load, theirs.host_load)
+    for host in range(placement.num_hosts):
+        np.testing.assert_array_equal(
+            mine.vms_on_host(host), theirs.vms_on_host(host)
+        )
+    for rack in range(placement.num_racks):
+        np.testing.assert_array_equal(
+            mine.vms_in_rack(rack), theirs.vms_in_rack(rack)
+        )
+
+
+def _run_cycles(mutation_rounds, adopt: bool):
+    cluster = _cluster()
+    owner_pl = cluster.placement
+    worker_pl = owner_pl.clone()  # the fork-inherited copy, soon stale
+    fleet = SharedFleet.create(owner_pl)
+    worker_fleet = _attach(fleet)
+    if adopt:
+        worker_fleet.adopt(worker_pl)
+    rng = np.random.default_rng(SEED)
+    try:
+        for muts in mutation_rounds:
+            loads = rng.random(owner_pl.num_hosts)
+            for kind, a, b in muts:
+                _apply(owner_pl, rng, kind, a, b)
+            fleet.ship(owner_pl, host_load=loads)
+            mine = FleetSnapshot(owner_pl)
+            theirs = FleetSnapshot.from_shared(worker_fleet, worker_pl)
+            _assert_snapshots_equal(mine, theirs, owner_pl)
+            np.testing.assert_array_equal(worker_fleet.host_load, loads)
+    finally:
+        worker_fleet.close()
+        fleet.close()
+
+
+@given(st.lists(st.lists(_mutation, max_size=8), min_size=1, max_size=5))
+@common
+def test_from_shared_matches_inprocess_adopted(mutation_rounds):
+    _run_cycles(mutation_rounds, adopt=True)
+
+
+@given(st.lists(st.lists(_mutation, max_size=8), min_size=1, max_size=5))
+@common
+def test_from_shared_matches_inprocess_proxy(mutation_rounds):
+    _run_cycles(mutation_rounds, adopt=False)
+
+
+def test_worker_views_are_read_only():
+    cluster = _cluster()
+    fleet = SharedFleet.create(cluster.placement)
+    worker = _attach(fleet)
+    try:
+        for view in worker.views.values():
+            assert not view.flags.writeable
+        try:
+            worker.views["vm_host"][0] = 0
+            raised = False
+        except ValueError:
+            raised = True
+        assert raised
+    finally:
+        worker.close()
+        fleet.close()

@@ -93,6 +93,7 @@ def _summary_dicts(sim):
         d = dataclasses.asdict(s)
         d.pop("timings")
         d.pop("reports")
+        d.pop("pool", None)
         out.append(d)
     # normalize through JSON exactly like the golden capture did
     return json.loads(json.dumps(out))

@@ -1,0 +1,119 @@
+"""The persistent planner pool is byte-identical to the seed engine.
+
+Pins the pooled engines against the same ``golden_seed_engine.json``
+capture the bus-scheduler identity suite uses: ``planner="process"``
+(contiguous rack chunks over forked workers) and ``planner="sharded"``
+(pod-aligned shards) must reproduce every RoundSummary field and the
+final placement hash of the pre-refactor serial engine — plan shipping
+over shared memory, the alert wire codec, the result arena and the
+parent-side block reassembly are pure transport, not behavior.
+"""
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.config import SheriffConfig
+from repro.faults import ChannelPolicy, FaultKind, FaultSchedule, FaultSpec
+from repro.sim.engine import SheriffSimulation
+from repro.sim.scenario import inject_fraction_alerts
+from repro.topology import build_fattree
+
+GOLDEN = json.loads(
+    (Path(__file__).parent / "golden_seed_engine.json").read_text()
+)
+
+ROUNDS = 6
+SEED = 2015
+ALERT_FRACTION = 0.08
+
+
+def _cluster():
+    return build_cluster(
+        build_fattree(4),
+        hosts_per_rack=4,
+        fill_fraction=0.5,
+        skew=1.1,
+        seed=SEED,
+        delay_sensitive_fraction=0.0,
+    )
+
+
+def _chaos_kwargs():
+    return dict(
+        fault_schedule=FaultSchedule(
+            [
+                FaultSpec(FaultKind.SHIM_DOWN, target=1, at_round=2, duration=2),
+                FaultSpec(FaultKind.HOST_CRASH, target=3, at_round=3),
+            ]
+        ),
+        channel_policy=ChannelPolicy(
+            loss_probability=0.1, max_retries=3, seed=SEED
+        ),
+    )
+
+
+def _run(config: SheriffConfig):
+    cluster = _cluster()
+    sim = SheriffSimulation(cluster, config)
+    for r in range(ROUNDS):
+        alerts, vma = inject_fraction_alerts(
+            cluster, ALERT_FRACTION, time=r, seed=SEED + r
+        )
+        sim.run_round(alerts, vma)
+    sim.close()
+    return cluster, sim
+
+
+def _summary_dicts(sim):
+    out = []
+    for s in sim.history:
+        d = dataclasses.asdict(s)
+        d.pop("timings")
+        d.pop("reports")
+        d.pop("pool", None)
+        out.append(d)
+    return json.loads(json.dumps(out))
+
+
+def _placement_sha256(cluster):
+    return hashlib.sha256(cluster.placement.vm_host.tobytes()).hexdigest()
+
+
+POOLED_CONFIGS = {
+    "process": dict(planner="process", workers=2),
+    "process_one_shard": dict(planner="process", workers=1),
+    "sharded": dict(planner="sharded"),
+    "sharded_two": dict(planner="sharded", shards=2),
+}
+
+
+@pytest.mark.parametrize("name", sorted(POOLED_CONFIGS))
+def test_pooled_planner_matches_seed_engine(name):
+    cluster, sim = _run(
+        SheriffConfig(balance_weight=25.0, **POOLED_CONFIGS[name])
+    )
+    assert _summary_dicts(sim) == GOLDEN["workers0"]["summaries"]
+    assert _placement_sha256(cluster) == GOLDEN["workers0"]["placement_sha256"]
+
+
+@pytest.mark.parametrize("planner", ["process", "sharded"])
+def test_pooled_planner_matches_seed_engine_under_chaos(planner):
+    # fault injection flows through the shipped fleet state: down racks
+    # plan nothing, crashed hosts disappear from every shard's snapshot
+    cluster, sim = _run(
+        SheriffConfig(balance_weight=25.0, planner=planner, **_chaos_kwargs())
+    )
+    assert _summary_dicts(sim) == GOLDEN["chaos_w0"]["summaries"]
+    assert _placement_sha256(cluster) == GOLDEN["chaos_w0"]["placement_sha256"]
+
+
+def test_pool_summary_stats_populate():
+    _, sim = _run(SheriffConfig(balance_weight=25.0, planner="sharded"))
+    last = sim.history[-1]
+    assert last.pool["attached"] >= 1
+    assert last.pool["ships"] >= 1

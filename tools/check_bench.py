@@ -16,6 +16,10 @@ committed numbers.  The schema is dispatched per file:
   the NULL_TRACER run decided byte-identically to the traced run — and
   ``tracer_overhead.overhead_frac < 0.10`` — full event recording plus
   lifecycle stitching costs under 10 % of a fleet round.
+* **BENCH_7** (scale ladder): every rung stayed byte-identical to the
+  serial engine, the pod partition's shard efficiency held ``>= 0.7``,
+  and the k=8 rung (BENCH_2's engine_round configuration) shows the
+  persistent pool at ``>= 1.3x`` over the seed's serial loop.
 """
 
 from __future__ import annotations
@@ -72,7 +76,45 @@ def _check_bench_5(results: dict, failures: List[str]) -> str:
     )
 
 
+def _check_bench_7(results: dict, failures: List[str]) -> str:
+    ladder = results.get("scale_ladder")
+    if not isinstance(ladder, dict) or not ladder:
+        failures.append("scale_ladder missing or empty")
+        return ""
+    for name, rung in sorted(ladder.items()):
+        if rung.get("identical") is not True:
+            failures.append(
+                f"{name}: identical is not true — a pooled engine diverged "
+                "from the workers=0 loop"
+            )
+        eff = rung.get("sharded_efficiency")
+        if not isinstance(eff, (int, float)):
+            failures.append(f"{name}: sharded_efficiency missing")
+        elif eff < 0.7:
+            failures.append(
+                f"{name}: sharded_efficiency = {eff:.3f} < 0.7 — the pod "
+                "partition left shards unbalanced"
+            )
+    k8 = ladder.get("k8", {})
+    speedup = k8.get("pooled_speedup")
+    if not isinstance(speedup, (int, float)):
+        failures.append("k8.pooled_speedup missing")
+    elif speedup < 1.3:
+        failures.append(
+            f"k8.pooled_speedup = {speedup:.3f} < 1.3 — the persistent pool "
+            "lost its margin over the serial loop at paper scale"
+        )
+    if failures:
+        return ""
+    effs = ", ".join(
+        f"{name}={ladder[name]['sharded_efficiency']:.2f}" for name in sorted(ladder)
+    )
+    return f"k8.pooled_speedup = {speedup:.3f}, shard efficiency {effs}"
+
+
 def _dispatch(results: dict):
+    if "scale_ladder" in results:
+        return _check_bench_7
     if "tracer_overhead" in results:
         return _check_bench_5
     if "engine_round" in results:

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""CI smoke for the persistent planner pool (`make scale-smoke`).
+
+A fast, deterministic slice of the BENCH_7 scale ladder: run a few
+rounds on a small fat-tree under all three engines — serial
+(``workers=0``), pooled (``planner="process"``) and pod-sharded
+(``planner="sharded"``) — and assert
+
+* byte-identical round summaries and final placements across engines,
+* the pool forked once, shipped once per round, and repaired (move
+  deltas) rather than re-pickling the fleet,
+* clean teardown (workers joined, shared segments unlinked).
+
+Exit code 0 on success; prints a one-line verdict per engine.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import sys
+
+from repro.cluster import build_cluster
+from repro.config import SheriffConfig
+from repro.sim import SheriffSimulation, inject_fraction_alerts
+from repro.topology import build_fattree
+
+SEED = 2015
+ROUNDS = 4
+
+ENGINES = {
+    "serial": dict(workers=0),
+    "pooled": dict(planner="process", workers=2),
+    "sharded": dict(planner="sharded"),
+}
+
+
+def _summary_key(summary):
+    d = dataclasses.asdict(summary)
+    for key in ("timings", "reports", "pool"):
+        d.pop(key, None)
+    return d
+
+
+def main() -> int:
+    results = {}
+    for name, kw in ENGINES.items():
+        cluster = build_cluster(
+            build_fattree(4),
+            hosts_per_rack=4,
+            fill_fraction=0.5,
+            skew=1.1,
+            seed=SEED,
+            delay_sensitive_fraction=0.1,
+        )
+        sim = SheriffSimulation(cluster, SheriffConfig(**kw))
+        for r in range(ROUNDS):
+            alerts, vma = inject_fraction_alerts(
+                cluster, 0.1, time=r, seed=SEED + r
+            )
+            sim.run_round(alerts, vma)
+        pool = sim.history[-1].pool
+        results[name] = (
+            [_summary_key(s) for s in sim.history],
+            cluster.placement.vm_host.tolist(),
+            pool,
+        )
+        if name != "serial":
+            if pool.get("attached", 0) < 1:
+                print(f"scale-smoke: FAIL: {name} never attached workers")
+                return 1
+            if pool.get("ships", 0) != ROUNDS:
+                print(
+                    f"scale-smoke: FAIL: {name} shipped "
+                    f"{pool.get('ships')} times for {ROUNDS} rounds"
+                )
+                return 1
+        planner_pool = sim._planner if sim._planner is not None else None
+        sim.close()
+        if planner_pool is not None and any(
+            p.is_alive() for p in planner_pool._procs
+        ):
+            print(f"scale-smoke: FAIL: {name} left workers running")
+            return 1
+        print(
+            f"scale-smoke: {name}: {ROUNDS} rounds ok"
+            + (
+                f" (shards={int(pool['attached'])}, ships={int(pool['ships'])},"
+                f" repairs={int(pool['repairs'])})"
+                if pool
+                else ""
+            )
+        )
+    base_summaries, base_placement, _ = results["serial"]
+    for name, (summaries, placement, _) in results.items():
+        if summaries != base_summaries or placement != base_placement:
+            print(f"scale-smoke: FAIL: {name} diverged from the serial engine")
+            return 1
+    print("scale-smoke: pooled planners byte-identical to serial: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
