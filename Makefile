@@ -5,7 +5,7 @@
 # installed package shadows neither (src/ simply wins on the path).
 export PYTHONPATH := src:.$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install lint test bench bench-scale bench-trace bench-check bench-all report examples chaos trace-lint serve-smoke scale-smoke ci all
+.PHONY: install lint test bench bench-scale bench-trace bench-confidence bench-check bench-all report examples chaos adversarial trace-lint serve-smoke scale-smoke ci all
 
 install:
 	pip install -e . --no-build-isolation
@@ -32,9 +32,13 @@ bench-scale:
 bench-trace:
 	pytest benchmarks/test_perf_trace.py --benchmark-only
 
+# Confidence-gate overhead at paper scale; writes BENCH_8.json.
+bench-confidence:
+	pytest benchmarks/test_perf_confidence.py --benchmark-only
+
 # Cheap regression gate on the committed benchmark numbers.
 bench-check:
-	python tools/check_bench.py BENCH_4.json BENCH_5.json BENCH_7.json
+	python tools/check_bench.py BENCH_4.json BENCH_5.json BENCH_7.json BENCH_8.json
 
 bench-all:
 	pytest benchmarks/ --benchmark-only
@@ -49,6 +53,15 @@ chaos:
 	PYTHONPATH=src python -m repro chaos --rounds 8 --size 4 --output /tmp/sheriff_chaos_b.json > /dev/null
 	cmp /tmp/sheriff_chaos_a.json /tmp/sheriff_chaos_b.json
 	@echo "chaos campaign reproducible: OK"
+
+# Worst-case fallback bound: exit code asserts guarded <= factor x
+# reactive + slack on the damage metrics, run twice + cmp asserts the
+# report is seeded-deterministic (docs/robust-forecasting.md).
+adversarial:
+	PYTHONPATH=src python -m repro adversarial --output /tmp/sheriff_adv_a.json > /dev/null
+	PYTHONPATH=src python -m repro adversarial --output /tmp/sheriff_adv_b.json > /dev/null
+	cmp /tmp/sheriff_adv_a.json /tmp/sheriff_adv_b.json
+	@echo "adversarial bound holds and is reproducible: OK"
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null || exit 1; done
@@ -69,7 +82,7 @@ serve-smoke:
 scale-smoke:
 	PYTHONPATH=src python tools/scale_smoke.py
 
-ci: lint bench-check trace-lint serve-smoke scale-smoke
+ci: lint bench-check trace-lint serve-smoke scale-smoke adversarial
 	pytest tests/
 
 all: lint test bench-all

@@ -1,0 +1,164 @@
+"""Confidence-gate overhead at paper scale.
+
+Pinned-seed benchmark behind ``make bench-confidence``: times the BENCH_2
+engine-round configuration (8-pod Fat-Tree, monitored hot region, batched
+fleet kernels) in three configurations —
+
+* **gate off** — the historical point-forecast ALERT path;
+* **gate on, neutral** — ``AlertConfig.confidence_gate=True`` with no
+  headroom/migration signals, so every stance resolves to ``"mean"``.
+  The contract (asserted here, every run): the rounds decide
+  *byte-identically* to gate-off, and the overhead of carrying the gate
+  stays within noise;
+* **gate on, active** — a cheap-headroom fleet signal forces the
+  ``"upper"`` stance, so every monitor rewrites its profile from the
+  answering members' prediction bands.  This path is allowed to decide
+  differently (that is its job); its cost is reported so the interval
+  machinery has a committed price tag.
+
+Results land in ``BENCH_8.json`` at the repo root; ``make bench-check``
+(see ``tools/check_bench.py``) gates CI on the committed numbers.  As in
+BENCH_4, each configuration runs once untimed before the timed pass.
+"""
+
+import dataclasses
+import json
+from pathlib import Path
+from time import perf_counter
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from benchmarks.test_perf_fleet import (
+    ALERT_THRESHOLD,
+    ENGINE_ROUNDS,
+    HISTORY_ROWS,
+    HOT_RACKS,
+    MONITOR_STRIDE,
+    SEED,
+    _paper_cluster,
+    _summary_key,
+)
+from repro.alerts.monitor import VMMonitor
+from repro.alerts.threshold import AlertConfig
+from repro.analysis import format_table
+from repro.config import SheriffConfig
+from repro.sim import SheriffSimulation
+from repro.sim.scenario import forecast_alert_round
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_8.json"
+
+
+def _build_variant(alert_config):
+    """Cluster + engine + monitored hot-region fleet (BENCH_4's shape)."""
+    cluster = _paper_cluster()
+    pl = cluster.placement
+    rng = np.random.default_rng(SEED)
+    vms = [
+        v
+        for v in range(cluster.num_vms)
+        if int(pl.host_rack[pl.vm_host[v]]) < HOT_RACKS
+        and not pl.vm_delay_sensitive[v]
+    ][::MONITOR_STRIDE]
+    monitors, future = {}, {}
+    for v in vms:
+        level = rng.uniform(0.25, 0.92)
+        series = np.clip(
+            level + 0.04 * rng.standard_normal((HISTORY_ROWS + ENGINE_ROUNDS, 4)),
+            0.0,
+            1.0,
+        )
+        monitors[v] = VMMonitor(series[:HISTORY_ROWS], alert_config)
+        future[v] = series[HISTORY_ROWS:]
+    sim = SheriffSimulation(cluster, SheriffConfig(workers=0))
+    return cluster, sim, monitors, future
+
+
+def run_engine_rounds(alert_config, *, headroom=None):
+    """Engine rounds under *alert_config*; timing + per-round outcomes."""
+    cluster, sim, monitors, future = _build_variant(alert_config)
+    summaries, alert_rounds = [], []
+    t0 = perf_counter()
+    for r in range(ENGINE_ROUNDS):
+        alerts, vm_alerts = forecast_alert_round(
+            cluster, monitors, time=r, batched=True, headroom=headroom
+        )
+        alert_rounds.append(
+            (sorted((a.rack, a.host, round(a.magnitude, 12)) for a in alerts),
+             sorted(vm_alerts))
+        )
+        summaries.append(sim.run_round(alerts, vm_alerts))
+        for v, mon in monitors.items():
+            mon.observe(future[v][r])
+    elapsed = perf_counter() - t0
+    sim.close()
+    return {
+        "confidence_gate": alert_config.confidence_gate,
+        "headroom": headroom,
+        "rounds": ENGINE_ROUNDS,
+        "monitored_vms": len(monitors),
+        "seconds": elapsed,
+        "rounds_per_sec": ENGINE_ROUNDS / elapsed,
+        "alert_rounds": alert_rounds,
+        "summaries": [_summary_key(s) for s in summaries],
+        "final_placement": cluster.placement.vm_host.tolist(),
+    }
+
+
+def run_suite():
+    off_cfg = AlertConfig(threshold=ALERT_THRESHOLD, horizon=1)
+    on_cfg = AlertConfig(
+        threshold=ALERT_THRESHOLD, horizon=1, confidence_gate=True
+    )
+    # untimed warm-up of both code paths (see the module docstring)
+    run_engine_rounds(off_cfg)
+    run_engine_rounds(on_cfg)
+    off = run_engine_rounds(off_cfg)
+    neutral = run_engine_rounds(on_cfg)
+    active = run_engine_rounds(on_cfg, headroom=0.9)
+    # the gate contract: neutral stance decides byte-identically
+    identical = (
+        off["alert_rounds"] == neutral["alert_rounds"]
+        and off["summaries"] == neutral["summaries"]
+        and off["final_placement"] == neutral["final_placement"]
+    )
+    for row in (off, neutral, active):
+        row.pop("alert_rounds")
+        row.pop("summaries")
+        row.pop("final_placement")
+    overhead = neutral["seconds"] / off["seconds"] - 1.0
+    return {
+        "seed": SEED,
+        "scale": {
+            "fattree_pods": 8,
+            "hosts_per_rack": 40,
+            "monitored_vms": off["monitored_vms"],
+        },
+        "confidence_overhead": {
+            "gate_off": off,
+            "gate_neutral": neutral,
+            "gate_active": active,
+            "neutral_identical": identical,
+            "overhead_frac": overhead,
+            "active_overhead_frac": active["seconds"] / off["seconds"] - 1.0,
+        },
+    }
+
+
+def test_confidence_gate_overhead(benchmark, emit):
+    results = run_once(benchmark, run_suite)
+    RESULTS_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    over = results["confidence_overhead"]
+    rows = [
+        {
+            "config": name,
+            "seconds": over[name]["seconds"],
+            "rounds_per_sec": over[name]["rounds_per_sec"],
+        }
+        for name in ("gate_off", "gate_neutral", "gate_active")
+    ]
+    emit(format_table("Confidence-gate overhead (BENCH_8.json)", rows))
+    # acceptance: the neutral gate is free (identical decisions, cost
+    # within noise of the point-forecast path)
+    assert over["neutral_identical"] is True
+    assert over["overhead_frac"] < 0.10

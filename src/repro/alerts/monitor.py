@@ -17,7 +17,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.alerts.alert import compute_alert, compute_alerts
-from repro.alerts.threshold import AlertConfig
+from repro.alerts.threshold import AlertConfig, confidence_stance
 from repro.cluster.resources import NUM_RESOURCES
 from repro.errors import ConfigurationError, ForecastError
 from repro.forecast.arima import ARIMA
@@ -124,23 +124,54 @@ class VMMonitor:
             out[r] = sel.forecast(h)[h - 1]
         return np.clip(out, 0.0, 1.0)
 
-    def alert_value(self) -> float:
+    def alert_value(
+        self,
+        *,
+        headroom: Optional[float] = None,
+        migration_cost_s: Optional[float] = None,
+    ) -> float:
         """ALERT magnitude from the current prediction (0 = no alert).
 
         Must be called *before* :meth:`observe` for the round so the
         prediction genuinely precedes the observation.
+
+        With ``config.confidence_gate`` on, *headroom* (mean free-capacity
+        fraction) and *migration_cost_s* (precopy-timeline seconds; see
+        :func:`~repro.alerts.threshold.migration_expense`) pick the
+        interval bound the THRESHOLD is compared against — hair-trigger
+        when capacity is cheap, conservative when migration is expensive.
+        Both default to ``None`` (neutral), and with the gate off the
+        historical point-forecast path runs byte-identically.
         """
         # One-step pool bookkeeping: predict_one caches every member's
         # prediction so observe() can score the pool.
         one_step = np.empty(NUM_RESOURCES)
         for r, sel in enumerate(self._selectors):
             one_step[r] = sel.predict_one()
+        stance = confidence_stance(self.config, headroom, migration_cost_s)
+        if stance != "mean":
+            one_step = self._stance_profile(one_step, stance)
         if self.config.horizon == 1:
             # the cached one-step predictions ARE the alert input
             profile = np.clip(one_step, 0.0, 1.0)
         else:
             profile = self.predicted_profile()
         return compute_alert(profile, self.config.threshold)
+
+    def _stance_profile(self, one_step: np.ndarray, stance: str) -> np.ndarray:
+        """Replace point predictions with the stance's interval bound.
+
+        Components whose answering member has no interval support keep
+        their point forecast — a missing band never silently becomes a
+        zero-width one.
+        """
+        out = one_step.copy()
+        for r, sel in enumerate(self._selectors):
+            interval = sel.last_answer_interval(self.config.interval_alpha)
+            if interval is None:
+                continue
+            out[r] = interval.upper if stance == "upper" else interval.lower
+        return out
 
     def observe(self, profile: np.ndarray) -> None:
         """Feed the realized profile row for this round."""
@@ -153,7 +184,12 @@ class VMMonitor:
             sel.observe(float(row[r]))
 
 
-def fleet_alert_values(monitors: Sequence[VMMonitor]) -> np.ndarray:
+def fleet_alert_values(
+    monitors: Sequence[VMMonitor],
+    *,
+    headroom: Optional[float] = None,
+    migration_cost_s: Optional[float] = None,
+) -> np.ndarray:
     """``[m.alert_value() for m in monitors]`` with batched fleet kernels.
 
     Collects every monitor's per-resource selectors, runs their one-step
@@ -163,6 +199,12 @@ def fleet_alert_values(monitors: Sequence[VMMonitor]) -> np.ndarray:
     and selector side effects (the ``_last_pred`` caches that
     :meth:`VMMonitor.observe` scores) are byte-identical to calling
     :meth:`VMMonitor.alert_value` per monitor.
+
+    *headroom* / *migration_cost_s* are the fleet-level confidence-gate
+    signals (see :meth:`VMMonitor.alert_value`); monitors whose stance
+    resolves to an interval bound rewrite their profile row from the
+    answering members' bands *after* the batched prediction pass, so the
+    fleet kernels still serve every selector.
     """
     from repro.forecast.selection import batch_predict_one
 
@@ -177,8 +219,12 @@ def fleet_alert_values(monitors: Sequence[VMMonitor]) -> np.ndarray:
             one[i, r] = flat[i * NUM_RESOURCES + r]
     profiles = np.empty((len(mons), NUM_RESOURCES))
     for i, mon in enumerate(mons):
+        row = one[i]
+        stance = confidence_stance(mon.config, headroom, migration_cost_s)
+        if stance != "mean":
+            row = mon._stance_profile(row, stance)
         if mon.config.horizon == 1:
-            profiles[i] = np.clip(one[i], 0.0, 1.0)
+            profiles[i] = np.clip(row, 0.0, 1.0)
         else:
             profiles[i] = mon.predicted_profile()
     thresholds = np.asarray([mon.config.threshold for mon in mons])

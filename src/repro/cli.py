@@ -161,6 +161,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "adversarial",
+        help="worst-case fallback campaign: guarded vs reactive bound "
+        "(docs/robust-forecasting.md)",
+        parents=[common, exporters],
+    )
+    p.add_argument("--size", type=int, default=4)
+    p.add_argument("--rounds", type=int, default=36)
+    p.add_argument("--warm", type=int, default=16)
+    p.add_argument("--seed", type=int, default=2015)
+    p.add_argument("--threshold", type=float, default=0.7)
+    p.add_argument(
+        "--factor",
+        type=float,
+        default=1.5,
+        help="worst-case bound: guarded damage <= factor * reactive + slack",
+    )
+    p.add_argument("--slack", type=float, default=2.0)
+    p.add_argument(
+        "--error-bound",
+        type=float,
+        default=0.08,
+        help="trailing forecast error that trips the fallback governor",
+    )
+    p.add_argument(
+        "--output", type=str, default=None, help="write the JSON report to a file"
+    )
+
+    p = sub.add_parser(
         "serve",
         help="always-on service: continuous ingest, /healthz, /metrics "
         "(docs/service.md)",
@@ -674,6 +702,50 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_adversarial(args: argparse.Namespace) -> int:
+    from repro.analysis import format_table
+    from repro.config import SheriffConfig
+    from repro.faults import run_adversarial_campaign
+
+    with _tracer_for(args) as tracer, _exporters_for(args) as (
+        profiler,
+        metrics,
+        stream,
+    ):
+        report = run_adversarial_campaign(
+            size=args.size,
+            rounds=args.rounds,
+            warm=args.warm,
+            seed=args.seed,
+            overload_threshold=args.threshold,
+            factor=args.factor,
+            slack=args.slack,
+            error_bound=args.error_bound,
+            config=SheriffConfig(
+                tracer=tracer,
+                profiler=profiler,
+                metrics=metrics,
+                metrics_stream=stream,
+            ),
+        )
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    rows = [
+        {"arm": name, **metrics_row}
+        for name, metrics_row in report["arms"].items()
+    ]
+    plain = format_table(
+        f"Adversarial campaign on fattree-{args.size} "
+        f"(seed {args.seed}, {args.rounds} rounds, "
+        f"bound {args.factor}x + {args.slack})",
+        rows,
+    ) + "\nbound: " + json.dumps(report["bound"], sort_keys=True)
+    _emit(args, plain, report)
+    return 0 if report["bound"]["holds"] else 1
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -903,6 +975,7 @@ _COMMANDS = {
     "traces": cmd_traces,
     "approx": cmd_approx,
     "chaos": cmd_chaos,
+    "adversarial": cmd_adversarial,
     "serve": cmd_serve,
     "report": cmd_report,
     "trace": cmd_trace,

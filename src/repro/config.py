@@ -97,6 +97,28 @@ class SheriffConfig:
         Eq. (1) cost vectors per placement generation (invalidated for
         moved VMs and their dependency neighbors).  Results are identical
         with the cache on or off.
+    fallback_policy:
+        Worst-case degradation of predictive alerting (see
+        docs/robust-forecasting.md).  ``"none"`` (default) leaves managed
+        runs byte-identical to the historical engine.  ``"reactive"``
+        arms the :class:`~repro.sim.fallback.FallbackManager` around any
+        observing (predictive) alert source driven through
+        :func:`~repro.sim.driver.run_managed_simulation`: when the
+        trailing mean absolute forecast error over ``fallback_window``
+        rounds crosses ``fallback_error_bound``, alerting degrades to the
+        paper's reactive contingency manager — the provable floor — and
+        recovers after ``fallback_recovery_rounds`` consecutive calm
+        rounds.  Each transition emits a
+        :class:`~repro.obs.events.FallbackTransition` trace event and
+        counts in ``sheriff_fallback_transitions_total``.
+    fallback_error_bound:
+        Trailing mean absolute forecast error (normalized load units)
+        above which the fallback triggers.
+    fallback_window:
+        Rounds in the trailing-error window.
+    fallback_recovery_rounds:
+        Consecutive rounds the trailing error must stay at or under the
+        bound before predictive alerting resumes.
     tracer:
         Structured event sink; defaults to the disabled
         :data:`~repro.obs.tracer.NULL_TRACER` (zero cost).
@@ -147,6 +169,10 @@ class SheriffConfig:
     shards: int = 0
     auto_inline_threshold: int = 16384
     cache_cost_kernels: bool = True
+    fallback_policy: str = "none"
+    fallback_error_bound: float = 0.15
+    fallback_window: int = 8
+    fallback_recovery_rounds: int = 4
     tracer: Tracer = field(default=NULL_TRACER)
     metrics: Optional["MetricsRegistry"] = None
     profile: bool = True
@@ -252,6 +278,10 @@ _SCALAR_FIELDS = frozenset(
         "shards",
         "auto_inline_threshold",
         "cache_cost_kernels",
+        "fallback_policy",
+        "fallback_error_bound",
+        "fallback_window",
+        "fallback_recovery_rounds",
         "profile",
     }
 )

@@ -12,6 +12,7 @@ See ``docs/robustness.md`` for the fault model and degraded-mode
 semantics, and ``python -m repro chaos`` for the campaign runner.
 """
 
+from repro.faults.adversarial import run_adversarial_campaign
 from repro.faults.campaign import default_schedule, run_chaos_campaign
 from repro.faults.channel import ChannelPolicy, UnreliableChannel
 from repro.faults.injector import FaultInjector, RoundFaults
@@ -27,4 +28,5 @@ __all__ = [
     "RoundFaults",
     "default_schedule",
     "run_chaos_campaign",
+    "run_adversarial_campaign",
 ]

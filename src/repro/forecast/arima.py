@@ -150,6 +150,7 @@ class ARIMA(Forecaster):
     maxiter: int = 200
 
     supports_warm_start = True
+    supports_intervals = True
 
     # fitted state (populated by :meth:`fit`)
     const_: float = field(default=0.0, init=False, repr=False)

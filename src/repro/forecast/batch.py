@@ -22,6 +22,13 @@ Models outside the batchable set (non-ARIMA classes, subclasses, unfitted
 instances) fall back to their own scalar ``forecast`` — so the result is
 byte-identical to ``[m.forecast(h) for m in models]`` for *any* mixed
 fleet.  The property suite asserts this bitwise.
+
+Confidence-aware selectors (``DynamicModelSelector(confidence=True)``)
+never enter these kernels: :func:`~repro.forecast.selection.batch_predict_one`
+routes them through the scalar ``predict_one`` so interval lookups and
+conservative widening stay per-selector decisions, while the rest of the
+fleet keeps the stacked path — mixed fleets remain member-by-member
+consistent with the scalar loop.
 """
 
 from __future__ import annotations

@@ -21,6 +21,11 @@ def _pair(actual: np.ndarray, predicted: np.ndarray) -> tuple[np.ndarray, np.nda
         raise ForecastError(f"shape mismatch: actual {a.shape} vs predicted {p.shape}")
     if a.shape[0] == 0:
         raise ForecastError("empty series")
+    if not np.isfinite(p).all():
+        raise ForecastError(
+            "predictions contain NaN/inf — a pool member failed some steps; "
+            "mask them first (see SelectionTrace.failed / model_mse)"
+        )
     return a, p
 
 

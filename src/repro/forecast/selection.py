@@ -19,7 +19,7 @@ from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ConvergenceError, ForecastError
-from repro.forecast.base import Forecaster, warm_fit
+from repro.forecast.base import Forecaster, PredictionInterval, warm_fit
 from repro.forecast.metrics import trailing_mse
 from repro.obs.events import ModelSelected
 from repro.obs.metrics import MetricsRegistry
@@ -101,11 +101,42 @@ def _window(arr: np.ndarray, max_history: Optional[int]) -> np.ndarray:
 
 @dataclass
 class SelectionTrace:
-    """Per-step record of what the selector did (offline analysis)."""
+    """Per-step record of what the selector did (offline analysis).
+
+    ``per_model_predictions`` carries ``np.nan`` at steps where a member
+    failed to predict; ``failed`` flags exactly those steps so downstream
+    scoring can mask them instead of silently propagating NaN into
+    :func:`~repro.forecast.metrics.mse`.
+    """
 
     chosen: List[str]
     predictions: np.ndarray
     per_model_predictions: Dict[str, np.ndarray]
+    failed: Dict[str, np.ndarray] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.failed is None:
+            self.failed = {
+                name: ~np.isfinite(pred)
+                for name, pred in self.per_model_predictions.items()
+            }
+
+    def model_mse(self, name: str, actual: np.ndarray) -> float:
+        """A member's MSE against *actual*, failed steps masked out.
+
+        Raises :class:`~repro.errors.ForecastError` when the member never
+        produced a prediction, rather than returning NaN.
+        """
+        from repro.forecast.metrics import mse
+
+        a = np.asarray(actual, dtype=np.float64).ravel()
+        pred = self.per_model_predictions[name]
+        ok = ~self.failed[name]
+        if not ok.any():
+            raise ForecastError(
+                f"model {name!r} failed every step; no MSE is defined"
+            )
+        return mse(a[ok], pred[ok])
 
 
 class DynamicModelSelector:
@@ -138,7 +169,25 @@ class DynamicModelSelector:
         pool member (Eq. 14 in action).
     metrics:
         Optional registry; :meth:`observe` keeps the per-member
-        ``sheriff_forecast_trailing_mse{model=...}`` gauges current.
+        ``sheriff_forecast_trailing_mse{model=...}`` gauges current, and
+        best-member prediction failures count in
+        ``sheriff_selector_fallback_total``.
+    confidence:
+        Confidence-aware arbitration (off by default; when off, behaviour
+        is byte-identical to the historical selector).  The Eq. (14)
+        winner still answers, but its ``1 - interval_alpha`` prediction
+        interval is consulted: when the interval width spikes above
+        ``width_spike`` times the trailing median width, the answer widens
+        to the interval's *upper* bound — the conservative side for
+        overload pre-alerting (assume the worst while the model distrusts
+        itself).  Members without interval support answer with their point
+        forecast unchanged.
+    interval_alpha:
+        Interval level used by the confidence mode (band covers
+        ``1 - interval_alpha``).
+    width_spike:
+        Spike factor on the trailing median interval width that triggers
+        conservative widening.
     """
 
     def __init__(
@@ -152,6 +201,9 @@ class DynamicModelSelector:
         workers: int = 0,
         tracer: Tracer = NULL_TRACER,
         metrics: Optional[MetricsRegistry] = None,
+        confidence: bool = False,
+        interval_alpha: float = 0.2,
+        width_spike: float = 2.0,
     ) -> None:
         if not factories:
             raise ForecastError("selector needs at least one model factory")
@@ -159,6 +211,14 @@ class DynamicModelSelector:
             raise ForecastError(f"period must be >= 1, got {period}")
         if refit_every < 1:
             raise ForecastError(f"refit_every must be >= 1, got {refit_every}")
+        if not (0.0 < interval_alpha < 1.0):
+            raise ForecastError(
+                f"interval_alpha must be in (0, 1), got {interval_alpha}"
+            )
+        if width_spike <= 1.0:
+            raise ForecastError(
+                f"width_spike must be > 1, got {width_spike}"
+            )
         self.factories = dict(factories)
         self.period = period
         self.refit_every = refit_every
@@ -168,6 +228,9 @@ class DynamicModelSelector:
         self.names = list(factories.keys())
         self.tracer = tracer
         self.metrics = metrics
+        self.confidence = confidence
+        self.interval_alpha = interval_alpha
+        self.width_spike = width_spike
         self._step = 0
         self._models: Dict[str, Forecaster] = {}
         # errors older than the fitness window T_p can never influence
@@ -175,7 +238,13 @@ class DynamicModelSelector:
         self._errors: Dict[str, Deque[float]] = {
             n: deque(maxlen=period) for n in self.names
         }
+        # running Σerr² per member, maintained incrementally alongside the
+        # deques so the trailing-MSE gauges cost O(pool), not O(pool·period)
+        self._sq_sums: Dict[str, float] = {n: 0.0 for n in self.names}
         self._last_pred: Dict[str, float] = {}
+        self._last_best: Optional[str] = None
+        self.last_interval: Optional[PredictionInterval] = None
+        self._width_hist: Deque[float] = deque(maxlen=max(4, period))
         self._history: Optional[np.ndarray] = None
         self._pool: Optional[WorkerPool] = None
         self._since_fit = 0
@@ -188,7 +257,11 @@ class DynamicModelSelector:
         self._history = arr.copy()
         self._refit_all()
         self._errors = {n: deque(maxlen=self.period) for n in self.names}
+        self._sq_sums = {n: 0.0 for n in self.names}
         self._last_pred = {}
+        self._last_best = None
+        self.last_interval = None
+        self._width_hist.clear()
         self._since_fit = 0
         self._fitted = True
         return self
@@ -265,6 +338,96 @@ class DynamicModelSelector:
         assert best_name is not None
         return best_name
 
+    def _fallback_best(self) -> str:
+        """Best member *among those that predicted* (Eq. 14 on the rest).
+
+        Used when the Eq. (14) winner failed to produce a prediction: the
+        answer comes from the lowest-trailing-MSE member that did predict
+        (ties → pool order), not from ``_last_pred`` insertion order.
+        Counted in ``sheriff_selector_fallback_total``.
+        """
+        best_name = None
+        best_score = np.inf
+        for name in self.names:
+            if name not in self._last_pred:
+                continue
+            errs = self._errors[name]
+            if not errs:
+                score = 0.0  # no evidence against it yet
+            else:
+                e = np.asarray(errs)
+                score = trailing_mse(e, e.shape[0] - 1, self.period)
+            if score < best_score:
+                best_score = score
+                best_name = name
+        assert best_name is not None
+        if self.metrics is not None:
+            self.metrics.counter(
+                "sheriff_selector_fallback_total", model=best_name
+            ).inc()
+        return best_name
+
+    def _answer(self, best: str) -> float:
+        """Finalize one prediction step: confidence widening + event."""
+        pred = self._last_pred[best]
+        self._last_best = best
+        if self.confidence:
+            pred = self._confident_answer(best, pred)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ModelSelected(model=best, step=self._step, prediction=float(pred))
+            )
+        return pred
+
+    def _confident_answer(self, best: str, pred: float) -> float:
+        """Widen toward the conservative side on an interval-width spike."""
+        interval = None
+        model = self._models.get(best)
+        if model is not None and getattr(model, "supports_intervals", False):
+            try:
+                interval = model.predict_one_interval(self.interval_alpha)
+            except ForecastError:
+                interval = None
+        self.last_interval = interval
+        if interval is None:
+            return pred
+        width = interval.width
+        widened = False
+        if len(self._width_hist) >= 4:
+            median = float(np.median(self._width_hist))
+            if median > 0.0 and width > self.width_spike * median:
+                # the model stopped trusting itself: answer the upper
+                # bound, the conservative side for overload pre-alerting
+                pred = interval.upper
+                widened = True
+        self._width_hist.append(width)
+        if widened and self.metrics is not None:
+            self.metrics.counter(
+                "sheriff_confidence_widened_total", model=best
+            ).inc()
+        return pred
+
+    def last_answer_interval(
+        self, alpha: Optional[float] = None
+    ) -> Optional[PredictionInterval]:
+        """Interval from the member that answered the last prediction.
+
+        ``None`` when no prediction has been made yet, the answering
+        member does not support intervals, or its band computation failed
+        — callers degrade to the point forecast.
+        """
+        if self._last_best is None:
+            return None
+        model = self._models.get(self._last_best)
+        if model is None or not getattr(model, "supports_intervals", False):
+            return None
+        try:
+            return model.predict_one_interval(
+                self.interval_alpha if alpha is None else alpha
+            )
+        except ForecastError:
+            return None
+
     def predict_one(self) -> float:
         """One-step forecast from the currently best model.
 
@@ -282,13 +445,8 @@ class DynamicModelSelector:
             raise ForecastError("no pool member could produce a prediction")
         best = self.best_model_name()
         if best not in self._last_pred:
-            best = next(iter(self._last_pred))
-        pred = self._last_pred[best]
-        if self.tracer.enabled:
-            self.tracer.emit(
-                ModelSelected(model=best, step=self._step, prediction=float(pred))
-            )
-        return pred
+            best = self._fallback_best()
+        return self._answer(best)
 
     def forecast(self, h: int = 1) -> np.ndarray:
         """h-step forecast from the currently best model."""
@@ -302,7 +460,13 @@ class DynamicModelSelector:
         if not np.isfinite(value):
             raise ForecastError(f"observed value must be finite, got {value}")
         for name, pred in self._last_pred.items():
-            self._errors[name].append(float(value) - pred)
+            dq = self._errors[name]
+            err = float(value) - pred
+            if len(dq) == dq.maxlen:
+                evicted = dq[0]
+                self._sq_sums[name] -= evicted * evicted
+            dq.append(err)
+            self._sq_sums[name] += err * err
         for model in self._models.values():
             model.append(float(value))
         assert self._history is not None
@@ -310,14 +474,16 @@ class DynamicModelSelector:
         self._step += 1
         self._since_fit += 1
         if self.metrics is not None:
+            # the incremental Σerr² makes the gauge O(pool) per step
+            # instead of O(pool·period); Eq. (14) arbitration still reads
+            # the deques directly, so selection numerics are untouched
             for name in self.names:
-                errs = self._errors[name]
-                if not errs:
+                dq = self._errors[name]
+                if not dq:
                     continue
-                e = np.asarray(errs)
                 self.metrics.gauge(
                     "sheriff_forecast_trailing_mse", model=name
-                ).set(trailing_mse(e, e.shape[0] - 1, self.period))
+                ).set(max(self._sq_sums[name], 0.0) / len(dq))
         if self._since_fit >= self.refit_every:
             self._refit_all()
             self._since_fit = 0
@@ -338,17 +504,21 @@ class DynamicModelSelector:
         preds = np.empty(m)
         chosen: List[str] = []
         per_model: Dict[str, List[float]] = {name: [] for name in self.names}
+        failed: Dict[str, List[bool]] = {name: [] for name in self.names}
         for k, t in enumerate(range(train_len, n)):
             p = self.predict_one()
             preds[k] = p
-            chosen.append(self.best_model_name())
+            assert self._last_best is not None
+            chosen.append(self._last_best)
             for name in self.names:
                 per_model[name].append(self._last_pred.get(name, np.nan))
+                failed[name].append(name not in self._last_pred)
             self.observe(arr[t])
         return SelectionTrace(
             chosen=chosen,
             predictions=preds,
             per_model_predictions={n: np.asarray(v) for n, v in per_model.items()},
+            failed={n: np.asarray(v, dtype=bool) for n, v in failed.items()},
         )
 
     def _require_fitted(self) -> None:
@@ -406,14 +576,26 @@ def batch_predict_one(selectors: Sequence[DynamicModelSelector]) -> List[float]:
     choice (vectorized across the fleet via :func:`_batch_best_names`),
     the ``ModelSelected`` event — runs exactly as in the scalar method.
     Returns and side effects are byte-identical to the scalar loop; only
-    the per-member call overhead is amortized.
+    the per-member call overhead is amortized.  Selectors running in the
+    confidence-aware mode (``confidence=True``) answer through the scalar
+    :meth:`DynamicModelSelector.predict_one` — their interval lookups and
+    widening decisions are inherently per-selector — so a mixed fleet
+    stays consistent with the scalar loop member by member.
     """
     from repro.forecast.batch import _forecast_group, group_fleet
 
     sels = list(selectors)
+    out: List[Optional[float]] = [None] * len(sels)
+    plain: List[int] = []
+    for i, s in enumerate(sels):
+        if s.confidence:
+            out[i] = s.predict_one()
+        else:
+            plain.append(i)
+    fleet = [sels[i] for i in plain]
     cursor: List[Tuple[DynamicModelSelector, str]] = []
     models: List[Forecaster] = []
-    for s in sels:
+    for s in fleet:
         s._require_fitted()
         s._last_pred = {}
         for name, model in s._models.items():
@@ -436,18 +618,12 @@ def batch_predict_one(selectors: Sequence[DynamicModelSelector]) -> List[float]:
     for (s, name), pred in zip(cursor, preds):
         if pred is not None:
             s._last_pred[name] = pred
-    bests = _batch_best_names(sels)
-    out: List[float] = []
-    for s, fast_best in zip(sels, bests):
+    bests = _batch_best_names(fleet)
+    for i, s, fast_best in zip(plain, fleet, bests):
         if not s._last_pred:
             raise ForecastError("no pool member could produce a prediction")
         best = fast_best if fast_best is not None else s.best_model_name()
         if best not in s._last_pred:
-            best = next(iter(s._last_pred))
-        pred = s._last_pred[best]
-        if s.tracer.enabled:
-            s.tracer.emit(
-                ModelSelected(model=best, step=s._step, prediction=float(pred))
-            )
-        out.append(pred)
-    return out
+            best = s._fallback_best()
+        out[i] = s._answer(best)
+    return out  # type: ignore[return-value]

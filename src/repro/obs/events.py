@@ -29,6 +29,7 @@ __all__ = [
     "MigrationLanded",
     "FlowRerouted",
     "ModelSelected",
+    "FallbackTransition",
     "FaultInjected",
     "HostCrashed",
     "RequestTimedOut",
@@ -183,6 +184,21 @@ class ModelSelected(TraceEvent):
 
 
 @dataclass
+class FallbackTransition(TraceEvent):
+    """The worst-case fallback governor switched alerting modes.
+
+    ``mode`` is the mode *entered* (``"reactive"`` when trailing forecast
+    error crossed the bound, ``"predictive"`` on recovery);
+    ``trailing_error`` is the windowed mean absolute forecast error that
+    drove the decision.
+    """
+
+    mode: str = ""
+    trailing_error: float = 0.0
+    at_round: int = -1
+
+
+@dataclass
 class FaultInjected(TraceEvent):
     """A scheduled fault fired (see :mod:`repro.faults`)."""
 
@@ -230,6 +246,7 @@ EVENT_TYPES: List[type] = [
     MigrationLanded,
     FlowRerouted,
     ModelSelected,
+    FallbackTransition,
     FaultInjected,
     HostCrashed,
     RequestTimedOut,

@@ -35,6 +35,7 @@ from repro.sim.metrics import (
 from repro.sim.centralized import CentralizedPlan, centralized_migration_round
 from repro.sim.regional import regional_migration_round
 from repro.sim.kmedian_planner import kmedian_migration_round
+from repro.sim.fallback import FallbackManager
 from repro.sim.reactive import PredictiveManager, ReactiveManager
 from repro.sim.congestion import congestion_alerts, hot_switches, switch_capacity
 from repro.sim.failures import FailureInjector, FailureReport
@@ -71,6 +72,7 @@ __all__ = [
     "CentralizedPlan",
     "ReactiveManager",
     "PredictiveManager",
+    "FallbackManager",
     "congestion_alerts",
     "hot_switches",
     "switch_capacity",

@@ -40,6 +40,10 @@ class ManagedRunReport:
     first_alert_round: Optional[int] = None
     overload_by_round: List[int] = field(default_factory=list)
     peak_load_by_round: List[float] = field(default_factory=list)
+    fallback_rounds: int = 0
+    """Rounds alerted by the reactive floor (fallback policy active)."""
+    fallback_transitions: int = 0
+    """Mode switches the fallback governor made over the run."""
     timings: Dict[str, float] = field(default_factory=dict)
     """Cumulative wall-clock seconds per profiled section over the run."""
 
@@ -68,6 +72,13 @@ def run_managed_simulation(
     :class:`~repro.cluster.cluster.Cluster`; in the latter case one is
     built from *config* (or the defaults).  Passing *config* alongside a
     ready simulation is ambiguous and rejected.
+
+    When the simulation's config sets ``fallback_policy="reactive"`` and
+    *manager* is an observing (predictive) source, it is wrapped in a
+    :class:`~repro.sim.fallback.FallbackManager` so alerting degrades to
+    the paper's reactive floor whenever trailing forecast error crosses
+    the configured bound; ``fallback_policy="none"`` (the default) leaves
+    the run byte-identical to the historical loop.
     """
     if isinstance(sim, Cluster):
         sim = SheriffSimulation(sim, config)
@@ -82,6 +93,29 @@ def run_managed_simulation(
         raise ConfigurationError(
             f"overload_threshold must be in (0, 1], got {overload_threshold}"
         )
+    from repro.sim.fallback import FALLBACK_POLICIES, FallbackManager
+
+    policy = sim.config.fallback_policy
+    if policy not in FALLBACK_POLICIES:
+        raise ConfigurationError(
+            f"unknown fallback_policy {policy!r} "
+            f"(expected one of {FALLBACK_POLICIES})"
+        )
+    fallback: Optional[FallbackManager] = None
+    if (
+        policy == "reactive"
+        and hasattr(manager, "observe")
+        and not isinstance(manager, FallbackManager)
+    ):
+        manager = FallbackManager.from_config(
+            workload,
+            manager,
+            sim.config,
+            threshold=overload_threshold,
+            metrics=sim.metrics,
+        )
+    if isinstance(manager, FallbackManager):
+        fallback = manager
     observes = hasattr(manager, "observe")
     if observes:
         for t in range(warm):
@@ -103,5 +137,9 @@ def run_managed_simulation(
         report.total_cost += summary.total_cost
         if observes:
             manager.observe(t)  # type: ignore[attr-defined]
+        if fallback is not None and fallback.degraded:
+            report.fallback_rounds += 1
+    if fallback is not None:
+        report.fallback_transitions = fallback.transitions
     report.timings = sim.timing_breakdown()
     return report

@@ -1,0 +1,202 @@
+"""Worst-case fallback arbitration for predictive alerting.
+
+Sheriff's pre-alert pipeline is only as good as its forecasts; a
+systematically wrong model pool can drive migrations *worse* than the
+paper's reactive contingency baseline (Sec. I calls it "contingency
+management").  Following the prediction-with-bounded-damage idea of
+Credence (PAPERS.md), :class:`FallbackManager` arbitrates between a
+predictive alert source and the reactive floor:
+
+* every round, the predictive manager's forecasts are scored against the
+  realized host loads; when the trailing mean absolute error over
+  ``window`` rounds crosses ``error_bound``, alerting degrades to the
+  reactive manager — whose behaviour is precisely the paper-Sheriff
+  contingency scheme, independent of any forecast;
+* while degraded, the predictive manager keeps running in shadow mode
+  (observing, refitting, being scored); after ``recovery_rounds``
+  consecutive rounds back at or under the bound, predictive alerting
+  resumes.
+
+This yields the worst-case bound the adversarial campaign
+(:func:`repro.faults.run_adversarial_campaign`) demonstrates: a guarded
+run can trail the reactive baseline only for the rounds the trailing
+window needs to detect the breakdown, so its lost-VM/SLO metrics stay
+within a configured factor of reactive Sheriff no matter how wrong the
+model pool is.  With ``SheriffConfig.fallback_policy == "none"`` the
+manager is never constructed and managed runs are byte-identical to the
+historical engine.
+
+Transitions are visible: each mode switch emits a
+:class:`~repro.obs.events.FallbackTransition` trace event and increments
+``sheriff_fallback_transitions_total{mode=...}``; degraded rounds count
+in ``sheriff_fallback_rounds_total``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.alerts.alert import Alert
+from repro.errors import ConfigurationError
+from repro.obs.events import FallbackTransition
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.sim.reactive import DemandDrivenWorkload, ReactiveManager
+
+__all__ = ["FallbackManager", "FALLBACK_POLICIES"]
+
+FALLBACK_POLICIES = ("none", "reactive")
+"""Valid ``SheriffConfig.fallback_policy`` values."""
+
+
+class FallbackManager:
+    """Confidence-gated arbiter between predictive and reactive alerting.
+
+    Parameters
+    ----------
+    workload:
+        The demand model both managers read (realized loads score the
+        forecasts).
+    predictive:
+        Any observing alert source exposing ``alerts_at``/``observe`` and
+        (after ``alerts_at``) a ``last_predicted`` per-host array — e.g.
+        :class:`~repro.sim.reactive.PredictiveManager`.
+    reactive:
+        The contingency floor; ``None`` builds a
+        :class:`~repro.sim.reactive.ReactiveManager` at *threshold*.
+    error_bound, window, recovery_rounds:
+        The trigger/recovery hysteresis (see the module docstring).
+    """
+
+    def __init__(
+        self,
+        workload: DemandDrivenWorkload,
+        predictive,
+        reactive: Optional[ReactiveManager] = None,
+        *,
+        threshold: float = 0.9,
+        error_bound: float = 0.15,
+        window: int = 8,
+        recovery_rounds: int = 4,
+        tracer: Tracer = NULL_TRACER,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if error_bound <= 0.0:
+            raise ConfigurationError(
+                f"error_bound must be positive, got {error_bound}"
+            )
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        if recovery_rounds < 1:
+            raise ConfigurationError(
+                f"recovery_rounds must be >= 1, got {recovery_rounds}"
+            )
+        if not hasattr(predictive, "observe"):
+            raise ConfigurationError(
+                "fallback needs an observing (predictive) alert source"
+            )
+        self.workload = workload
+        self.predictive = predictive
+        self.reactive = (
+            reactive
+            if reactive is not None
+            else ReactiveManager(workload, threshold=threshold)
+        )
+        self.error_bound = error_bound
+        self.window = window
+        self.recovery_rounds = recovery_rounds
+        self.tracer = tracer
+        self.metrics = metrics
+        self.degraded = False
+        self.transitions = 0
+        self._errors: Deque[float] = deque(maxlen=window)
+        self._pending: Dict[int, np.ndarray] = {}
+        self._calm = 0
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_config(
+        cls,
+        workload: DemandDrivenWorkload,
+        predictive,
+        config,
+        *,
+        threshold: float = 0.9,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> "FallbackManager":
+        """Build from the ``SheriffConfig`` fallback knobs."""
+        if config.fallback_policy not in FALLBACK_POLICIES:
+            raise ConfigurationError(
+                f"unknown fallback_policy {config.fallback_policy!r} "
+                f"(expected one of {FALLBACK_POLICIES})"
+            )
+        return cls(
+            workload,
+            predictive,
+            threshold=threshold,
+            error_bound=config.fallback_error_bound,
+            window=config.fallback_window,
+            recovery_rounds=config.fallback_recovery_rounds,
+            tracer=config.tracer,
+            metrics=metrics if metrics is not None else config.metrics,
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def trailing_error(self) -> float:
+        """Windowed mean absolute forecast error (0 until first score)."""
+        if not self._errors:
+            return 0.0
+        return float(np.mean(self._errors))
+
+    def alerts_at(self, t: int) -> Tuple[List[Alert], dict]:
+        """The active mode's alerts; the shadow forecast is always taken.
+
+        The predictive manager runs every round — degraded or not — so
+        its forecasts keep being scored and recovery stays possible.
+        """
+        predictive_alerts = self.predictive.alerts_at(t)
+        predicted = getattr(self.predictive, "last_predicted", None)
+        if predicted is not None:
+            self._pending[t] = np.asarray(predicted, dtype=np.float64)
+        if self.degraded:
+            return self.reactive.alerts_at(t)
+        return predictive_alerts
+
+    def observe(self, t: int) -> None:
+        """Score round *t*'s forecast, advance hysteresis, maybe switch."""
+        self.predictive.observe(t)
+        pending = self._pending.pop(t, None)
+        if pending is not None:
+            load = self.workload.host_load(t)
+            if pending.shape == load.shape:
+                self._errors.append(float(np.mean(np.abs(pending - load))))
+        err = self.trailing_error
+        if not self.degraded:
+            if len(self._errors) == self.window and err > self.error_bound:
+                self._switch("reactive", err, t)
+                self._calm = 0
+        else:
+            if self.metrics is not None:
+                self.metrics.counter("sheriff_fallback_rounds_total").inc()
+            if err <= self.error_bound:
+                self._calm += 1
+                if self._calm >= self.recovery_rounds:
+                    self._switch("predictive", err, t)
+            else:
+                self._calm = 0
+
+    def _switch(self, mode: str, err: float, t: int) -> None:
+        self.degraded = mode == "reactive"
+        self.transitions += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                FallbackTransition(mode=mode, trailing_error=err, at_round=t)
+            )
+        if self.metrics is not None:
+            self.metrics.counter(
+                "sheriff_fallback_transitions_total", mode=mode
+            ).inc()

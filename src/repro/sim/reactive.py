@@ -215,6 +215,10 @@ class PredictiveManager:
         self._since_fit: Dict[int, int] = {}
         self._last_assignment: Optional[np.ndarray] = None
         self._pool = None
+        self.last_predicted: Optional[np.ndarray] = None
+        """Per-host forecast array from the latest :meth:`alerts_at` call
+        (the raw prediction, before the max-with-observed alert rule) —
+        the signal :class:`~repro.sim.fallback.FallbackManager` scores."""
 
     def observe(self, t: int) -> None:
         """Record round *t*'s realized host loads.
@@ -350,6 +354,7 @@ class PredictiveManager:
         util = self.workload.vm_utilization(t)
         current = self.workload.host_load(t)
         predicted = self._predict_all()
+        self.last_predicted = predicted
         alerts: List[Alert] = []
         vm_alerts: Dict[int, float] = {}
         for host in range(pl.num_hosts):

@@ -26,6 +26,7 @@ from repro.traces.zoplecloud import (
     weekly_traffic_trace,
 )
 from repro.traces.workload import WorkloadStream, generate_streams, overload_ramp
+from repro.traces.adversarial import adversarial_series, adversarial_streams
 
 __all__ = [
     "white_noise",
@@ -45,4 +46,6 @@ __all__ = [
     "WorkloadStream",
     "generate_streams",
     "overload_ramp",
+    "adversarial_series",
+    "adversarial_streams",
 ]

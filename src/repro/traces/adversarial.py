@@ -1,0 +1,118 @@
+"""Adversarial workload traces: every pool member systematically wrong.
+
+The robustness question behind the fallback governor
+(:mod:`repro.sim.fallback`) is not "how accurate are the forecasters" but
+"how much damage can they do when they are all wrong at once".  These
+traces are engineered to keep the entire default model pool wrong in the
+*damaging* direction on every regime change:
+
+* long calm plateaus end in abrupt overload cliffs — persistence models
+  (NaiveLast) and differenced AR models both extrapolate the plateau, so
+  the pre-alert fires exactly zero rounds early;
+* the cliff collapses just as abruptly — trend followers now extrapolate
+  the spike, manufacturing false alerts (wasteful migrations) during the
+  recovery;
+* plateau/cliff phases are jittered per VM so the fleet's mistakes do not
+  cancel in the host aggregate.
+
+Unlike :func:`~repro.traces.workload.overload_ramp` (whose early slope is
+deliberately visible to the forecaster), the adversarial cliff carries no
+warning in-band: any model selected by trailing MSE during the plateau is
+maximally confident and maximally wrong at the transition.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.cluster.resources import NUM_RESOURCES
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike, spawn
+from repro.traces.workload import WorkloadStream
+
+__all__ = ["adversarial_series", "adversarial_streams"]
+
+
+def adversarial_series(
+    length: int,
+    *,
+    period: int = 12,
+    spike_len: int = 3,
+    low: float = 0.30,
+    high: float = 0.97,
+    noise: float = 0.015,
+    phase: int = 0,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """One deceptive calm-then-cliff series in ``[0, 1]``.
+
+    ``period`` rounds per cycle, the last *spike_len* of which sit at
+    *high*; the rest idle at *low* plus a little noise so differenced
+    models keep estimating a near-zero trend.  *phase* rotates the cycle.
+    """
+    if length < 1:
+        raise ConfigurationError(f"length must be >= 1, got {length}")
+    if not (1 <= spike_len < period):
+        raise ConfigurationError(
+            f"need 1 <= spike_len < period, got {spike_len}/{period}"
+        )
+    if not (0.0 <= low < high <= 1.0):
+        raise ConfigurationError(
+            f"need 0 <= low < high <= 1, got ({low}, {high})"
+        )
+    rng = spawn(seed, 1)[0]
+    t = (np.arange(length) + phase) % period
+    series = np.where(t >= period - spike_len, high, low)
+    series = series + rng.normal(0.0, noise, size=length)
+    return np.clip(series, 0.0, 1.0)
+
+
+def adversarial_streams(
+    count: int,
+    length: int,
+    *,
+    period: int = 12,
+    spike_len: int = 3,
+    low: float = 0.30,
+    high: float = 0.97,
+    noise: float = 0.015,
+    phase_jitter: int = 2,
+    seed: SeedLike = None,
+) -> List[WorkloadStream]:
+    """*count* per-VM streams under the adversarial regime.
+
+    Every resource component of a VM follows the same cliff schedule (a
+    VM pegged on one resource stresses its host either way — see
+    :meth:`~repro.sim.reactive.DemandDrivenWorkload.vm_utilization`);
+    phases are jittered per VM within ``[0, phase_jitter]`` rounds from
+    the seed.  The jitter window is deliberately *small*: spreading
+    phases over the whole period would average the cliffs away at the
+    host level, while a slight smear keeps host aggregates jumping yet
+    stops every VM from being a bitwise clone.
+    """
+    if count < 0:
+        raise ConfigurationError(f"count must be non-negative, got {count}")
+    if not (0 <= phase_jitter < period):
+        raise ConfigurationError(
+            f"need 0 <= phase_jitter < period, got {phase_jitter}/{period}"
+        )
+    gens = spawn(seed, count + 1)
+    phase_rng = gens[0]
+    phases = phase_rng.integers(0, phase_jitter + 1, size=count) if count else []
+    streams: List[WorkloadStream] = []
+    for i in range(count):
+        col = adversarial_series(
+            length,
+            period=period,
+            spike_len=spike_len,
+            low=low,
+            high=high,
+            noise=noise,
+            phase=int(phases[i]),
+            seed=gens[i + 1],
+        )
+        profile = np.tile(col[:, None], (1, NUM_RESOURCES))
+        streams.append(WorkloadStream(profile=profile))
+    return streams

@@ -1,0 +1,94 @@
+"""Adversarial campaign tests: determinism, the bound, the traces."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import run_adversarial_campaign
+from repro.traces.adversarial import adversarial_series, adversarial_streams
+
+
+class TestAdversarialTraces:
+    def test_calm_then_cliff_structure(self):
+        y = adversarial_series(24, period=12, spike_len=3, seed=0, noise=0.0)
+        # rounds 0-8 calm, 9-11 cliff, repeating
+        assert (y[:9] < 0.5).all()
+        assert (y[9:12] > 0.9).all()
+        assert (y[12:21] < 0.5).all()
+        assert (y[21:24] > 0.9).all()
+
+    def test_deterministic_and_bounded(self):
+        a = adversarial_series(50, seed=9)
+        b = adversarial_series(50, seed=9)
+        np.testing.assert_array_equal(a, b)
+        assert (a >= 0.0).all() and (a <= 1.0).all()
+
+    def test_streams_shapes_and_phases(self):
+        streams = adversarial_streams(6, 30, seed=4)
+        assert len(streams) == 6
+        for s in streams:
+            assert s.profile.shape == (30, 4)
+            # all resource components follow the same schedule
+            np.testing.assert_array_equal(s.profile[:, 0], s.profile[:, 1])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            adversarial_series(0)
+        with pytest.raises(ConfigurationError):
+            adversarial_series(10, spike_len=12, period=12)
+        with pytest.raises(ConfigurationError):
+            adversarial_series(10, low=0.9, high=0.5)
+        with pytest.raises(ConfigurationError):
+            adversarial_streams(-1, 10)
+        with pytest.raises(ConfigurationError):
+            adversarial_streams(2, 10, phase_jitter=12, period=12)
+
+
+class TestCampaign:
+    def small(self, **kwargs):
+        kwargs.setdefault("rounds", 24)
+        kwargs.setdefault("warm", 12)
+        return run_adversarial_campaign(**kwargs)
+
+    def test_report_is_deterministic(self):
+        a = self.small()
+        b = self.small()
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_bound_holds_and_governor_trips(self):
+        report = self.small()
+        assert report["bound"]["holds"] is True
+        for key in ("overload_rounds", "vms_lost"):
+            entry = report["bound"][key]
+            assert entry["guarded"] <= entry["limit"]
+        # the whole point: the guarded arm actually degraded at least once
+        assert report["arms"]["guarded"]["fallback_transitions"] >= 1
+        assert report["arms"]["guarded"]["fallback_rounds"] >= 1
+        # the unguarded arms never touch the governor
+        for arm in ("reactive", "predictive"):
+            assert report["arms"][arm]["fallback_transitions"] == 0
+
+    def test_arms_share_the_fault_schedule(self):
+        report = self.small()
+        # every arm lost VMs to the same crash schedule (counts may
+        # differ — that is the metric — but all must be hit)
+        for arm in report["arms"].values():
+            assert arm["vms_lost"] >= 1
+
+    def test_report_is_json_ready(self):
+        report = self.small()
+        json.dumps(report)  # no numpy scalars anywhere
+        assert set(report) == {"campaign", "arms", "bound"}
+        assert set(report["arms"]) == {"reactive", "predictive", "guarded"}
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_adversarial_campaign(rounds=10, period=12)
+        with pytest.raises(ConfigurationError):
+            run_adversarial_campaign(warm=2)
+        with pytest.raises(ConfigurationError):
+            run_adversarial_campaign(factor=0.5)
+        with pytest.raises(ConfigurationError):
+            run_adversarial_campaign(slack=-1.0)

@@ -164,6 +164,40 @@ class TestAllEventKinds:
         )
         dead.request(0, 0, int(pl.host_rack[0]))
 
+        # the fallback governor shares the tracer too: a sustained forecast
+        # error trips it into reactive mode
+        from repro.sim.fallback import FallbackManager
+
+        class _FlatWorkload:
+            def host_load(self, t):
+                return np.full(4, 0.5)
+
+        class _Wrong:
+            def __init__(self, workload):
+                self.workload = workload
+                self.last_predicted = None
+
+            def alerts_at(self, t):
+                self.last_predicted = self.workload.host_load(t) + 0.5
+                return [], {}
+
+            def observe(self, t):
+                pass
+
+        class _Silent:
+            def alerts_at(self, t):
+                return [], {}
+
+        wl = _FlatWorkload()
+        governor = FallbackManager(
+            wl, _Wrong(wl), _Silent(),
+            error_bound=0.1, window=2, recovery_rounds=2, tracer=tracer,
+        )
+        for t in range(4):
+            governor.alerts_at(t)
+            governor.observe(t)
+        assert governor.degraded
+
         seen = set(tracer.kinds())
         missing = {cls.__name__ for cls in EVENT_TYPES} - seen
         assert not missing, f"never emitted: {sorted(missing)}"

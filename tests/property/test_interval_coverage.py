@@ -1,0 +1,155 @@
+"""Property tests: interval coverage and fallback hysteresis."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.forecast.arima import ARIMA
+from repro.forecast.naive import NaiveLast
+
+common = settings(
+    max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def _walk_forward_coverage(model_factory, y, train_len, alpha):
+    """Fraction of one-step bands that contain the realized value."""
+    model = model_factory().fit(y[:train_len])
+    hits = 0
+    steps = 0
+    for t in range(train_len, len(y)):
+        iv = model.predict_one_interval(alpha=alpha)
+        assert iv.lower <= iv.mean <= iv.upper
+        if iv.lower <= y[t] <= iv.upper:
+            hits += 1
+        steps += 1
+        model.append(float(y[t]))
+    return hits / steps
+
+
+@common
+@given(
+    st.floats(-0.6, 0.6),
+    st.integers(0, 10**6),
+    st.sampled_from([0.1, 0.2]),
+)
+def test_arima_coverage_tracks_nominal_on_ar1(phi, seed, alpha):
+    """Well-specified AR(1): empirical coverage near the 1 - alpha nominal.
+
+    The CSS variance estimate and normal quantiles are approximations, so
+    the assertion is a sanity corridor, not a calibration proof: coverage
+    must not collapse (bands too narrow to mean anything) and the band
+    must not be trivially infinite.
+    """
+    rng = np.random.default_rng(seed)
+    n, train = 260, 120
+    y = np.empty(n)
+    y[0] = 0.0
+    eps = rng.normal(0.0, 0.1, size=n)
+    for t in range(1, n):
+        y[t] = phi * y[t - 1] + eps[t]
+    coverage = _walk_forward_coverage(
+        lambda: ARIMA(1, 0, 0, maxiter=60), y, train, alpha
+    )
+    nominal = 1.0 - alpha
+    assert coverage >= nominal - 0.25
+    # a degenerate everything-covered band is only plausible at high
+    # nominal coverage; at 80% nominal the band must exclude *something*
+    if alpha >= 0.2:
+        assert coverage <= 1.0
+
+
+@common
+@given(st.integers(0, 10**6), st.sampled_from([0.1, 0.2, 0.4]))
+def test_naive_coverage_on_random_walk(seed, alpha):
+    """NaiveLast trailing-error quantiles calibrate on their own model."""
+    rng = np.random.default_rng(seed)
+    y = np.cumsum(rng.normal(0.0, 0.2, size=300))
+    coverage = _walk_forward_coverage(NaiveLast, y, 150, alpha)
+    assert coverage >= (1.0 - alpha) - 0.2
+
+
+@common
+@given(st.integers(0, 10**6))
+def test_tighter_alpha_never_narrows_naive_band(seed):
+    rng = np.random.default_rng(seed)
+    y = np.cumsum(rng.normal(0.0, 0.5, size=120))
+    m = NaiveLast().fit(y)
+    widths = [
+        m.predict_one_interval(alpha=a).width for a in (0.5, 0.2, 0.05)
+    ]
+    assert widths[0] <= widths[1] + 1e-12 <= widths[2] + 2e-12
+
+
+class _ScriptedPredictive:
+    """Alert source whose per-round forecast error is scripted."""
+
+    def __init__(self, workload, errors):
+        self.workload = workload
+        self.errors = errors
+        self.last_predicted = None
+
+    def alerts_at(self, t):
+        load = self.workload.host_load(t)
+        self.last_predicted = load + self.errors[t]
+        return [], {}
+
+    def observe(self, t):
+        pass
+
+
+class _FlatWorkload:
+    def __init__(self, hosts=4):
+        self._load = np.full(hosts, 0.5)
+
+    def host_load(self, t):
+        return self._load.copy()
+
+
+@common
+@given(
+    st.lists(st.floats(0.0, 0.5), min_size=24, max_size=24),
+    st.integers(2, 5),
+    st.integers(1, 4),
+)
+def test_fallback_hysteresis_invariants(errs, window, recovery):
+    """Trigger/recovery state machine invariants on arbitrary error runs.
+
+    Degradation requires a *full* window above the bound's mean; recovery
+    requires exactly `recovery` consecutive calm rounds; transitions
+    always alternate reactive → predictive → reactive...
+    """
+    from repro.sim.fallback import FallbackManager
+
+    class _SilentReactive:
+        def alerts_at(self, t):
+            return [], {}
+
+    bound = 0.15
+    wl = _FlatWorkload()
+    mgr = FallbackManager(
+        wl,
+        _ScriptedPredictive(wl, errs),
+        _SilentReactive(),
+        error_bound=bound,
+        window=window,
+        recovery_rounds=recovery,
+    )
+    modes = []
+    for t in range(len(errs)):
+        mgr.alerts_at(t)
+        was = mgr.degraded
+        mgr.observe(t)
+        modes.append(mgr.degraded)
+        if not was and mgr.degraded:
+            # can only trip on a full window with mean above the bound
+            assert len(mgr._errors) == window
+            assert mgr.trailing_error > bound
+        if was and not mgr.degraded:
+            assert mgr._calm >= recovery
+    # transitions counter equals the number of mode flips
+    flips = sum(
+        1 for a, b in zip([False] + modes, modes) if a != b
+    )
+    assert mgr.transitions == flips

@@ -150,17 +150,18 @@ class TestReport:
         # the acceptance bar for the observability subsystem: one traced
         # run exercising migrations, rejects and reroutes emits at least
         # one event of every documented type (the fault vocabulary is
-        # covered by the chaos campaign's trace — see TestChaosTrace)
+        # covered by the chaos campaign's trace — see TestChaosTrace;
+        # FallbackTransition by the adversarial campaign / governor tests)
         from repro.obs.events import EVENT_TYPES
 
         trace = tmp_path / "report.jsonl"
         assert main(["report", "--seed", "7", "--trace", str(trace)]) == 0
         kinds = {e["event"] for e in load_trace(trace)}
-        fault_kinds = {
+        other_layer_kinds = {
             "FaultInjected", "HostCrashed", "RequestTimedOut",
-            "MigrationAborted",
+            "MigrationAborted", "FallbackTransition",
         }
-        assert kinds == {cls.__name__ for cls in EVENT_TYPES} - fault_kinds
+        assert kinds == {cls.__name__ for cls in EVENT_TYPES} - other_layer_kinds
 
 
 class TestChaosTrace:

@@ -20,6 +20,10 @@ committed numbers.  The schema is dispatched per file:
   serial engine, the pod partition's shard efficiency held ``>= 0.7``,
   and the k=8 rung (BENCH_2's engine_round configuration) shows the
   persistent pool at ``>= 1.3x`` over the seed's serial loop.
+* **BENCH_8** (confidence gate): ``confidence_overhead.neutral_identical``
+  — enabling the gate with neutral fleet signals decided byte-identically
+  to the point-forecast path — and ``overhead_frac < 0.10`` — carrying
+  the gate costs within noise of an engine round.
 """
 
 from __future__ import annotations
@@ -112,7 +116,33 @@ def _check_bench_7(results: dict, failures: List[str]) -> str:
     return f"k8.pooled_speedup = {speedup:.3f}, shard efficiency {effs}"
 
 
+def _check_bench_8(results: dict, failures: List[str]) -> str:
+    over = results.get("confidence_overhead", {})
+    identical = over.get("neutral_identical")
+    if identical is not True:
+        failures.append(
+            "confidence_overhead.neutral_identical is not true — the "
+            "neutral-stance gate decided differently from the "
+            "point-forecast path"
+        )
+    frac = over.get("overhead_frac")
+    if not isinstance(frac, (int, float)):
+        failures.append("confidence_overhead.overhead_frac missing")
+    elif frac >= 0.10:
+        failures.append(
+            f"confidence_overhead.overhead_frac = {frac:.3f} >= 0.10 — "
+            "carrying the confidence gate costs more than noise"
+        )
+    if failures:
+        return ""
+    return (
+        f"neutral gate overhead = {100.0 * frac:.1f}% (identical decisions)"
+    )
+
+
 def _dispatch(results: dict):
+    if "confidence_overhead" in results:
+        return _check_bench_8
     if "scale_ladder" in results:
         return _check_bench_7
     if "tracer_overhead" in results:
