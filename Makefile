@@ -5,7 +5,7 @@
 # installed package shadows neither (src/ simply wins on the path).
 export PYTHONPATH := src:.$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install lint test bench bench-scale bench-trace bench-confidence bench-check bench-all report examples chaos adversarial trace-lint serve-smoke scale-smoke ci all
+.PHONY: install lint test bench bench-scale bench-trace bench-confidence bench-slo bench-check bench-all report examples chaos adversarial trace-lint serve-smoke scale-smoke ci all
 
 install:
 	pip install -e . --no-build-isolation
@@ -36,9 +36,13 @@ bench-trace:
 bench-confidence:
 	pytest benchmarks/test_perf_confidence.py --benchmark-only
 
+# SLO-accounting overhead at paper scale; writes BENCH_10.json.
+bench-slo:
+	pytest benchmarks/test_perf_slo.py --benchmark-only
+
 # Cheap regression gate on the committed benchmark numbers.
 bench-check:
-	python tools/check_bench.py BENCH_4.json BENCH_5.json BENCH_7.json BENCH_8.json
+	python tools/check_bench.py BENCH_4.json BENCH_5.json BENCH_7.json BENCH_8.json BENCH_10.json
 
 bench-all:
 	pytest benchmarks/ --benchmark-only

@@ -1,0 +1,141 @@
+"""SLO-accounting overhead at paper scale.
+
+Pinned-seed benchmark behind ``make bench-slo``: times BENCH_4's
+paper-scale engine configuration (8-pod Fat-Tree, 1 280 hosts) in three
+configurations —
+
+* **slo off** — the default engine; no SLO layer is even constructed;
+* **slo accounting** — ``SheriffConfig(slo=True)`` with network scoring.
+  The contract (asserted here, every run): the accountant is a pure
+  observer, so the rounds decide *byte-identically* to slo-off, and the
+  full violation-minutes ledger (downtime, stretch, overload, episodes)
+  costs under 10 % of a round;
+* **slo scoring** — ``SheriffConfig(scoring="slo")``: the cost matrix
+  gains the predicted-damage addend, so this path is allowed to decide
+  differently (that is its job); its cost is reported so the SLO-aware
+  assignment has a committed price tag.
+
+Results land in ``BENCH_10.json`` at the repo root; ``make bench-check``
+(see ``tools/check_bench.py``) gates CI on the committed numbers.  As in
+BENCH_4, each configuration runs once untimed before the timed pass.
+"""
+
+import json
+from pathlib import Path
+from time import perf_counter
+
+from benchmarks.conftest import run_once
+from benchmarks.test_perf_fleet import (
+    ENGINE_ROUNDS,
+    SEED,
+    _paper_cluster,
+    _summary_key,
+)
+from repro.analysis import format_table
+from repro.config import SheriffConfig
+from repro.sim import SheriffSimulation, inject_fraction_alerts
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_10.json"
+
+ALERT_FRACTION = 0.05
+
+
+def _decision_key(summary):
+    """Summary minus the SLO ledger fields (nonzero only with slo=True)."""
+    d = _summary_key(summary)
+    d.pop("slo_violation_minutes", None)
+    d.pop("slo_by_class", None)
+    return d
+
+
+def run_engine_rounds(*, slo, scoring):
+    """Engine rounds under one SLO configuration; timing + outcomes."""
+    cluster = _paper_cluster()
+    sim = SheriffSimulation(
+        cluster, SheriffConfig(workers=0, slo=slo, scoring=scoring)
+    )
+    summaries, alert_rounds = [], []
+    t0 = perf_counter()
+    for r in range(ENGINE_ROUNDS):
+        alerts, vm_alerts = inject_fraction_alerts(
+            cluster, ALERT_FRACTION, time=r, seed=SEED + r
+        )
+        alert_rounds.append(
+            (sorted((a.rack, a.host, round(a.magnitude, 12)) for a in alerts),
+             sorted(vm_alerts))
+        )
+        summaries.append(sim.run_round(alerts, vm_alerts))
+    elapsed = perf_counter() - t0
+    ledger = sim.slo.summary() if sim.slo is not None else None
+    sim.close()
+    return {
+        "slo": slo,
+        "scoring": scoring,
+        "rounds": ENGINE_ROUNDS,
+        "seconds": elapsed,
+        "rounds_per_sec": ENGINE_ROUNDS / elapsed,
+        "violation_minutes": (
+            ledger["total_minutes"] if ledger is not None else 0.0
+        ),
+        "by_class": dict(ledger["by_class"]) if ledger is not None else {},
+        "alert_rounds": alert_rounds,
+        "summaries": [_decision_key(s) for s in summaries],
+        "final_placement": cluster.placement.vm_host.tolist(),
+    }
+
+
+def run_suite():
+    # untimed warm-up of both code paths (see the module docstring)
+    run_engine_rounds(slo=False, scoring="network")
+    run_engine_rounds(slo=True, scoring="network")
+    off = run_engine_rounds(slo=False, scoring="network")
+    accounting = run_engine_rounds(slo=True, scoring="network")
+    scoring = run_engine_rounds(slo=False, scoring="slo")
+    # the observer contract: accounting decides byte-identically
+    identical = (
+        off["alert_rounds"] == accounting["alert_rounds"]
+        and off["summaries"] == accounting["summaries"]
+        and off["final_placement"] == accounting["final_placement"]
+    )
+    for row in (off, accounting, scoring):
+        row.pop("alert_rounds")
+        row.pop("summaries")
+        row.pop("final_placement")
+    overhead = accounting["seconds"] / off["seconds"] - 1.0
+    return {
+        "seed": SEED,
+        "scale": {
+            "fattree_pods": 8,
+            "hosts_per_rack": 40,
+            "alert_fraction": ALERT_FRACTION,
+        },
+        "slo_overhead": {
+            "slo_off": off,
+            "slo_accounting": accounting,
+            "slo_scoring": scoring,
+            "disabled_identical": identical,
+            "overhead_frac": overhead,
+            "scoring_overhead_frac": scoring["seconds"] / off["seconds"] - 1.0,
+        },
+    }
+
+
+def test_slo_accounting_overhead(benchmark, emit):
+    results = run_once(benchmark, run_suite)
+    RESULTS_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    over = results["slo_overhead"]
+    rows = [
+        {
+            "config": name,
+            "seconds": over[name]["seconds"],
+            "rounds_per_sec": over[name]["rounds_per_sec"],
+            "violation_minutes": over[name]["violation_minutes"],
+        }
+        for name in ("slo_off", "slo_accounting", "slo_scoring")
+    ]
+    emit(format_table("SLO-accounting overhead (BENCH_10.json)", rows))
+    # acceptance: accounting observes for free (identical decisions,
+    # ledger upkeep within noise of an engine round)
+    assert over["disabled_identical"] is True
+    assert over["overhead_frac"] < 0.10
+    assert over["slo_accounting"]["violation_minutes"] > 0.0

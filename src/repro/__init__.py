@@ -18,6 +18,9 @@ organized bottom-up:
   centralized-optimal and reactive managers;
 * :mod:`repro.obs` — structured tracing, the metrics registry and
   profiling hooks (see ``docs/observability.md``);
+* :mod:`repro.slo` — per-VM application-facing SLO model,
+  violation-minutes accounting and SLO-aware migration scoring (see
+  ``docs/slo.md``);
 * :mod:`repro.service` — the event-driven core: typed event bus,
   blackboard round controller and the always-on ``repro serve`` driver
   (see ``docs/service.md``).
@@ -85,6 +88,10 @@ _LAZY_EXPORTS = {
     "SERVICE_EVENT_TYPES": "repro.service.events",
     "ServeSettings": "repro.service.server",
     "SheriffService": "repro.service.server",
+    "SloModel": "repro.slo",
+    "SloAccountant": "repro.slo",
+    "SloScorer": "repro.slo",
+    "VmSlo": "repro.slo",
 }
 
 __all__ = ["errors", "ReproError", "__version__", *_LAZY_EXPORTS]
@@ -114,6 +121,7 @@ if TYPE_CHECKING:  # pragma: no cover - static names for type checkers
     from repro.service.server import ServeSettings, SheriffService
     from repro.sim.driver import run_managed_simulation
     from repro.sim.engine import RoundSummary, SheriffSimulation
+    from repro.slo import SloAccountant, SloModel, SloScorer, VmSlo
     from repro.topology import build_bcube, build_fattree
 
 

@@ -15,7 +15,10 @@
   ``lifecycle <vm>``, ``diff``, and the ``lint`` invariant checker;
 * ``serve``    — the always-on service: continuous alert ingest with
   bounded-queue backpressure, live ``/healthz`` + ``/metrics`` HTTP
-  endpoints and graceful drain on SIGTERM (see ``docs/service.md``).
+  endpoints and graceful drain on SIGTERM (see ``docs/service.md``);
+* ``slo``      — application-facing SLO accounting: ``slo report`` runs
+  a surge scenario with violation-minutes charging on and prints the
+  per-tenant-class / per-source ledger (see ``docs/slo.md``).
 
 Every simulation-running command (``balance``, ``sweep``, ``approx``,
 ``chaos``, ``serve``) additionally accepts ``--perfetto PATH``
@@ -157,6 +160,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="REQUEST/ACK channel loss probability in [0, 1)",
     )
     p.add_argument(
+        "--slo",
+        action="store_true",
+        help="charge SLO-violation-minutes during the campaign "
+        "(docs/slo.md); trace gains SloViolation events",
+    )
+    p.add_argument(
         "--output", type=str, default=None, help="write the JSON report to a file"
     )
 
@@ -296,6 +305,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     t.add_argument("path", help="trace file written with --trace PATH")
     t.add_argument("--json", action="store_true", help="emit JSON")
+
+    p = sub.add_parser(
+        "slo",
+        help="application-facing SLO accounting (docs/slo.md)",
+    )
+    ssub = p.add_subparsers(dest="slo_command", required=True)
+
+    s = ssub.add_parser(
+        "report",
+        help="run a surge scenario with SLO accounting on; print the "
+        "violation-minutes ledger per tenant class and source",
+        parents=[common, exporters],
+    )
+    s.add_argument("--size", type=int, default=4, help="fat-tree pods")
+    s.add_argument("--rounds", type=int, default=36)
+    s.add_argument("--warm", type=int, default=12)
+    s.add_argument("--seed", type=int, default=2015)
+    s.add_argument(
+        "--threshold",
+        type=float,
+        default=0.7,
+        help="overload threshold the reactive manager alerts at",
+    )
+    s.add_argument(
+        "--scoring",
+        choices=["network", "slo"],
+        default="network",
+        help="migration scoring: pure Eq. (1) network cost, or network "
+        "cost plus predicted SLO damage (docs/slo.md)",
+    )
+    s.add_argument(
+        "--budget",
+        type=float,
+        default=0.0,
+        help="per-tenant-class SLO error budget in violation-minutes "
+        "(0 disables budget tracking)",
+    )
 
     return parser
 
@@ -683,6 +729,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                 loss_probability=args.loss, max_retries=3, seed=args.seed
             ),
             config=SheriffConfig(
+                slo=args.slo,
                 tracer=tracer,
                 profiler=profiler,
                 metrics=metrics,
@@ -890,11 +937,34 @@ def cmd_trace(args: argparse.Namespace) -> int:
         )
         for kind, count in summary["totals"].items():
             print(f"  {kind:<22} {count}")
-        print(
-            f"alert->landed latency (rounds): "
-            f"p50={lat['p50']:g} p95={lat['p95']:g} p99={lat['p99']:g} "
-            f"max={lat['max']:g} over {lat['count']} landings"
-        )
+        if summary["no_landings"]:
+            print("alert->landed latency (rounds): no landings")
+        else:
+            print(
+                f"alert->landed latency (rounds): "
+                f"p50={lat['p50']:g} p95={lat['p95']:g} p99={lat['p99']:g} "
+                f"max={lat['max']:g} over {lat['count']} landings"
+            )
+        slo = summary.get("slo")
+        if slo:
+            print(
+                f"slo violation-minutes: {slo['violation_minutes']:.4f} total"
+            )
+            for tenant, minutes in slo["by_tenant"].items():
+                print(f"  tenant {tenant:<8} {minutes:.4f}")
+            for source, minutes in slo["by_source"].items():
+                print(f"  source {source:<8} {minutes:.4f}")
+            ep = slo["episodes"]
+            print(
+                f"  episodes: {ep['count']} "
+                f"(p50={ep['p50_rounds']:g} p99={ep['p99_rounds']:g} "
+                f"max={ep['max_rounds']:g} rounds)"
+            )
+            if slo["budget_exhausted"]:
+                print(
+                    "  budget exhausted: "
+                    + ", ".join(slo["budget_exhausted"])
+                )
         return 0
 
     if args.trace_command == "lifecycle":
@@ -968,6 +1038,110 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 1 if violations else 0
 
 
+def cmd_slo(args: argparse.Namespace) -> int:
+    from repro.cluster import build_cluster
+    from repro.config import SheriffConfig
+    from repro.sim import (
+        ReactiveManager,
+        SheriffSimulation,
+        host_surges,
+        run_managed_simulation,
+    )
+    from repro.errors import ConfigurationError
+    from repro.topology import build_fattree
+
+    assert args.slo_command == "report"
+    cluster = build_cluster(
+        build_fattree(args.size),
+        hosts_per_rack=4,
+        fill_fraction=0.5,
+        skew=1.1,
+        seed=args.seed,
+        delay_sensitive_fraction=0.1,
+    )
+    try:
+        workload, _surges = host_surges(
+            cluster,
+            args.rounds,
+            fraction=0.25,
+            earliest=args.warm,
+            latest=max(args.warm + 1, args.rounds - 6),
+            ramp_len=6,
+            peak=0.97,
+            seed=args.seed,
+        )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2) from None
+    manager = ReactiveManager(workload, threshold=args.threshold)
+    with _tracer_for(args) as tracer, _exporters_for(args) as (
+        profiler,
+        metrics,
+        stream,
+    ):
+        sim = SheriffSimulation(
+            cluster,
+            SheriffConfig(
+                balance_weight=25.0,
+                slo=True,
+                scoring=args.scoring,
+                slo_overload_threshold=args.threshold,
+                slo_budget_minutes=args.budget,
+                tracer=tracer,
+                profiler=profiler,
+                metrics=metrics,
+                metrics_stream=stream,
+            ),
+        )
+        run = run_managed_simulation(
+            sim,
+            workload,
+            manager,
+            warm=args.warm,
+            horizon=args.rounds,
+            overload_threshold=args.threshold,
+        )
+    ledger = sim.slo.summary()
+    lines = [
+        f"SLO report on fattree-{args.size} (seed {args.seed}, "
+        f"{args.rounds} rounds, scoring {args.scoring})",
+        f"  migrations {run.migrations}, overload rounds "
+        f"{run.overload_rounds}, network cost {run.total_cost:.1f}",
+        f"violation-minutes: {ledger['total_minutes']:.4f} total",
+    ]
+    for tenant, minutes in sorted(ledger["by_class"].items()):
+        lines.append(f"  tenant {tenant:<8} {minutes:.4f}")
+    for source, minutes in sorted(ledger["by_source"].items()):
+        lines.append(f"  source {source:<8} {minutes:.4f}")
+    ep = ledger["episodes"]
+    lines.append(
+        f"episodes: {ep['count']} (p50={ep['p50_rounds']:g} "
+        f"p99={ep['p99_rounds']:g} max={ep['max_rounds']:g} rounds)"
+    )
+    if ledger["budget_minutes"] > 0:
+        exhausted = ledger["budget_exhausted"]
+        lines.append(
+            f"budget {ledger['budget_minutes']:g} min/class; exhausted: "
+            + (", ".join(exhausted) if exhausted else "none")
+        )
+    payload = {
+        "command": "slo-report",
+        "size": args.size,
+        "rounds": args.rounds,
+        "warm": args.warm,
+        "seed": args.seed,
+        "threshold": args.threshold,
+        "scoring": args.scoring,
+        "migrations": run.migrations,
+        "overload_rounds": run.overload_rounds,
+        "total_cost": run.total_cost,
+        "slo": ledger,
+        "timings": run.timings,
+    }
+    _emit(args, "\n".join(lines), payload)
+    return 0
+
+
 _COMMANDS = {
     "balance": cmd_balance,
     "sweep": cmd_sweep,
@@ -979,6 +1153,7 @@ _COMMANDS = {
     "serve": cmd_serve,
     "report": cmd_report,
     "trace": cmd_trace,
+    "slo": cmd_slo,
 }
 
 

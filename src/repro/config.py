@@ -146,6 +146,35 @@ class SheriffConfig:
     channel_policy:
         Lossy REQUEST/ACK channel model (loss probability, timeout,
         bounded retry); ``None`` keeps the reliable in-process channel.
+    slo:
+        Enable the application-facing SLO layer (see docs/slo.md): a
+        per-VM SLO model is derived from the workload profile and the
+        dependency graph, and an accountant charges
+        SLO-violation-minutes from host overload, migration downtime and
+        dependency-path stretch into the ``sheriff_slo_*`` metric family
+        plus :class:`~repro.obs.events.SloViolation` trace events.
+        ``False`` (default) keeps every simulation byte-identical to an
+        SLO-free build — the layer is never even imported.
+    scoring:
+        Migration scoring mode.  ``"network"`` (default) is the paper's
+        pure Eq. (1) cost (plus load steering).  ``"slo"`` adds predicted
+        SLO damage — stop-and-copy downtime × the VM's request rate,
+        amplified by destination load — on top, so the matching trades
+        network bytes against application pain.  ``stats.total_cost``
+        still reports the true Eq. (1) cost either way.
+    slo_overload_threshold:
+        Host utilisation above which resident VMs accrue overload
+        violation-minutes (only read when ``slo`` is on).
+    slo_round_minutes:
+        Wall-clock minutes one management round represents in the SLO
+        ledger.
+    slo_budget_minutes:
+        Per-tenant-class SLO error budget in violation-minutes; the first
+        crossing emits :class:`~repro.obs.events.SloBudgetExhausted`.
+        ``0`` (default) disables budget tracking.
+    slo_damage_weight:
+        Strength of the predicted-SLO-damage addend under
+        ``scoring="slo"``.
     event_bus:
         Pre-built :class:`~repro.service.bus.EventBus` the simulation's
         round scheduler publishes on — pass one to subscribe to the
@@ -173,6 +202,12 @@ class SheriffConfig:
     fallback_error_bound: float = 0.15
     fallback_window: int = 8
     fallback_recovery_rounds: int = 4
+    slo: bool = False
+    scoring: str = "network"
+    slo_overload_threshold: float = 0.9
+    slo_round_minutes: float = 1.0
+    slo_budget_minutes: float = 0.0
+    slo_damage_weight: float = 1.0
     tracer: Tracer = field(default=NULL_TRACER)
     metrics: Optional["MetricsRegistry"] = None
     profile: bool = True
@@ -282,6 +317,12 @@ _SCALAR_FIELDS = frozenset(
         "fallback_error_bound",
         "fallback_window",
         "fallback_recovery_rounds",
+        "slo",
+        "scoring",
+        "slo_overload_threshold",
+        "slo_round_minutes",
+        "slo_budget_minutes",
+        "slo_damage_weight",
         "profile",
     }
 )

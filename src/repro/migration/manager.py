@@ -56,6 +56,9 @@ class RoundReport:
     rerouted_flows: int = 0
     reroute_failures: int = 0
     alerts_processed: int = 0
+    predicted_slo_damage: float = 0.0
+    """Summed predicted SLO damage (violation-minutes) of the migration
+    set under ``scoring="slo"``; 0 under pure network scoring."""
 
 
 @dataclass
@@ -110,6 +113,7 @@ class ShimManager:
         tracer: Tracer = NULL_TRACER,
         metrics: Optional[MetricsRegistry] = None,
         profiler=NULL_PROFILER,
+        slo_scorer=None,
     ) -> None:
         if not (0.0 < alpha <= 1.0) or not (0.0 < beta <= 1.0):
             raise ConfigurationError(
@@ -125,6 +129,7 @@ class ShimManager:
         self.tracer = tracer
         self.metrics = metrics
         self.profiler = profiler
+        self.slo_scorer = slo_scorer
         self.shim = ShimView(cluster, rack)
 
     # ------------------------------------------------------------------ #
@@ -251,6 +256,7 @@ class ShimManager:
         migrate_set = [v for v in dict.fromkeys(migrate_set) if v not in frozen]
         report.selected_for_migration = migrate_set
         if migrate_set:
+            report.predicted_slo_damage = self._predicted_damage(migrate_set)
             dest_hosts = self.shim.candidate_hosts()
             report.migration = vmmigration(
                 self.cluster,
@@ -264,8 +270,17 @@ class ShimManager:
                 metrics=self.metrics,
                 profiler=self.profiler,
                 rack=self.rack,
+                slo_scorer=self.slo_scorer,
             )
         return report
+
+    def _predicted_damage(self, migrate_set: Sequence[int]) -> float:
+        """Summed SLO damage the scorer predicts for the migration set."""
+        if self.slo_scorer is None or not migrate_set:
+            return 0.0
+        pl = self.cluster.placement
+        caps = [int(pl.vm_capacity[v]) for v in migrate_set]
+        return float(self.slo_scorer.damage(migrate_set, caps).sum())
 
     # ------------------------------------------------------------------ #
     # plan/execute split (parallel round path)
@@ -386,6 +401,7 @@ class ShimManager:
                 balance_weight=self.balance_weight,
                 host_load=host_load,
                 snapshot=snapshot,
+                slo_scorer=self.slo_scorer,
             )
         return plan
 
@@ -442,6 +458,8 @@ class ShimManager:
                 )
 
         report.selected_for_migration = plan.migrate_set
+        if plan.migrate_set:
+            report.predicted_slo_damage = self._predicted_damage(plan.migrate_set)
         if plan.block is not None:
             report.migration = run_planned_migration(
                 self.cluster,

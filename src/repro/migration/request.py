@@ -118,6 +118,16 @@ class ReceiverRegistry:
         """Number of un-committed reservations."""
         return len(self._reservations)
 
+    @property
+    def reserved_moves(self) -> List[Tuple[int, int]]:
+        """Un-committed ``(vm, dst_host)`` pairs, in reservation order.
+
+        A read-only snapshot for pre-commit bookkeeping (e.g. the SLO
+        accountant records each VM's source host before the placement
+        mutates under :meth:`commit_round`).
+        """
+        return [(res.vm, res.host) for res in self._reservations]
+
     def holds_reservation(self, vm: int) -> bool:
         """Whether *vm* currently holds an un-committed reservation."""
         return vm in self._reserved_vms

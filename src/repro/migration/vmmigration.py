@@ -79,6 +79,7 @@ def vmmigration(
     metrics: Optional[MetricsRegistry] = None,
     profiler=NULL_PROFILER,
     rack: Optional[int] = None,
+    slo_scorer=None,
 ) -> MigrationStats:
     """Run Alg. 3 for one delegation's candidate set.
 
@@ -114,6 +115,13 @@ def vmmigration(
         All default to disabled no-ops.
     rack:
         The calling shim's rack id, used only to label metrics/events.
+    slo_scorer:
+        Optional :class:`~repro.slo.scoring.SloScorer`
+        (``SheriffConfig(scoring="slo")``): the matching minimizes
+        ``Cost + steering + predicted SLO damage`` so the assignment
+        trades network bytes against application pain.  ``None``
+        (default) keeps the pure Eq. (1) + steering matrix bit-for-bit.
+        ``stats.total_cost`` always reports the true Eq. (1) cost.
 
     Notes
     -----
@@ -159,12 +167,24 @@ def vmmigration(
         steer = balance_weight * load_frac
         cost = np.full((len(remaining), hosts.size), np.inf)
         true_cost = np.full((len(remaining), hosts.size), np.inf)
+        if slo_scorer is not None:
+            caps = [int(pl.vm_capacity[v]) for v in remaining]
+            addend = slo_scorer.addend(
+                slo_scorer.damage(remaining, caps), load_frac
+            )
         for r, vm in enumerate(remaining):
             per_rack = cost_model.migration_cost_vector(vm)
             need = int(pl.vm_capacity[vm])
             feasible = free >= need
             true_cost[r, feasible] = per_rack[host_racks[feasible]]
-            cost[r, feasible] = true_cost[r, feasible] + steer[feasible]
+            if slo_scorer is None:
+                cost[r, feasible] = true_cost[r, feasible] + steer[feasible]
+            else:
+                # same operand order as the planned path's block build:
+                # (true_cost + steer) + addend
+                cost[r, feasible] = (
+                    true_cost[r, feasible] + steer[feasible]
+                ) + addend[r, feasible]
         if stats.iterations == 1:
             # retries re-examine subsets of the same pairs; the search
             # space metric (Fig. 12/14) counts distinct (VM, host) pairs

@@ -107,6 +107,11 @@ def summarize_trace(events: List[Dict[str, Any]]) -> Dict[str, Any]:
     totals: Dict[str, int] = {}
     latencies: List[float] = []
     attempts = set()
+    slo_by_tenant: Dict[str, float] = {}
+    slo_by_source: Dict[str, float] = {}
+    # (vm, round) pairs → consecutive-round violation episodes per VM
+    slo_vm_rounds: Dict[int, set] = {}
+    slo_budget_exhausted: List[str] = []
     for ev in events:
         kind = ev.get("event", "?")
         rnd = ev.get("round")
@@ -114,6 +119,17 @@ def summarize_trace(events: List[Dict[str, Any]]) -> Dict[str, Any]:
         if isinstance(rnd, int):
             per_round.setdefault(rnd, {})
             per_round[rnd][kind] = per_round[rnd].get(kind, 0) + 1
+        if kind == "SloViolation":
+            tenant = str(ev.get("tenant", "?"))
+            source = str(ev.get("source", "?"))
+            minutes = float(ev.get("minutes", 0.0))
+            slo_by_tenant[tenant] = slo_by_tenant.get(tenant, 0.0) + minutes
+            slo_by_source[source] = slo_by_source.get(source, 0.0) + minutes
+            vm = ev.get("vm")
+            if isinstance(vm, int) and isinstance(rnd, int):
+                slo_vm_rounds.setdefault(vm, set()).add(rnd)
+        elif kind == "SloBudgetExhausted":
+            slo_budget_exhausted.append(str(ev.get("tenant", "?")))
         tid = ev.get("trace_id")
         if isinstance(tid, str):
             m = _ATTEMPT_ID.match(tid)
@@ -122,7 +138,8 @@ def summarize_trace(events: List[Dict[str, Any]]) -> Dict[str, Any]:
                 if kind == "MigrationLanded" and isinstance(rnd, int):
                     latencies.append(float(rnd - int(m.group(1))))
     latencies.sort()
-    return {
+    episode_lengths = sorted(_episode_lengths(slo_vm_rounds))
+    summary: Dict[str, Any] = {
         "events": len(events),
         "rounds": len(per_round),
         "attempts": len(attempts),
@@ -131,6 +148,7 @@ def summarize_trace(events: List[Dict[str, Any]]) -> Dict[str, Any]:
             str(r): dict(sorted(kinds.items()))
             for r, kinds in sorted(per_round.items())
         },
+        "no_landings": totals.get("MigrationLanded", 0) == 0,
         "alert_to_landed_rounds": {
             "count": len(latencies),
             "p50": _quantile(latencies, 0.5),
@@ -139,6 +157,36 @@ def summarize_trace(events: List[Dict[str, Any]]) -> Dict[str, Any]:
             "max": latencies[-1] if latencies else 0.0,
         },
     }
+    if slo_by_tenant or slo_budget_exhausted:
+        summary["slo"] = {
+            "violation_minutes": sum(slo_by_tenant.values()),
+            "by_tenant": dict(sorted(slo_by_tenant.items())),
+            "by_source": dict(sorted(slo_by_source.items())),
+            "episodes": {
+                "count": len(episode_lengths),
+                "p50_rounds": _quantile(episode_lengths, 0.5),
+                "p99_rounds": _quantile(episode_lengths, 0.99),
+                "max_rounds": episode_lengths[-1] if episode_lengths else 0.0,
+            },
+            "budget_exhausted": sorted(set(slo_budget_exhausted)),
+        }
+    return summary
+
+
+def _episode_lengths(vm_rounds: Dict[int, set]) -> List[float]:
+    """Lengths of each VM's runs of consecutive violating rounds."""
+    lengths: List[float] = []
+    for rounds in vm_rounds.values():
+        ordered = sorted(rounds)
+        run = 1
+        for prev, cur in zip(ordered, ordered[1:]):
+            if cur == prev + 1:
+                run += 1
+            else:
+                lengths.append(float(run))
+                run = 1
+        lengths.append(float(run))
+    return lengths
 
 
 # --------------------------------------------------------------------- #

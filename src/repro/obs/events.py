@@ -34,6 +34,8 @@ __all__ = [
     "HostCrashed",
     "RequestTimedOut",
     "MigrationAborted",
+    "SloViolation",
+    "SloBudgetExhausted",
     "EVENT_TYPES",
 ]
 
@@ -235,6 +237,33 @@ class MigrationAborted(TraceEvent):
     reason: str = ""
 
 
+@dataclass
+class SloViolation(TraceEvent):
+    """One VM accrued SLO-violation-minutes from one source this round.
+
+    ``source`` names the charge origin: ``"overload"`` (the VM sat out a
+    round on a host above the SLO overload threshold), ``"downtime"``
+    (the stop-and-copy window of its live migration, weighted by the
+    VM's request rate) or ``"stretch"`` (a placement change lengthened
+    its dependency paths).
+    """
+
+    vm: int = -1
+    tenant: str = ""
+    source: str = ""
+    minutes: float = 0.0
+    host: Optional[int] = None
+
+
+@dataclass
+class SloBudgetExhausted(TraceEvent):
+    """A tenant class spent its whole SLO error budget (emitted once)."""
+
+    tenant: str = ""
+    budget_minutes: float = 0.0
+    total_minutes: float = 0.0
+
+
 EVENT_TYPES: List[type] = [
     AlertDelivered,
     PrioritySelected,
@@ -251,4 +280,6 @@ EVENT_TYPES: List[type] = [
     HostCrashed,
     RequestTimedOut,
     MigrationAborted,
+    SloViolation,
+    SloBudgetExhausted,
 ]

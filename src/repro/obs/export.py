@@ -38,14 +38,64 @@ def _prom_name(name: str) -> str:
     return _PROM_PREFIX + name
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format: ``\\``, ``"``, newline."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _prom_labels(labels: Dict[str, str], extra: Optional[Dict[str, str]] = None) -> str:
     merged = dict(labels)
     if extra:
         merged.update(extra)
     if not merged:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in sorted(merged.items()))
+    inner = ",".join(
+        f'{k}="{_escape_label_value(v)}"' for k, v in sorted(merged.items())
+    )
     return "{" + inner + "}"
+
+
+_HELP: Dict[str, str] = {
+    "sheriff_rounds_total": "Management rounds executed.",
+    "sheriff_alerts_total": "ALERT messages delivered to shims.",
+    "sheriff_shim_alerts_total": "Alerts processed per shim.",
+    "sheriff_requests_sent_total": "Migration REQUESTs sent (Alg. 3).",
+    "sheriff_requests_acked_total": "Migration REQUESTs ACKed (Alg. 4).",
+    "sheriff_requests_rejected_total": "Migration REQUESTs rejected.",
+    "sheriff_migration_cost_total": "Summed Eq. (1) cost of accepted moves.",
+    "sheriff_search_space_total": "Candidate (VM, host) pairs examined.",
+    "sheriff_unplaced_total": "Candidates no shim could place.",
+    "sheriff_migrations_committed_total": "Reservations committed.",
+    "sheriff_migrations_landed_total": "VMs running at their destination.",
+    "sheriff_flows_rerouted_total": "Flows rerouted around hot switches.",
+    "sheriff_reroute_failures_total": "Flow reroutes that found no path.",
+    "sheriff_matching_size": "Rows entering each matching solve.",
+    "sheriff_move_cost": "Eq. (1) cost per accepted move.",
+    "sheriff_workload_std": "Post-round workload standard deviation.",
+    "sheriff_rollbacks_total": "Reservations/migrations rolled back.",
+    "sheriff_channel_retries_total": "REQUEST retransmissions (lossy channel).",
+    "sheriff_degraded_rounds_total": "Rounds completed in degraded mode.",
+    "sheriff_fallback_transitions_total": "Worst-case fallback mode switches.",
+    "sheriff_cross_shard_requests_total": "REQUESTs crossing planner shards.",
+    "sheriff_slo_violation_minutes_total": (
+        "SLO-violation-minutes charged, by tenant class and source."
+    ),
+    "sheriff_slo_request_latency": (
+        "Synthetic request latency implied by SLO charges (ms)."
+    ),
+    "sheriff_slo_budget_exhausted_total": (
+        "Tenant classes that spent their whole SLO error budget."
+    ),
+}
+
+
+def _prom_help(pname: str) -> str:
+    return _HELP.get(pname, f"Sheriff metric {pname}.")
 
 
 def _fmt(value: float) -> str:
@@ -61,9 +111,12 @@ def _fmt(value: float) -> str:
 def prometheus_text(registry: MetricsRegistry) -> str:
     """The registry in Prometheus text exposition format.
 
-    Instruments are grouped per family with one ``# TYPE`` line each;
-    families appear in registration order (deterministic for identical
-    runs), label sets in registration order within a family.
+    Instruments are grouped per family with exactly one ``# HELP`` and
+    one ``# TYPE`` line each — even when labeled series of different
+    families interleave in registration order; families appear in
+    registration order (deterministic for identical runs), label sets in
+    registration order within a family.  Label values are escaped per
+    the exposition format (backslash, double quote, newline).
     """
     families: Dict[str, List[object]] = {}
     order: List[str] = []
@@ -79,6 +132,7 @@ def prometheus_text(registry: MetricsRegistry) -> str:
         members = families[name]
         first = members[0]
         pname = _prom_name(name)
+        lines.append(f"# HELP {pname} {_prom_help(pname)}")
         if isinstance(first, Counter):
             lines.append(f"# TYPE {pname} counter")
             for m in members:

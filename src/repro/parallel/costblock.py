@@ -139,6 +139,7 @@ def build_cost_block(
     balance_weight: float = 50.0,
     host_load: Optional[np.ndarray] = None,
     snapshot=None,
+    slo_scorer=None,
 ) -> RackCostBlock:
     """Build one rack's matching inputs (pure; safe in worker threads).
 
@@ -176,7 +177,15 @@ def build_cost_block(
     block.true_cost = np.where(feasible, gathered, np.inf)
     # same floats as np.where(feasible, gathered + steer, inf):
     # feasible entries add identically, infeasible stay inf (inf + s = inf)
-    block.cost = block.true_cost + steer[None, :]
+    if slo_scorer is None:
+        block.cost = block.true_cost + steer[None, :]
+    else:
+        # scoring="slo": same operand order as the serial loop —
+        # (true_cost + steer) + addend, elementwise
+        addend = slo_scorer.addend(
+            slo_scorer.damage(vms, need.tolist()), load_frac
+        )
+        block.cost = (block.true_cost + steer[None, :]) + addend
 
     rows, sub = _trim_rows(block.cost, int(hosts.size))
     block.first_rows = rows

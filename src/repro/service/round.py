@@ -182,12 +182,18 @@ class LandingSource(KnowledgeSource):
             # the timed registry stamps reservations with the round index
             sim.receivers.set_round(board.now)
             tracer = sim.tracer
+            # the landing mutates the placement, so the SLO accountant
+            # reads each record's source host and timeline first
+            due = sim.inflight.records_due(board.now) if sim.slo is not None else []
             for vm, host in sim.inflight.complete_due(board.now):
                 # landing starts the post-migration cooldown
                 sim._last_move[vm] = board.now
                 sim.metrics.counter("sheriff_migrations_landed_total").inc()
                 if tracer.enabled:
                     tracer.emit(MigrationLanded(vm=vm, dst_host=host))
+            for rec in due:
+                sim.slo.charge_downtime(rec.vm, rec.dst_host, timeline=rec.timeline)
+                sim.slo.charge_stretch(rec.vm, rec.src_host, rec.dst_host)
         board.landings_done = True
 
 
@@ -371,6 +377,15 @@ class CommitSource(KnowledgeSource):
         sim = board.sim
         m = sim.metrics
         tracer = sim.tracer
+        # instant engines mutate the placement in commit_round, so the SLO
+        # accountant snapshots source hosts while the reservations are
+        # still pending (timed engines charge at landing instead)
+        pre_hosts: Dict[int, int] = {}
+        if sim.slo is not None and sim.inflight is None:
+            pl = sim.cluster.placement
+            pre_hosts = {
+                vm: int(pl.vm_host[vm]) for vm, _ in sim.receivers.reserved_moves
+            }
         with sim.profiler.section("commit"):
             if sim.faults is not None:
                 # degraded-mode commit: a reservation whose move fails
@@ -397,6 +412,10 @@ class CommitSource(KnowledgeSource):
                 m.counter("sheriff_migrations_landed_total").inc()
                 if tracer.enabled:
                     tracer.emit(MigrationLanded(vm=vm, dst_host=host))
+            if sim.slo is not None:
+                for vm, host in moved:
+                    sim.slo.charge_downtime(vm, host)
+                    sim.slo.charge_stretch(vm, pre_hosts[vm], host)
         board.committed = True
 
 
@@ -413,6 +432,10 @@ class CloseSource(KnowledgeSource):
     def run(self, board: RoundBlackboard, bus: EventBus) -> None:
         sim = board.sim
         m = sim.metrics
+        if sim.slo is not None:
+            # overload charges against the load the round ran with, plus
+            # violation-episode bookkeeping
+            sim.slo.charge_round(board.now, board.host_load)
         board.std_after = sim.cluster.workload_std()
         m.gauge("sheriff_workload_std").set(board.std_after)
         board.degraded = bool(board.skipped_racks) or bool(board.commit_failed) or (

@@ -43,7 +43,7 @@ from repro.alerts.alert import Alert
 from repro.cluster.cluster import Cluster
 from repro.config import SheriffConfig, resolve_config
 from repro.costs.model import CostModel
-from repro.errors import SimulationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.migration.manager import RoundReport, ShimManager
 from repro.migration.request import ReceiverRegistry
 from repro.migration.reroute import FlowTable
@@ -91,6 +91,10 @@ class RoundSummary:
     """Persistent planner-pool reuse stats (cumulative: ``attached``
     workers, state ``ships``, move-log ``repairs``, cost-model
     ``reships``); empty when planning runs inline or on the thread pool."""
+    slo_violation_minutes: float = 0.0
+    """SLO-violation-minutes charged this round (0 without the SLO layer)."""
+    slo_by_class: Dict[str, float] = field(default_factory=dict)
+    """This round's violation-minutes per tenant class (empty when off)."""
 
 
 class SheriffSimulation:
@@ -143,6 +147,40 @@ class SheriffSimulation:
         if cfg.with_flows:
             self.flow_table = FlowTable(cluster.topology)
             self._populate_flows(cfg.flow_rate)
+        # SLO layer — like the fault layer, only constructed when asked,
+        # so default simulations never import repro.slo and stay
+        # byte-identical to an SLO-free build
+        if cfg.scoring not in ("network", "slo"):
+            raise ConfigurationError(
+                f'scoring must be "network" or "slo", got {cfg.scoring!r}'
+            )
+        self.slo = None
+        self.slo_scorer = None
+        if cfg.slo or cfg.scoring == "slo":
+            from repro.slo import SloAccountant, SloModel, SloScorer
+
+            slo_model = SloModel.from_cluster(cluster)
+            timing = (
+                cfg.migration_timing
+                if cfg.migration_timing is not None
+                else MigrationTiming()
+            )
+            if cfg.slo:
+                self.slo = SloAccountant(
+                    slo_model,
+                    cluster,
+                    rack_distances=self.cost_model.rack_distances,
+                    timing=timing,
+                    metrics=self.metrics,
+                    tracer=self.tracer,
+                    round_minutes=cfg.slo_round_minutes,
+                    overload_threshold=cfg.slo_overload_threshold,
+                    budget_minutes=cfg.slo_budget_minutes,
+                )
+            if cfg.scoring == "slo":
+                self.slo_scorer = SloScorer(
+                    slo_model, timing, weight=cfg.slo_damage_weight
+                )
         self.managers: Dict[int, ShimManager] = {
             r: ShimManager(
                 cluster,
@@ -155,6 +193,7 @@ class SheriffSimulation:
                 tracer=self.tracer,
                 metrics=self.metrics,
                 profiler=self.profiler,
+                slo_scorer=self.slo_scorer,
             )
             for r in range(cluster.num_racks)
         }
@@ -314,6 +353,12 @@ class SheriffSimulation:
             rollbacks=int(scope.total("sheriff_rollbacks_total")),
             degraded=board.degraded,
             pool=dict(self._planner.stats) if self._planner is not None else {},
+            slo_violation_minutes=scope.total(
+                "sheriff_slo_violation_minutes_total"
+            ),
+            slo_by_class=scope.by_label(
+                "sheriff_slo_violation_minutes_total", "tenant"
+            ),
         )
         self.history.append(summary)
         if self.config.metrics_stream is not None:

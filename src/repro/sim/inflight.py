@@ -126,6 +126,19 @@ class InFlightTracker:
             del self._holds[rec.dst_host]
         return rec
 
+    def records_due(self, now: int) -> List[_InFlight]:
+        """Read-only records of migrations that will land at *now*.
+
+        Same order as :meth:`complete_due`; lets pre-landing bookkeeping
+        (e.g. the SLO accountant) see each VM's source host and pre-copy
+        timeline before the placement mutates.
+        """
+        return [
+            self._active[vm]
+            for vm in sorted(self._active)
+            if self._active[vm].complete_round <= now
+        ]
+
     def complete_due(self, now: int) -> List[Tuple[int, int]]:
         """Finish every migration whose window has elapsed.
 

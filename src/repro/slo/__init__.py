@@ -1,0 +1,31 @@
+"""Application-facing SLO layer: model, accounting, and scoring.
+
+``repro.slo`` turns the simulator's network-side story into an
+application-side one:
+
+* :mod:`repro.slo.model` derives a deterministic per-VM SLO contract
+  (tenant class, request rate, latency target) from the workload profile
+  and the dependency graph ``G_d``;
+* :mod:`repro.slo.accounting` charges SLO-violation-minutes from host
+  overload, migration downtime and dependency-path stretch, and feeds the
+  ``sheriff_slo_*`` metric family plus ``SloViolation`` trace events;
+* :mod:`repro.slo.scoring` implements ``SheriffConfig(scoring="slo")`` —
+  a migration cost addend pricing predicted SLO damage against Eq. (1).
+
+The whole layer is opt-in: with ``SheriffConfig(slo=False,
+scoring="network")`` (the defaults) nothing here is even imported and
+every engine output is byte-identical to earlier releases.
+"""
+
+from repro.slo.accounting import SloAccountant, VIOLATION_SOURCES
+from repro.slo.model import SloModel, TENANT_CLASSES, VmSlo
+from repro.slo.scoring import SloScorer
+
+__all__ = [
+    "SloAccountant",
+    "SloModel",
+    "SloScorer",
+    "VmSlo",
+    "TENANT_CLASSES",
+    "VIOLATION_SOURCES",
+]

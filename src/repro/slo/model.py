@@ -1,0 +1,111 @@
+"""Per-VM application-facing SLO model.
+
+The paper scores management purely by the Eq. (1) network cost; related
+work ("Do Data Center Network Metrics Predict Application-Facing
+Performance?") shows that network metrics alone mispredict what
+applications feel.  This module derives a *synthetic but deterministic*
+application contract for every VM from state the simulator already has —
+the workload profile (capacity, value, delay sensitivity) and the
+dependency graph ``G_d``:
+
+* **tenant class** — ``"gold"`` / ``"silver"`` / ``"bronze"`` priority
+  tiers.  Delay-sensitive VMs are always gold; otherwise the class comes
+  from the VM's value weighted by its dependency degree (a high-value hub
+  of ``G_d`` fronts more of the application than a leaf).
+* **request rate** — synthetic served requests/second, proportional to
+  capacity × value (a big, valuable VM serves more traffic).  VMs with
+  zero value serve nothing, so they can never accrue downtime damage.
+* **latency target** — the class's base budget stretched by the VM's
+  dependency degree: every ``G_d`` edge is one more hop a request may
+  traverse, so chattier VMs get proportionally looser targets.
+
+Everything is a pure function of the cluster, so the same seed yields the
+same SLO book run-to-run — the golden accounting tests pin per-tenant
+totals against exactly this derivation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterator, List, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.cluster import Cluster
+
+__all__ = ["VmSlo", "SloModel", "TENANT_CLASSES"]
+
+TENANT_CLASSES: Tuple[str, ...] = ("gold", "silver", "bronze")
+"""Priority tiers, strictest first."""
+
+# class base latency budgets (ms) and request-rate multipliers
+_LATENCY_TARGET_MS = {"gold": 50.0, "silver": 150.0, "bronze": 400.0}
+_RATE_MULTIPLIER = {"gold": 2.0, "silver": 1.0, "bronze": 0.5}
+
+# requests/second per unit of capacity x value before the class multiplier
+_BASE_RATE_PER_CAP_VALUE = 2.0
+
+# value x (1 + degree) score thresholds separating the tiers
+_GOLD_SCORE = 4.0
+_SILVER_SCORE = 1.5
+
+
+@dataclass(frozen=True)
+class VmSlo:
+    """One VM's application contract."""
+
+    vm_id: int
+    tenant_class: str
+    request_rate: float
+    """Synthetic served requests per second (0 = the VM serves nothing)."""
+    latency_target_ms: float
+
+
+class SloModel:
+    """The fleet's SLO book: one :class:`VmSlo` per VM."""
+
+    def __init__(self, slos: Dict[int, VmSlo]) -> None:
+        self._slos = slos
+
+    @classmethod
+    def from_cluster(cls, cluster: "Cluster") -> "SloModel":
+        """Derive every VM's contract from the workload profile and G_d."""
+        pl = cluster.placement
+        deps = cluster.dependencies
+        slos: Dict[int, VmSlo] = {}
+        for vm in range(pl.num_vms):
+            value = float(pl.vm_value[vm])
+            capacity = int(pl.vm_capacity[vm])
+            degree = len(deps.neighbors(vm))
+            score = value * (1.0 + degree)
+            if bool(pl.vm_delay_sensitive[vm]) or score >= _GOLD_SCORE:
+                tenant = "gold"
+            elif score >= _SILVER_SCORE:
+                tenant = "silver"
+            else:
+                tenant = "bronze"
+            rate = _BASE_RATE_PER_CAP_VALUE * capacity * value
+            rate *= _RATE_MULTIPLIER[tenant]
+            latency = _LATENCY_TARGET_MS[tenant] * (1.0 + 0.25 * min(degree, 4))
+            slos[vm] = VmSlo(
+                vm_id=vm,
+                tenant_class=tenant,
+                request_rate=rate,
+                latency_target_ms=latency,
+            )
+        return cls(slos)
+
+    def __len__(self) -> int:
+        return len(self._slos)
+
+    def __iter__(self) -> Iterator[VmSlo]:
+        return iter(self._slos.values())
+
+    def slo_for(self, vm: int) -> VmSlo:
+        return self._slos[vm]
+
+    def by_class(self) -> Dict[str, List[int]]:
+        """VM ids per tenant class (every class present, possibly empty)."""
+        out: Dict[str, List[int]] = {t: [] for t in TENANT_CLASSES}
+        for slo in self._slos.values():
+            out[slo.tenant_class].append(slo.vm_id)
+        return out

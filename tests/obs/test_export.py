@@ -86,6 +86,45 @@ class TestPrometheusText:
     def test_empty_registry_exports_empty(self):
         assert prometheus_text(MetricsRegistry()) == ""
 
+    def test_label_values_are_escaped(self):
+        m = MetricsRegistry()
+        m.counter("weird_total", path='C:\\dir', note='say "hi"\nbye').inc()
+        text = prometheus_text(m)
+        assert 'path="C:\\\\dir"' in text
+        assert 'note="say \\"hi\\"\\nbye"' in text
+        # the raw (unescaped) forms never leak into the exposition
+        assert '\nbye' not in text.replace("\\n", "")
+
+    def test_help_and_type_once_per_family_under_interleaving(self):
+        m = MetricsRegistry()
+        # interleave labeled series of two families in registration order
+        m.counter("alerts_total", rack=0).inc()
+        m.counter("requests_sent_total", rack=0).inc()
+        m.counter("alerts_total", rack=1).inc()
+        m.counter("requests_sent_total", rack=1).inc()
+        text = prometheus_text(m)
+        for family in ("sheriff_alerts_total", "sheriff_requests_sent_total"):
+            assert text.count(f"# HELP {family} ") == 1
+            assert text.count(f"# TYPE {family} ") == 1
+        # all samples of a family sit contiguously under its header
+        lines = text.splitlines()
+        starts = [i for i, l in enumerate(lines) if l.startswith("# HELP")]
+        assert lines[starts[0]].split()[2] == "sheriff_alerts_total"
+        assert lines[starts[0] + 2].startswith("sheriff_alerts_total{")
+        assert lines[starts[0] + 3].startswith("sheriff_alerts_total{")
+
+    def test_known_families_get_catalog_help_text(self):
+        m = MetricsRegistry()
+        m.counter("sheriff_slo_violation_minutes_total", tenant="gold").inc()
+        m.counter("made_up_total").inc()
+        text = prometheus_text(m)
+        assert (
+            "# HELP sheriff_slo_violation_minutes_total "
+            "SLO-violation-minutes charged, by tenant class and source."
+        ) in text
+        # unknown families still get a HELP line (generic fallback)
+        assert "# HELP sheriff_made_up_total Sheriff metric" in text
+
 
 class TestChromeTrace:
     def test_nested_sections_become_nested_spans(self):

@@ -198,6 +198,16 @@ class TestAllEventKinds:
             governor.observe(t)
         assert governor.degraded
 
+        # the SLO layer shares the tracer too: a tiny budget guarantees
+        # the first charge also exhausts a tenant class
+        scluster = _cluster(fill=0.85, skew=1.2, seed=7)
+        ssim = SheriffSimulation(
+            scluster,
+            SheriffConfig(tracer=tracer, slo=True, slo_budget_minutes=1e-9),
+        )
+        alerts, vma = inject_fraction_alerts(scluster, 0.3, time=0, seed=5)
+        assert ssim.run_round(alerts, vma).slo_violation_minutes > 0
+
         seen = set(tracer.kinds())
         missing = {cls.__name__ for cls in EVENT_TYPES} - seen
         assert not missing, f"never emitted: {sorted(missing)}"

@@ -44,6 +44,58 @@ class TestSummarize:
         assert main(["trace", "summarize", str(chaos_trace), "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["rounds"] == 8
+        assert payload["no_landings"] is False
+
+    def test_no_landings_row_is_explicit(self, tmp_path, capsys):
+        # a trace with zero landed migrations must say so (not omit the
+        # latency section) and still exit 0
+        path = tmp_path / "quiet.jsonl"
+        path.write_text(
+            '{"schema_version": 2}\n'
+            '{"event": "AlertDelivered", "round": 0, "rack": 0}\n'
+        )
+        assert main(["trace", "summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "no landings" in out
+        assert main(["trace", "summarize", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["no_landings"] is True
+        assert payload["alert_to_landed_rounds"]["count"] == 0
+
+    def test_slo_section_appears_for_slo_traces(self, tmp_path, capsys):
+        trace = tmp_path / "chaos_slo.jsonl"
+        rc = main(
+            [
+                "chaos", "--size", "4", "--rounds", "8", "--seed", "2015",
+                "--slo", "--trace", str(trace),
+            ]
+        )
+        assert rc == 0
+        summary = summarize_trace(load_trace(trace))
+        assert summary["totals"]["SloViolation"] > 0
+        slo = summary["slo"]
+        assert slo["violation_minutes"] > 0.0
+        assert sum(slo["by_tenant"].values()) == pytest.approx(
+            slo["violation_minutes"]
+        )
+        assert sum(slo["by_source"].values()) == pytest.approx(
+            slo["violation_minutes"]
+        )
+        assert slo["episodes"]["count"] > 0
+        assert (
+            0.0
+            < slo["episodes"]["p50_rounds"]
+            <= slo["episodes"]["p99_rounds"]
+            <= slo["episodes"]["max_rounds"]
+        )
+        assert main(["trace", "summarize", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "slo violation-minutes" in out
+        assert "tenant gold" in out
+
+    def test_plain_clean_traces_have_no_slo_section(self, chaos_trace, capsys):
+        assert main(["trace", "summarize", str(chaos_trace)]) == 0
+        assert "slo violation-minutes" not in capsys.readouterr().out
 
 
 class TestLifecycle:

@@ -127,4 +127,4 @@ class TestEventShapes:
             assert d["event"] == event.kind == cls.__name__
             json.dumps(d)  # must not raise
             kinds.add(event.kind)
-        assert len(kinds) == len(EVENT_TYPES) == 15
+        assert len(kinds) == len(EVENT_TYPES) == 17

@@ -1,0 +1,117 @@
+"""Golden seeded accounting run and the disabled-path identity contract."""
+
+from dataclasses import asdict
+
+import numpy as np
+import pytest
+
+from repro.cluster import build_cluster
+from repro.config import SheriffConfig
+from repro.sim import SheriffSimulation, inject_fraction_alerts
+from repro.topology import build_fattree
+
+ROUNDS = 6
+ALERT_FRACTION = 0.08
+
+
+def _cluster():
+    return build_cluster(
+        build_fattree(4),
+        hosts_per_rack=4,
+        fill_fraction=0.5,
+        skew=1.1,
+        seed=2015,
+        delay_sensitive_fraction=0.1,
+    )
+
+
+def _run(cfg):
+    cluster = _cluster()
+    sim = SheriffSimulation(cluster, cfg)
+    summaries = []
+    for r in range(ROUNDS):
+        alerts, vma = inject_fraction_alerts(
+            cluster, ALERT_FRACTION, time=r, seed=3 + r
+        )
+        summaries.append(sim.run_round(alerts, vma))
+    return cluster, sim, summaries
+
+
+def _decision_view(summary):
+    """A round summary minus the SLO ledger fields and run-local noise."""
+    d = asdict(summary)
+    for key in ("timings", "reports", "pool", "slo_violation_minutes",
+                "slo_by_class"):
+        d.pop(key, None)
+    return d
+
+
+class TestGoldenRun:
+    def test_per_tenant_totals_are_pinned(self):
+        # seeded derivation + seeded alerts => the ledger is bit-stable;
+        # any drift here means the SLO derivation or a charge site moved
+        _, sim, _ = _run(SheriffConfig(balance_weight=25.0, slo=True))
+        ledger = sim.slo.summary()
+        assert ledger["total_minutes"] == pytest.approx(
+            4.774623738786248, abs=1e-9
+        )
+        assert ledger["by_class"]["gold"] == pytest.approx(
+            4.696617944410786, abs=1e-9
+        )
+        assert ledger["by_class"]["silver"] == pytest.approx(
+            0.07800579437546293, abs=1e-9
+        )
+        assert ledger["by_class"]["bronze"] == 0.0
+        assert ledger["by_source"]["downtime"] == pytest.approx(
+            3.1746237387862486, abs=1e-9
+        )
+        assert ledger["by_source"]["stretch"] == pytest.approx(
+            1.5999999999999999, abs=1e-9
+        )
+        assert ledger["by_source"]["overload"] == 0.0
+        assert ledger["episodes"]["count"] == 47
+
+    def test_round_summaries_carry_the_ledger(self):
+        _, sim, summaries = _run(SheriffConfig(balance_weight=25.0, slo=True))
+        total = sum(s.slo_violation_minutes for s in summaries)
+        assert total == pytest.approx(sim.slo.total_minutes, abs=1e-9)
+        merged = {}
+        for s in summaries:
+            for tenant, minutes in s.slo_by_class.items():
+                merged[tenant] = merged.get(tenant, 0.0) + minutes
+        for tenant, minutes in merged.items():
+            assert minutes == pytest.approx(
+                sim.slo.by_class[tenant], abs=1e-9
+            )
+
+
+class TestDisabledPathIdentity:
+    def test_defaults_leave_slo_layer_unbuilt(self):
+        _, sim, summaries = _run(SheriffConfig(balance_weight=25.0))
+        assert sim.slo is None
+        assert sim.slo_scorer is None
+        assert all(s.slo_violation_minutes == 0.0 for s in summaries)
+        assert all(s.slo_by_class == {} for s in summaries)
+
+    def test_accounting_never_perturbs_decisions(self):
+        # the accountant is a pure observer: the same seed with slo=True
+        # must produce byte-identical decisions and final placement
+        cl_off, _, off = _run(SheriffConfig(balance_weight=25.0))
+        cl_on, _, on = _run(SheriffConfig(balance_weight=25.0, slo=True))
+        assert [_decision_view(s) for s in off] == [
+            _decision_view(s) for s in on
+        ]
+        assert np.array_equal(
+            cl_off.placement.vm_host, cl_on.placement.vm_host
+        )
+
+    def test_explicit_network_scoring_is_the_default(self):
+        cl_a, _, a = _run(SheriffConfig(balance_weight=25.0))
+        cl_b, _, b = _run(
+            SheriffConfig(balance_weight=25.0, scoring="network")
+        )
+        assert [_decision_view(s) for s in a] == [_decision_view(s) for s in b]
+        assert [(s.slo_violation_minutes, s.slo_by_class) for s in a] == [
+            (s.slo_violation_minutes, s.slo_by_class) for s in b
+        ]
+        assert np.array_equal(cl_a.placement.vm_host, cl_b.placement.vm_host)

@@ -1,0 +1,74 @@
+"""SLO model derivation: classes, rates and latency targets from the cluster."""
+
+from repro.cluster import build_cluster
+from repro.slo import SloModel, TENANT_CLASSES, VmSlo
+from repro.topology import build_fattree
+
+
+def _cluster(seed=2015, delay_frac=0.1):
+    return build_cluster(
+        build_fattree(4),
+        hosts_per_rack=4,
+        fill_fraction=0.5,
+        skew=1.1,
+        seed=seed,
+        delay_sensitive_fraction=delay_frac,
+    )
+
+
+class TestDerivation:
+    def test_every_vm_gets_a_contract(self):
+        cluster = _cluster()
+        model = SloModel.from_cluster(cluster)
+        assert len(model) == cluster.placement.num_vms
+        for slo in model:
+            assert isinstance(slo, VmSlo)
+            assert slo.tenant_class in TENANT_CLASSES
+            assert slo.request_rate >= 0.0
+            assert slo.latency_target_ms > 0.0
+
+    def test_delay_sensitive_vms_are_gold(self):
+        cluster = _cluster(delay_frac=0.3)
+        model = SloModel.from_cluster(cluster)
+        pl = cluster.placement
+        for vm in range(pl.num_vms):
+            if bool(pl.vm_delay_sensitive[vm]):
+                assert model.slo_for(vm).tenant_class == "gold"
+
+    def test_zero_value_vms_serve_nothing(self):
+        cluster = _cluster()
+        model = SloModel.from_cluster(cluster)
+        pl = cluster.placement
+        for vm in range(pl.num_vms):
+            if float(pl.vm_value[vm]) == 0.0:
+                assert model.slo_for(vm).request_rate == 0.0
+
+    def test_latency_budget_loosens_with_dependency_degree(self):
+        cluster = _cluster()
+        model = SloModel.from_cluster(cluster)
+        deps = cluster.dependencies
+        # within one class, a chattier VM never gets a *tighter* budget
+        by_class = {}
+        for slo in model:
+            degree = len(deps.neighbors(slo.vm_id))
+            by_class.setdefault(slo.tenant_class, []).append(
+                (degree, slo.latency_target_ms)
+            )
+        for rows in by_class.values():
+            rows.sort()
+            for (d1, l1), (d2, l2) in zip(rows, rows[1:]):
+                if d1 < d2:
+                    assert l1 <= l2
+
+    def test_deterministic_per_seed(self):
+        a = SloModel.from_cluster(_cluster(seed=7))
+        b = SloModel.from_cluster(_cluster(seed=7))
+        assert [s for s in a] == [s for s in b]
+
+    def test_by_class_partitions_the_fleet(self):
+        cluster = _cluster()
+        model = SloModel.from_cluster(cluster)
+        groups = model.by_class()
+        assert set(groups) == set(TENANT_CLASSES)
+        all_vms = sorted(vm for vms in groups.values() for vm in vms)
+        assert all_vms == list(range(cluster.placement.num_vms))

@@ -151,7 +151,8 @@ class TestReport:
         # run exercising migrations, rejects and reroutes emits at least
         # one event of every documented type (the fault vocabulary is
         # covered by the chaos campaign's trace — see TestChaosTrace;
-        # FallbackTransition by the adversarial campaign / governor tests)
+        # FallbackTransition by the adversarial campaign / governor tests;
+        # the SLO vocabulary by the opt-in SLO layer — see tests/slo)
         from repro.obs.events import EVENT_TYPES
 
         trace = tmp_path / "report.jsonl"
@@ -160,6 +161,7 @@ class TestReport:
         other_layer_kinds = {
             "FaultInjected", "HostCrashed", "RequestTimedOut",
             "MigrationAborted", "FallbackTransition",
+            "SloViolation", "SloBudgetExhausted",
         }
         assert kinds == {cls.__name__ for cls in EVENT_TYPES} - other_layer_kinds
 
@@ -236,6 +238,54 @@ class TestServeCommand:
         cfg.write_text('{"warp_factor": 9}')
         with pytest.raises(SystemExit):
             main(["serve", "--config", str(cfg)])
+
+
+class TestSloCommand:
+    def test_slo_report_plain(self, capsys):
+        rc = main(
+            ["slo", "report", "--size", "4", "--rounds", "20",
+             "--warm", "8", "--seed", "2015"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "violation-minutes" in out
+        assert "tenant gold" in out and "source downtime" in out
+        assert "episodes:" in out
+
+    def test_slo_report_json_and_prom(self, capsys, tmp_path):
+        prom = tmp_path / "slo.prom"
+        rc = main(
+            ["slo", "report", "--size", "4", "--rounds", "20",
+             "--warm", "8", "--seed", "2015", "--json",
+             "--prom", str(prom)]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "slo-report"
+        ledger = payload["slo"]
+        assert ledger["total_minutes"] > 0.0
+        assert set(ledger["by_class"]) == {"gold", "silver", "bronze"}
+        # the exposition carries the family with per-tenant labels —
+        # the same surface /metrics serves
+        text = prom.read_text()
+        assert "# TYPE sheriff_slo_violation_minutes_total counter" in text
+        assert 'tenant="gold"' in text
+
+    def test_slo_report_rejects_short_horizon(self, capsys):
+        # host_surges needs >= 16 rounds; the CLI must say so, not
+        # traceback
+        with pytest.raises(SystemExit) as exc:
+            main(["slo", "report", "--size", "4", "--rounds", "12"])
+        assert exc.value.code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_slo_scoring_variant_runs(self, capsys):
+        rc = main(
+            ["slo", "report", "--size", "4", "--rounds", "16",
+             "--warm", "8", "--seed", "2015", "--scoring", "slo", "--json"]
+        )
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out)["scoring"] == "slo"
 
 
 class TestUniformExporterFlags:

@@ -24,6 +24,10 @@ committed numbers.  The schema is dispatched per file:
   — enabling the gate with neutral fleet signals decided byte-identically
   to the point-forecast path — and ``overhead_frac < 0.10`` — carrying
   the gate costs within noise of an engine round.
+* **BENCH_10** (SLO accounting): ``slo_overhead.disabled_identical`` —
+  enabling the violation-minutes accountant decided byte-identically to
+  the slo-off engine — and ``overhead_frac < 0.10`` — keeping the full
+  per-tenant ledger costs within noise of an engine round.
 """
 
 from __future__ import annotations
@@ -140,7 +144,39 @@ def _check_bench_8(results: dict, failures: List[str]) -> str:
     )
 
 
+def _check_bench_10(results: dict, failures: List[str]) -> str:
+    over = results.get("slo_overhead", {})
+    identical = over.get("disabled_identical")
+    if identical is not True:
+        failures.append(
+            "slo_overhead.disabled_identical is not true — the accounting "
+            "run decided differently from the slo-off engine"
+        )
+    frac = over.get("overhead_frac")
+    if not isinstance(frac, (int, float)):
+        failures.append("slo_overhead.overhead_frac missing")
+    elif frac >= 0.10:
+        failures.append(
+            f"slo_overhead.overhead_frac = {frac:.3f} >= 0.10 — the "
+            "violation-minutes ledger costs more than noise"
+        )
+    minutes = over.get("slo_accounting", {}).get("violation_minutes")
+    if not isinstance(minutes, (int, float)) or minutes <= 0.0:
+        failures.append(
+            "slo_overhead.slo_accounting.violation_minutes missing or zero "
+            "— the benchmark scenario charged nothing"
+        )
+    if failures:
+        return ""
+    return (
+        f"slo accounting overhead = {100.0 * frac:.1f}% "
+        f"(identical decisions, {minutes:.2f} violation-minutes charged)"
+    )
+
+
 def _dispatch(results: dict):
+    if "slo_overhead" in results:
+        return _check_bench_10
     if "confidence_overhead" in results:
         return _check_bench_8
     if "scale_ladder" in results:
